@@ -1,0 +1,331 @@
+// Package icbtc's top-level benchmarks regenerate the paper's evaluation
+// (one testing.B benchmark per figure/measurement) and additionally bench
+// the hot paths of every substrate. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The Benchmark*Figure* entries report custom metrics (instructions,
+// simulated latency) next to wall-clock numbers; EXPERIMENTS.md records a
+// full paper-vs-measured comparison.
+package icbtc_test
+
+import (
+	"crypto/sha256"
+	"math/rand"
+	"testing"
+	"time"
+
+	"icbtc/internal/btc"
+	"icbtc/internal/canister"
+	"icbtc/internal/experiments"
+	"icbtc/internal/ic"
+	"icbtc/internal/secp256k1"
+	"icbtc/internal/simnet"
+	"icbtc/internal/tecdsa"
+	"icbtc/internal/utxo"
+)
+
+// --- Figure benches ---
+
+// BenchmarkFig5UTXOGrowth regenerates Figure 5 (UTXO + storage growth).
+func BenchmarkFig5UTXOGrowth(b *testing.B) {
+	cfg := experiments.DefaultFig5Config()
+	cfg.Weeks = 26 // one quarter per iteration keeps -bench runs short
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig5(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := res.Rows[len(res.Rows)-1]
+		b.ReportMetric(float64(last.UTXOCount), "utxos")
+		b.ReportMetric(float64(last.StorageBytes)/(1<<20), "MiB")
+	}
+}
+
+// BenchmarkFig6BlockIngestion regenerates Figure 6 (ingestion cost).
+func BenchmarkFig6BlockIngestion(b *testing.B) {
+	cfg := experiments.DefaultFig6Config()
+	cfg.Days = 30
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig6(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.AvgInstructions)/1e9, "Binstr/block")
+		ins, rem := res.SplitFractions()
+		b.ReportMetric(ins*100, "insert%")
+		b.ReportMetric(rem*100, "remove%")
+	}
+}
+
+// BenchmarkFig7GetUTXOs regenerates Figure 7 (latency + instructions vs
+// UTXO count).
+func BenchmarkFig7GetUTXOs(b *testing.B) {
+	cfg := experiments.DefaultFig7Config()
+	cfg.Scale = 25
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig7(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Report the largest bucket's numbers as the headline metrics.
+		last := res.Rows[len(res.Rows)-1]
+		b.ReportMetric(last.UTXOsQuery.Seconds(), "query-s")
+		b.ReportMetric(last.UTXOsReplicated.Seconds(), "replicated-s")
+		b.ReportMetric(float64(last.UTXOsInstructions)/1e6, "Minstr")
+	}
+}
+
+// BenchmarkLatencyDistribution regenerates the §IV-B latency numbers.
+func BenchmarkLatencyDistribution(b *testing.B) {
+	cfg := experiments.DefaultLatencyConfig()
+	cfg.Scale = 50
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunLatency(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.ReplicatedMin.Seconds(), "repl-min-s")
+		b.ReportMetric(res.ReplicatedAvg.Seconds(), "repl-avg-s")
+		b.ReportMetric(res.ReplicatedP90.Seconds(), "repl-p90-s")
+		b.ReportMetric(float64(res.QueryBalanceMedian.Milliseconds()), "qbal-med-ms")
+	}
+}
+
+// BenchmarkCostPerRequest regenerates the requests-per-dollar arithmetic.
+func BenchmarkCostPerRequest(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunCost(7)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.BalancePerUSD, "balance/USD")
+		b.ReportMetric(res.UTXOsPerUSD, "utxos/USD")
+	}
+}
+
+// BenchmarkEclipseMonteCarlo regenerates the Lemma IV.1 table.
+func BenchmarkEclipseMonteCarlo(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunEclipse(20_000, 11)
+		b.ReportMetric(res.Rows[len(res.Rows)-1].PAdapterMC, "p-eclipse")
+	}
+}
+
+// BenchmarkDowntimeMonteCarlo regenerates the Lemma IV.3 sweep.
+func BenchmarkDowntimeMonteCarlo(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunDowntime(50_000, 13, 13)
+		b.ReportMetric(res.Rows[1].SuccessMC, "p-success-c2")
+	}
+}
+
+// BenchmarkScalingThroughput regenerates the throughput-scaling extension.
+func BenchmarkScalingThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunScaling(7)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := res.Rows[len(res.Rows)-1]
+		b.ReportMetric(float64(last.CompletedCalls), "calls-4subnets")
+	}
+}
+
+// BenchmarkAblationDeltaSweep regenerates the δ trade-off table.
+func BenchmarkAblationDeltaSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunDeltaSweep(7)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.Rows[len(res.Rows)-1].GetUTXOsInstructions)/1e6, "Minstr-d144")
+	}
+}
+
+// BenchmarkAblationSyncModes regenerates the single/multi block ablation.
+func BenchmarkAblationSyncModes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunSyncModes(7)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.Rows[0].RequestRounds), "rounds-single")
+		b.ReportMetric(float64(res.Rows[1].RequestRounds), "rounds-multi")
+	}
+}
+
+// --- Substrate hot-path benches ---
+
+func BenchmarkDoubleSHA256(b *testing.B) {
+	data := make([]byte, 256)
+	b.SetBytes(int64(len(data)))
+	for i := 0; i < b.N; i++ {
+		_ = btc.DoubleSHA256(data)
+	}
+}
+
+func BenchmarkTransactionSerialize(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	tx := benchTx(rng, 2, 2)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = tx.Bytes()
+	}
+}
+
+func BenchmarkTransactionParse(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	raw := benchTx(rng, 2, 2).Bytes()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := btc.ParseTransaction(raw); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMerkleRoot1000(b *testing.B) {
+	hashes := make([]btc.Hash, 1000)
+	rng := rand.New(rand.NewSource(3))
+	for i := range hashes {
+		rng.Read(hashes[i][:])
+	}
+	for i := 0; i < b.N; i++ {
+		_ = btc.MerkleRootFromHashes(hashes)
+	}
+}
+
+func BenchmarkECDSASign(b *testing.B) {
+	key, _ := secp256k1.GeneratePrivateKey(rand.New(rand.NewSource(4)))
+	digest := sha256.Sum256([]byte("bench"))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := key.Sign(digest[:]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkECDSAVerify(b *testing.B) {
+	key, _ := secp256k1.GeneratePrivateKey(rand.New(rand.NewSource(5)))
+	digest := sha256.Sum256([]byte("bench"))
+	sig, _ := key.Sign(digest[:])
+	pub := key.PubKey()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !sig.Verify(digest[:], pub) {
+			b.Fatal("invalid")
+		}
+	}
+}
+
+func BenchmarkThresholdECDSASign13of5(b *testing.B) {
+	// n=13, t=4: the paper's subnet parameters.
+	committee, err := tecdsa.NewCommittee(13, 4, rand.New(rand.NewSource(6)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	digest := sha256.Sum256([]byte("bench"))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := committee.Sign(digest[:]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkUTXOSetApplyBlock(b *testing.B) {
+	script := btc.PayToPubKeyHashScript([20]byte{9})
+	blocks := make([]*btc.Block, 0, b.N)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < b.N; i++ {
+		blk := &btc.Block{Transactions: []*btc.Transaction{{
+			Inputs: []btc.TxIn{{
+				PreviousOutPoint: btc.OutPoint{TxID: btc.ZeroHash, Vout: 0xffffffff},
+				SignatureScript:  []byte{byte(i), byte(i >> 8), byte(i >> 16), byte(i >> 24), byte(rng.Intn(256))},
+			}},
+			Outputs: experimentsPayN(script, 100),
+		}}}
+		blocks = append(blocks, blk)
+	}
+	set := utxo.New(btc.Regtest)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := set.ApplyBlock(blocks[i], int64(i+1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(set.Len()), "utxos-final")
+}
+
+func experimentsPayN(script []byte, n int) []btc.TxOut {
+	outs := make([]btc.TxOut, n)
+	for i := range outs {
+		outs[i] = btc.TxOut{Value: 546, PkScript: script}
+	}
+	return outs
+}
+
+func BenchmarkGetUTXOs1000(b *testing.B) {
+	// A single get_utxos against an address with 1000 stable UTXOs — the
+	// paper's most expensive request class.
+	f := experiments.NewFeeder(btc.Regtest, 6, 9)
+	var h [20]byte
+	h[0] = 0x42
+	addr := btc.NewP2PKHAddress(h, btc.Regtest)
+	script := btc.PayToAddrScript(addr)
+	if _, err := f.FeedBlock([]experiments.TxSpec{{Outputs: experiments.PayN(script, 1000, 546)}}); err != nil {
+		b.Fatal(err)
+	}
+	if err := f.FeedEmpty(8); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ctx := f.QueryCtx()
+		res, err := f.Canister.GetUTXOs(ctx, canister.GetUTXOsArgs{Address: addr.String()})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.UTXOs) != 1000 {
+			b.Fatalf("got %d UTXOs", len(res.UTXOs))
+		}
+		if i == 0 {
+			b.ReportMetric(float64(ctx.Meter.Total())/1e6, "Minstr")
+		}
+	}
+}
+
+func BenchmarkConsensusRound(b *testing.B) {
+	sched := simnet.NewScheduler(10)
+	cfg := ic.DefaultConfig()
+	cfg.DisableThresholdKeys = true
+	subnet, err := ic.NewSubnet(sched, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	subnet.Start()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sched.RunFor(time.Second) // one consensus round of virtual time
+	}
+	b.ReportMetric(float64(subnet.Round())/float64(b.N), "rounds/iter")
+}
+
+func benchTx(rng *rand.Rand, nIn, nOut int) *btc.Transaction {
+	tx := &btc.Transaction{Version: 2}
+	for i := 0; i < nIn; i++ {
+		var op btc.OutPoint
+		rng.Read(op.TxID[:])
+		tx.Inputs = append(tx.Inputs, btc.TxIn{PreviousOutPoint: op, SignatureScript: make([]byte, 107)})
+	}
+	var h [20]byte
+	for i := 0; i < nOut; i++ {
+		rng.Read(h[:])
+		tx.Outputs = append(tx.Outputs, btc.TxOut{Value: 546, PkScript: btc.PayToPubKeyHashScript(h)})
+	}
+	return tx
+}

@@ -1,0 +1,193 @@
+// Command bench regenerates the paper's figures and in-text measurements.
+//
+// Usage:
+//
+//	bench -fig all          # everything (default)
+//	bench -fig 3            # Figure 3 block-tree stability annotations
+//	bench -fig 5            # Figure 5 UTXO/storage growth
+//	bench -fig 6            # Figure 6 block ingestion cost
+//	bench -fig 7            # Figure 7 latency + instructions vs #UTXOs
+//	bench -fig latency      # §IV-B latency distribution
+//	bench -fig cost         # §IV-B requests-per-dollar arithmetic
+//	bench -fig eclipse      # Lemma IV.1 Monte Carlo
+//	bench -fig downtime     # Lemma IV.3 Monte Carlo
+//	bench -fig ablations    # δ / τ / sync-mode ablations
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"icbtc/internal/btc"
+	"icbtc/internal/chain"
+	"icbtc/internal/experiments"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate (3, 5, 6, 7, latency, cost, eclipse, downtime, ablations, scaling, all)")
+	seed := flag.Int64("seed", 7, "simulation seed")
+	scale := flag.Int("scale", 10, "population scale divisor for Fig 7 / latency (1 = paper's full 1000 addresses)")
+	trials := flag.Int("trials", 50_000, "Monte Carlo trials for the security lemmas")
+	flag.Parse()
+
+	if err := run(*fig, *seed, *scale, *trials); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(fig string, seed int64, scale, trials int) error {
+	all := fig == "all"
+	out := os.Stdout
+	section := func(name string) { fmt.Fprintf(out, "\n===== %s =====\n", name) }
+
+	if all || fig == "3" {
+		section("Figure 3")
+		printFigure3(seed)
+	}
+	if all || fig == "5" {
+		section("Figure 5")
+		cfg := experiments.DefaultFig5Config()
+		cfg.Seed = seed
+		res, err := experiments.RunFig5(cfg)
+		if err != nil {
+			return err
+		}
+		res.Print(out)
+	}
+	if all || fig == "6" {
+		section("Figure 6")
+		cfg := experiments.DefaultFig6Config()
+		cfg.Seed = seed
+		res, err := experiments.RunFig6(cfg)
+		if err != nil {
+			return err
+		}
+		res.Print(out)
+	}
+	if all || fig == "7" {
+		section("Figure 7")
+		cfg := experiments.DefaultFig7Config()
+		cfg.Seed = seed
+		cfg.Scale = scale
+		res, err := experiments.RunFig7(cfg)
+		if err != nil {
+			return err
+		}
+		res.Print(out)
+	}
+	if all || fig == "latency" {
+		section("Latency distribution (§IV-B)")
+		cfg := experiments.DefaultLatencyConfig()
+		cfg.Seed = seed
+		cfg.Scale = scale
+		res, err := experiments.RunLatency(cfg)
+		if err != nil {
+			return err
+		}
+		res.Print(out)
+	}
+	if all || fig == "cost" {
+		section("Request cost (§IV-B)")
+		res, err := experiments.RunCost(seed)
+		if err != nil {
+			return err
+		}
+		res.Print(out)
+	}
+	if all || fig == "eclipse" {
+		section("Lemma IV.1 (eclipse)")
+		experiments.RunEclipse(trials, seed).Print(out)
+	}
+	if all || fig == "downtime" {
+		section("Lemma IV.3 (downtime)")
+		experiments.RunDowntime(trials, seed, 13).Print(out)
+	}
+	if all || fig == "scaling" {
+		section("Extension: throughput scaling")
+		sc, err := experiments.RunScaling(seed)
+		if err != nil {
+			return err
+		}
+		sc.Print(out)
+	}
+	if all || fig == "ablations" {
+		section("Ablation: δ sweep")
+		d, err := experiments.RunDeltaSweep(seed)
+		if err != nil {
+			return err
+		}
+		d.Print(out)
+		section("Ablation: Algorithm 1 sync modes")
+		s, err := experiments.RunSyncModes(seed)
+		if err != nil {
+			return err
+		}
+		s.Print(out)
+		section("Ablation: τ sweep")
+		tres, err := experiments.RunTauSweep(seed)
+		if err != nil {
+			return err
+		}
+		tres.Print(out)
+	}
+	return nil
+}
+
+// printFigure3 rebuilds the Figure 3 block tree and prints each block's
+// confirmation-based stability (see internal/chain's TestFigure3 for the
+// topology reconstruction notes).
+func printFigure3(seed int64) {
+	params := btc.RegtestParams()
+	tree := chain.NewTree(params.GenesisHeader, 0)
+	bits := params.GenesisHeader.Bits
+	mk := func(prev btc.Hash, nonce uint32) *chain.Node {
+		h := btc.BlockHeader{
+			Version:    1,
+			PrevBlock:  prev,
+			MerkleRoot: btc.DoubleSHA256([]byte{byte(nonce), byte(nonce >> 8)}),
+			Timestamp:  1_600_000_000 + nonce,
+			Bits:       bits,
+			Nonce:      nonce,
+		}
+		n, err := tree.Insert(h)
+		if err != nil {
+			panic(err)
+		}
+		return n
+	}
+	main := make([]*chain.Node, 7)
+	prev := tree.Root()
+	for i := range main {
+		main[i] = mk(prev.Hash, uint32(1000+i))
+		prev = main[i]
+	}
+	forkA := make([]*chain.Node, 3)
+	prev = main[1]
+	for i := range forkA {
+		forkA[i] = mk(prev.Hash, uint32(2000+i))
+		prev = forkA[i]
+	}
+	forkB := make([]*chain.Node, 2)
+	prev = main[3]
+	for i := range forkB {
+		forkB[i] = mk(prev.Hash, uint32(3000+i))
+		prev = forkB[i]
+	}
+	fmt.Println("Figure 3: confirmation-based stability per block (heights h..h+6)")
+	fmt.Print("main chain:  ")
+	for _, n := range main {
+		fmt.Printf("%3d ", tree.StabilityByCount(n))
+	}
+	fmt.Print("\nfork A:          ")
+	for _, n := range forkA {
+		fmt.Printf("%3d ", tree.StabilityByCount(n))
+	}
+	fmt.Print("\nfork B:                  ")
+	for _, n := range forkB {
+		fmt.Printf("%3d ", tree.StabilityByCount(n))
+	}
+	fmt.Println("\n(paper prints the fork rows as -2 -2 -2 and -1 -1; see EXPERIMENTS.md for the main-row note)")
+	_ = seed
+}

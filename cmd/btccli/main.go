@@ -1,0 +1,129 @@
+// Command btccli stands up the full integration (Bitcoin network + IC
+// subnet + adapters + Bitcoin canister), seeds it with a mined chain, and
+// executes one API call against the Bitcoin canister — a command-line
+// smoke-test of the public interface.
+//
+// Usage:
+//
+//	btccli -op balance                 # miner address balance
+//	btccli -op utxos                   # miner address UTXOs (first page)
+//	btccli -op send                    # spend a coinbase and confirm it
+//	btccli -op status                  # canister state summary
+//	btccli -op balance -replicated     # certified call instead of query
+//	btccli -op balance -addr <address> # explicit address
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"icbtc/internal/btc"
+	"icbtc/internal/canister"
+	"icbtc/internal/core"
+	"icbtc/internal/ic"
+)
+
+func main() {
+	op := flag.String("op", "status", "operation: balance | utxos | send | status")
+	addr := flag.String("addr", "", "address (default: the miner's)")
+	blocks := flag.Int("blocks", 8, "blocks to seed the chain with")
+	replicated := flag.Bool("replicated", false, "use a replicated (certified) call")
+	minConf := flag.Int64("confirmations", 0, "minimum confirmations filter")
+	seed := flag.Int64("seed", 3, "simulation seed")
+	flag.Parse()
+	if err := run(*op, *addr, *blocks, *minConf, *replicated, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "btccli:", err)
+		os.Exit(1)
+	}
+}
+
+func run(op, addr string, blocks int, minConf int64, replicated bool, seed int64) error {
+	subCfg := ic.DefaultConfig()
+	subCfg.DisableThresholdKeys = true
+	integ, err := core.New(core.Options{Seed: seed, Subnet: &subCfg})
+	if err != nil {
+		return err
+	}
+	integ.Start()
+	integ.RunFor(5 * time.Second)
+	if _, err := integ.MineBlocks(blocks); err != nil {
+		return err
+	}
+	if err := integ.AwaitCanisterHeight(int64(blocks), 5*time.Minute); err != nil {
+		return err
+	}
+	if addr == "" {
+		addr = integ.MinerAddress().String()
+	}
+
+	switch op {
+	case "status":
+		fmt.Printf("network:        %v\n", integ.Params.Network)
+		fmt.Printf("chain height:   %d\n", integ.Bitcoin.Nodes[0].Height())
+		fmt.Printf("canister tip:   %d\n", integ.Canister.TipHeight())
+		fmt.Printf("anchor height:  %d (δ-stable)\n", integ.Canister.AnchorHeight())
+		fmt.Printf("stable UTXOs:   %d (%.1f KiB)\n", integ.Canister.StableUTXOCount(),
+			float64(integ.Canister.StableStorageBytes())/1024)
+		fmt.Printf("unstable blocks:%d\n", integ.Canister.UnstableBlockCount())
+		fmt.Printf("synced:         %v\n", integ.Canister.Synced())
+	case "balance":
+		bal, res, err := integ.GetBalance(addr, minConf, replicated)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("balance(%s) = %d sat\n", addr, bal)
+		fmt.Printf("latency %v, %d instructions, certified=%v\n", res.Latency.Round(time.Millisecond), res.Instructions, res.Certified)
+	case "utxos":
+		res, env, err := integ.GetUTXOs(canister.GetUTXOsArgs{Address: addr, MinConfirmations: minConf}, replicated)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("utxos(%s): %d returned (tip %s at height %d)\n", addr, len(res.UTXOs), res.TipHash, res.TipHeight)
+		for i, u := range res.UTXOs {
+			if i >= 10 {
+				fmt.Printf("  ... %d more\n", len(res.UTXOs)-10)
+				break
+			}
+			fmt.Printf("  %s  %12d sat  height %d\n", u.OutPoint, u.Value, u.Height)
+		}
+		fmt.Printf("latency %v, %d instructions\n", env.Latency.Round(time.Millisecond), env.Instructions)
+	case "send":
+		node := integ.Bitcoin.Nodes[0]
+		utxos := node.UTXOView().UTXOsForAddress(integ.MinerAddress().String())
+		if len(utxos) == 0 {
+			return fmt.Errorf("miner has no UTXOs")
+		}
+		dest := btc.NewP2PKHAddress([20]byte{0xC1}, integ.Params.Network)
+		tx := &btc.Transaction{
+			Version: 2,
+			Inputs:  []btc.TxIn{{PreviousOutPoint: utxos[0].OutPoint, Sequence: 0xffffffff}},
+			Outputs: []btc.TxOut{{Value: utxos[0].Value - 1000, PkScript: btc.PayToAddrScript(dest)}},
+		}
+		if err := btc.SignInput(tx, 0, utxos[0].PkScript, integ.MinerKey()); err != nil {
+			return err
+		}
+		if _, err := integ.SendTransaction(tx.Bytes()); err != nil {
+			return err
+		}
+		fmt.Printf("submitted %s\n", tx.TxID())
+		if err := integ.AwaitTxInMempool(tx.TxID(), 3*time.Minute); err != nil {
+			return err
+		}
+		if _, err := integ.MineBlocks(1); err != nil {
+			return err
+		}
+		if err := integ.AwaitCanisterHeight(int64(blocks)+1, 3*time.Minute); err != nil {
+			return err
+		}
+		bal, _, err := integ.GetBalance(dest.String(), 0, false)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("confirmed: destination %s holds %d sat\n", dest, bal)
+	default:
+		return fmt.Errorf("unknown op %q", op)
+	}
+	return nil
+}

@@ -1,0 +1,256 @@
+// Escrow: a decentralized escrow service holding real (simulated) bitcoin
+// under the subnet's threshold-ECDSA key — one of the applications the
+// paper's introduction motivates ("decentralized payroll or escrow
+// systems").
+//
+// The escrow canister:
+//
+//   - derives a deposit address from the subnet threshold key (no party —
+//     not even a single IC node — can unilaterally move the funds),
+//   - watches the deposit through the Bitcoin canister's get_utxos with a
+//     confirmation requirement,
+//   - on "release" threshold-signs a payout to the seller,
+//   - on "refund" threshold-signs a payout back to the buyer.
+//
+// Run with: go run ./examples/escrow
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"icbtc/internal/btc"
+	"icbtc/internal/canister"
+	"icbtc/internal/core"
+	"icbtc/internal/ic"
+	"icbtc/internal/utxo"
+)
+
+// EscrowCanister holds a buyer's deposit until released or refunded.
+type EscrowCanister struct {
+	BitcoinID ic.CanisterID
+	Network   btc.Network
+	// Seller and Buyer are the payout addresses.
+	Seller, Buyer string
+	// RequiredConfirmations gates the deposit check (the paper's c*).
+	RequiredConfirmations int64
+	// state: one of "open", "funded", "released", "refunded".
+	state string
+}
+
+// Update implements ic.Canister.
+func (e *EscrowCanister) Update(ctx *ic.CallContext, method string, arg any) (any, error) {
+	if e.state == "" {
+		e.state = "open"
+	}
+	switch method {
+	case "deposit_address":
+		return e.depositAddress(ctx)
+	case "check_funding":
+		amount, ok := arg.(int64)
+		if !ok {
+			return nil, fmt.Errorf("escrow: check_funding wants int64 amount, got %T", arg)
+		}
+		return e.checkFunding(ctx, amount)
+	case "release":
+		return e.payout(ctx, e.Seller, "released")
+	case "refund":
+		return e.payout(ctx, e.Buyer, "refunded")
+	case "state":
+		return e.state, nil
+	default:
+		return nil, fmt.Errorf("escrow: no method %q", method)
+	}
+}
+
+// Query implements ic.Canister.
+func (e *EscrowCanister) Query(ctx *ic.CallContext, method string, arg any) (any, error) {
+	switch method {
+	case "state":
+		if e.state == "" {
+			return "open", nil
+		}
+		return e.state, nil
+	case "deposit_address":
+		return e.depositAddress(ctx)
+	default:
+		return nil, fmt.Errorf("escrow: no query method %q", method)
+	}
+}
+
+func (e *EscrowCanister) depositAddress(ctx *ic.CallContext) (string, error) {
+	pub := ctx.ECDSAPublicKey()
+	if pub == nil {
+		return "", errors.New("escrow: no threshold key")
+	}
+	return btc.AddressFromPubKey(pub, e.Network).String(), nil
+}
+
+// checkFunding verifies the deposit holds at least amount satoshi with the
+// required confirmations, moving the escrow to "funded".
+func (e *EscrowCanister) checkFunding(ctx *ic.CallContext, amount int64) (bool, error) {
+	addr, err := e.depositAddress(ctx)
+	if err != nil {
+		return false, err
+	}
+	v, err := ctx.Call(e.BitcoinID, "get_balance", canister.GetBalanceArgs{
+		Address:          addr,
+		MinConfirmations: e.RequiredConfirmations,
+	})
+	if err != nil {
+		return false, err
+	}
+	if v.(int64) >= amount {
+		e.state = "funded"
+		return true, nil
+	}
+	return false, nil
+}
+
+// payout threshold-signs a sweep of the whole deposit to the target.
+func (e *EscrowCanister) payout(ctx *ic.CallContext, to, finalState string) (btc.Hash, error) {
+	if e.state != "funded" {
+		return btc.Hash{}, fmt.Errorf("escrow: cannot pay out in state %q", e.state)
+	}
+	addr, err := e.depositAddress(ctx)
+	if err != nil {
+		return btc.Hash{}, err
+	}
+	dest, err := btc.ParseAddress(to, e.Network)
+	if err != nil {
+		return btc.Hash{}, fmt.Errorf("escrow: bad payout address: %w", err)
+	}
+	v, err := ctx.Call(e.BitcoinID, "get_utxos", canister.GetUTXOsArgs{Address: addr})
+	if err != nil {
+		return btc.Hash{}, err
+	}
+	res := v.(*canister.GetUTXOsResult)
+	if len(res.UTXOs) == 0 {
+		return btc.Hash{}, errors.New("escrow: no funds")
+	}
+	const fee = 1000
+	var total int64
+	tx := &btc.Transaction{Version: 2}
+	var spent []utxo.UTXO
+	for _, u := range res.UTXOs {
+		tx.Inputs = append(tx.Inputs, btc.TxIn{PreviousOutPoint: u.OutPoint, Sequence: 0xffffffff})
+		spent = append(spent, u)
+		total += u.Value
+	}
+	if total <= fee {
+		return btc.Hash{}, errors.New("escrow: deposit below fee")
+	}
+	tx.Outputs = []btc.TxOut{{Value: total - fee, PkScript: btc.PayToAddrScript(dest)}}
+
+	pub := ctx.ECDSAPublicKey()
+	for i := range tx.Inputs {
+		digest, err := btc.SignatureHash(tx, i, spent[i].PkScript)
+		if err != nil {
+			return btc.Hash{}, err
+		}
+		der, err := ctx.SignWithECDSA(digest[:])
+		if err != nil {
+			return btc.Hash{}, fmt.Errorf("escrow: threshold signing: %w", err)
+		}
+		tx.Inputs[i].SignatureScript = btc.BuildP2PKHUnlockScript(der, pub)
+	}
+	if _, err := ctx.Call(e.BitcoinID, "send_transaction", canister.SendTransactionArgs{RawTx: tx.Bytes()}); err != nil {
+		return btc.Hash{}, err
+	}
+	e.state = finalState
+	return tx.TxID(), nil
+}
+
+var _ ic.Canister = (*EscrowCanister)(nil)
+
+func main() {
+	log.SetFlags(0)
+	if err := run(); err != nil {
+		log.Println("escrow:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	fmt.Println("== Setting up the integration and the escrow canister ==")
+	integ, err := core.New(core.Options{Seed: 7})
+	if err != nil {
+		return err
+	}
+	buyer := btc.NewP2PKHAddress([20]byte{0xB1}, integ.Params.Network)
+	seller := btc.NewP2PKHAddress([20]byte{0x5E}, integ.Params.Network)
+	escrow := &EscrowCanister{
+		BitcoinID:             core.BitcoinCanisterID,
+		Network:               integ.Params.Network,
+		Seller:                seller.String(),
+		Buyer:                 buyer.String(),
+		RequiredConfirmations: 2,
+	}
+	integ.InstallCanister("escrow", escrow)
+	integ.Start()
+	integ.RunFor(5 * time.Second)
+
+	// Mine the miner some funds to pay the deposit from.
+	if _, err := integ.MineBlocks(2); err != nil {
+		return err
+	}
+	res, err := integ.CallCanister("escrow", "deposit_address", nil)
+	if err != nil {
+		return err
+	}
+	depositAddr := res.Value.(string)
+	fmt.Printf("   escrow deposit address (threshold key): %s\n", depositAddr)
+
+	fmt.Println("== Buyer funds the escrow with 0.25 BTC ==")
+	const deposit = 25_000_000
+	if _, err := core.FundAddress(integ, depositAddr, deposit); err != nil {
+		return err
+	}
+	// One more block for the 2-confirmation requirement.
+	if _, err := integ.MineBlocks(1); err != nil {
+		return err
+	}
+	if err := integ.AwaitCanisterHeight(4, 3*time.Minute); err != nil {
+		return err
+	}
+
+	res, err = integ.CallCanister("escrow", "check_funding", int64(deposit))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("   funded with ≥2 confirmations: %v\n", res.Value)
+	if funded, _ := res.Value.(bool); !funded {
+		return errors.New("escrow did not observe the deposit")
+	}
+
+	fmt.Println("== Goods delivered — releasing to the seller ==")
+	res, err = integ.CallCanister("escrow", "release", nil)
+	if err != nil {
+		return err
+	}
+	payoutTx := res.Value.(btc.Hash)
+	fmt.Printf("   threshold-signed payout: %s\n", payoutTx)
+	if err := integ.AwaitTxInMempool(payoutTx, 2*time.Minute); err != nil {
+		return err
+	}
+	if _, err := integ.MineBlocks(1); err != nil {
+		return err
+	}
+	if err := integ.AwaitCanisterHeight(5, 2*time.Minute); err != nil {
+		return err
+	}
+	bal, _, err := integ.GetBalance(seller.String(), 0, false)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("== Seller received %d sat (deposit minus 1000 sat fee) ==\n", bal)
+	res, err = integ.CallCanister("escrow", "state", nil)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("   escrow final state: %s\n", res.Value)
+	return nil
+}

@@ -1,0 +1,256 @@
+// Payroll: a timer-driven decentralized payroll — the second application
+// class the paper's introduction motivates. A payroll canister funded in
+// bitcoin pays every employee on a schedule using canister timers ("
+// canisters can schedule the execution of (parts of) their own code using
+// timers, in contrast to most other smart contract platforms", §II-A) and
+// threshold-ECDSA signatures.
+//
+// Run with: go run ./examples/payroll
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"icbtc/internal/btc"
+	"icbtc/internal/canister"
+	"icbtc/internal/core"
+	"icbtc/internal/ic"
+	"icbtc/internal/utxo"
+)
+
+// Employee is one payee on the payroll.
+type Employee struct {
+	Name    string
+	Address string
+	Salary  int64 // satoshi per pay period
+}
+
+// PayrollCanister pays employees from a threshold-key treasury each period.
+type PayrollCanister struct {
+	BitcoinID ic.CanisterID
+	Network   btc.Network
+	Employees []Employee
+	// Period is the pay interval in consensus timer ticks (blocks).
+	Period int
+
+	ticks    int
+	payRuns  int
+	lastTxID btc.Hash
+	payError string
+}
+
+// Update implements ic.Canister.
+func (p *PayrollCanister) Update(ctx *ic.CallContext, method string, arg any) (any, error) {
+	switch method {
+	case "treasury_address":
+		return p.treasuryAddress(ctx)
+	case "pay_runs":
+		return p.payRuns, nil
+	case "last_tx":
+		return p.lastTxID, nil
+	case "last_error":
+		return p.payError, nil
+	default:
+		return nil, fmt.Errorf("payroll: no method %q", method)
+	}
+}
+
+// Query implements ic.Canister.
+func (p *PayrollCanister) Query(ctx *ic.CallContext, method string, arg any) (any, error) {
+	return p.Update(ctx, method, arg)
+}
+
+// OnTimer fires once per finalized block; every Period ticks it runs a pay
+// cycle.
+func (p *PayrollCanister) OnTimer(ctx *ic.CallContext) {
+	p.ticks++
+	if p.Period <= 0 || p.ticks%p.Period != 0 {
+		return
+	}
+	if err := p.runPayCycle(ctx); err != nil {
+		// Record and carry on; the next period retries.
+		p.payError = err.Error()
+	}
+}
+
+func (p *PayrollCanister) treasuryAddress(ctx *ic.CallContext) (string, error) {
+	pub := ctx.ECDSAPublicKey()
+	if pub == nil {
+		return "", errors.New("payroll: no threshold key")
+	}
+	return btc.AddressFromPubKey(pub, p.Network).String(), nil
+}
+
+// runPayCycle builds one transaction paying every employee, threshold-signs
+// it, and submits it through the Bitcoin canister.
+func (p *PayrollCanister) runPayCycle(ctx *ic.CallContext) error {
+	treasury, err := p.treasuryAddress(ctx)
+	if err != nil {
+		return err
+	}
+	var totalOwed int64
+	for _, e := range p.Employees {
+		totalOwed += e.Salary
+	}
+	const fee = 1000
+
+	v, err := ctx.Call(p.BitcoinID, "get_utxos", canister.GetUTXOsArgs{Address: treasury})
+	if err != nil {
+		return err
+	}
+	res := v.(*canister.GetUTXOsResult)
+	var selected []utxo.UTXO
+	var total int64
+	for _, u := range res.UTXOs {
+		selected = append(selected, u)
+		total += u.Value
+		if total >= totalOwed+fee {
+			break
+		}
+	}
+	if total < totalOwed+fee {
+		return fmt.Errorf("payroll: treasury has %d, needs %d", total, totalOwed+fee)
+	}
+
+	tx := &btc.Transaction{Version: 2}
+	for _, u := range selected {
+		tx.Inputs = append(tx.Inputs, btc.TxIn{PreviousOutPoint: u.OutPoint, Sequence: 0xffffffff})
+	}
+	for _, e := range p.Employees {
+		dest, err := btc.ParseAddress(e.Address, p.Network)
+		if err != nil {
+			return fmt.Errorf("payroll: employee %s: %w", e.Name, err)
+		}
+		tx.Outputs = append(tx.Outputs, btc.TxOut{Value: e.Salary, PkScript: btc.PayToAddrScript(dest)})
+	}
+	if change := total - totalOwed - fee; change > 0 {
+		self, err := btc.ParseAddress(treasury, p.Network)
+		if err != nil {
+			return err
+		}
+		tx.Outputs = append(tx.Outputs, btc.TxOut{Value: change, PkScript: btc.PayToAddrScript(self)})
+	}
+	pub := ctx.ECDSAPublicKey()
+	for i := range tx.Inputs {
+		digest, err := btc.SignatureHash(tx, i, selected[i].PkScript)
+		if err != nil {
+			return err
+		}
+		der, err := ctx.SignWithECDSA(digest[:])
+		if err != nil {
+			return err
+		}
+		tx.Inputs[i].SignatureScript = btc.BuildP2PKHUnlockScript(der, pub)
+	}
+	if _, err := ctx.Call(p.BitcoinID, "send_transaction", canister.SendTransactionArgs{RawTx: tx.Bytes()}); err != nil {
+		return err
+	}
+	p.payRuns++
+	p.lastTxID = tx.TxID()
+	p.payError = ""
+	return nil
+}
+
+var (
+	_ ic.Canister     = (*PayrollCanister)(nil)
+	_ ic.TimerHandler = (*PayrollCanister)(nil)
+)
+
+func main() {
+	log.SetFlags(0)
+	if err := run(); err != nil {
+		log.Println("payroll:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	fmt.Println("== Setting up the payroll ==")
+	integ, err := core.New(core.Options{Seed: 9})
+	if err != nil {
+		return err
+	}
+	alice := btc.NewP2PKHAddress([20]byte{0xA1, 0x1C}, integ.Params.Network)
+	bob := btc.NewP2PKHAddress([20]byte{0xB0, 0xB0}, integ.Params.Network)
+	carol := btc.NewP2PKHAddress([20]byte{0xCA, 0x01}, integ.Params.Network)
+	payroll := &PayrollCanister{
+		BitcoinID: core.BitcoinCanisterID,
+		Network:   integ.Params.Network,
+		Employees: []Employee{
+			{Name: "alice", Address: alice.String(), Salary: 2_000_000},
+			{Name: "bob", Address: bob.String(), Salary: 1_500_000},
+			{Name: "carol", Address: carol.String(), Salary: 1_000_000},
+		},
+		Period: 30, // every 30 finalized blocks (~30 s simulated)
+	}
+	integ.InstallCanister("payroll", payroll)
+	integ.Start()
+	integ.RunFor(5 * time.Second)
+
+	if _, err := integ.MineBlocks(2); err != nil {
+		return err
+	}
+	res, err := integ.CallCanister("payroll", "treasury_address", nil)
+	if err != nil {
+		return err
+	}
+	treasury := res.Value.(string)
+	fmt.Printf("   treasury (threshold key): %s\n", treasury)
+
+	fmt.Println("== Funding the treasury with 0.5 BTC ==")
+	if _, err := core.FundAddress(integ, treasury, 50_000_000); err != nil {
+		return err
+	}
+	if err := integ.AwaitCanisterHeight(3, 3*time.Minute); err != nil {
+		return err
+	}
+
+	fmt.Println("== Letting the timer run one pay period ==")
+	deadline := integ.Now().Add(5 * time.Minute)
+	for integ.Now().Before(deadline) {
+		integ.RunFor(10 * time.Second)
+		res, err = integ.CallCanister("payroll", "pay_runs", nil)
+		if err != nil {
+			return err
+		}
+		if res.Value.(int) >= 1 {
+			break
+		}
+	}
+	if res.Value.(int) < 1 {
+		errRes, _ := integ.CallCanister("payroll", "last_error", nil)
+		return fmt.Errorf("no pay run executed (last error: %v)", errRes.Value)
+	}
+	res, err = integ.CallCanister("payroll", "last_tx", nil)
+	if err != nil {
+		return err
+	}
+	payTx := res.Value.(btc.Hash)
+	fmt.Printf("   pay run executed: %s\n", payTx)
+
+	if err := integ.AwaitTxInMempool(payTx, 2*time.Minute); err != nil {
+		return err
+	}
+	if _, err := integ.MineBlocks(1); err != nil {
+		return err
+	}
+	if err := integ.AwaitCanisterHeight(4, 2*time.Minute); err != nil {
+		return err
+	}
+	for _, e := range payroll.Employees {
+		bal, _, err := integ.GetBalance(e.Address, 0, false)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("   %s received %d sat (salary %d)\n", e.Name, bal, e.Salary)
+		if bal != e.Salary {
+			return fmt.Errorf("%s paid %d, want %d", e.Name, bal, e.Salary)
+		}
+	}
+	fmt.Println("payroll complete")
+	return nil
+}

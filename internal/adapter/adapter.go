@@ -1,0 +1,483 @@
+// Package adapter implements the Bitcoin adapter of §III-B: the sandboxed
+// per-node process that connects the IC to the Bitcoin P2P network without
+// intermediaries. The adapter
+//
+//   - discovers Bitcoin nodes starting from hard-coded seeds, collecting
+//     addresses until an upper threshold t_u and replenishing below t_l,
+//   - maintains ℓ connections to uniformly random Bitcoin nodes,
+//   - downloads and validates block headers from genesis (well-formedness,
+//     prev-pointer, difficulty bits, proof of work, timestamp) while doing
+//     NO fork resolution — any valid header is stored,
+//   - fetches blocks on demand and serves them to the Bitcoin canister via
+//     Algorithm 1, and
+//   - caches outbound transactions for 10 minutes and advertises them to
+//     all connected peers.
+package adapter
+
+import (
+	"fmt"
+	"time"
+
+	"icbtc/internal/btc"
+	"icbtc/internal/btcnode"
+	"icbtc/internal/chain"
+	"icbtc/internal/simnet"
+)
+
+// Config carries the §III-B parameters.
+type Config struct {
+	// Connections is ℓ, the number of Bitcoin peers (5 on mainnet).
+	Connections int
+	// AddrLowWater / AddrHighWater are t_l and t_u.
+	AddrLowWater, AddrHighWater int
+	// MaxHeaders is MAX_HEADERS, the N-set bound of Algorithm 1 (100).
+	MaxHeaders int
+	// MaxResponseBytes is MAX_SIZE, the soft block-byte bound (2 MiB).
+	MaxResponseBytes int
+	// MultiBlockSyncHeight: below this anchor height Algorithm 1 may return
+	// many blocks per response (fast initial sync); at or above it, one
+	// block per response (the conservative tip behavior, see §IV-A).
+	MultiBlockSyncHeight int64
+	// TxCacheExpiry is the outbound transaction cache lifetime (10 min).
+	TxCacheExpiry time.Duration
+	// SyncInterval is how often the adapter polls peers for new headers.
+	SyncInterval time.Duration
+}
+
+// ConfigForNetwork returns the production parameters of §III-B for a
+// network: t_l/t_u = 500/2000 mainnet, 100/1000 testnet, 1/1 regtest.
+func ConfigForNetwork(n btc.Network) Config {
+	cfg := Config{
+		Connections:      5,
+		MaxHeaders:       100,
+		MaxResponseBytes: 2 << 20,
+		TxCacheExpiry:    10 * time.Minute,
+		SyncInterval:     2 * time.Second,
+	}
+	switch n {
+	case btc.Mainnet:
+		cfg.AddrLowWater, cfg.AddrHighWater = 500, 2000
+	case btc.Testnet:
+		cfg.AddrLowWater, cfg.AddrHighWater = 100, 1000
+	default:
+		cfg.AddrLowWater, cfg.AddrHighWater = 1, 1
+	}
+	return cfg
+}
+
+// BlockWithHeader pairs a block with its header, the elements of set B in
+// Algorithm 1.
+type BlockWithHeader struct {
+	Block  *btc.Block
+	Header btc.BlockHeader
+}
+
+// Request is the Bitcoin canister's update request to the adapter: the
+// anchor β*, the set A of header hashes above the anchor whose blocks the
+// canister already has, and outbound transactions T.
+type Request struct {
+	Anchor       btc.BlockHeader
+	AnchorHeight int64
+	Have         []btc.Hash
+	Txs          [][]byte
+}
+
+// Response is the adapter's reply: blocks B extending the canister's tree
+// and upcoming headers N.
+type Response struct {
+	Blocks []BlockWithHeader
+	Next   []btc.BlockHeader
+}
+
+// cachedTx is a transaction awaiting advertisement, with its expiry.
+type cachedTx struct {
+	tx      *btc.Transaction
+	expires time.Time
+}
+
+// Adapter is one node's Bitcoin adapter instance.
+type Adapter struct {
+	ID     simnet.NodeID
+	cfg    Config
+	params *btc.Params
+	net    *simnet.Network
+	dir    *btcnode.SeedDirectory
+
+	// addressBook holds collected Bitcoin node addresses.
+	addressBook []string
+	addrSet     map[string]bool
+	// connected holds the current ℓ peer connections.
+	connected map[simnet.NodeID]bool
+
+	// tree is B̄_a, the header tree; blocks is B_a.
+	tree   *chain.Tree
+	blocks map[btc.Hash]*btc.Block
+	// requestedBlocks tracks in-flight getdata requests.
+	requestedBlocks map[btc.Hash]bool
+
+	txCache map[btc.Hash]cachedTx
+
+	running bool
+	// stats
+	headersAccepted int
+	headersRejected int
+}
+
+// New creates an adapter. Call Start to begin discovery and syncing.
+func New(id simnet.NodeID, net *simnet.Network, params *btc.Params, dir *btcnode.SeedDirectory, cfg Config) *Adapter {
+	a := &Adapter{
+		ID:              id,
+		cfg:             cfg,
+		params:          params,
+		net:             net,
+		dir:             dir,
+		addrSet:         make(map[string]bool),
+		connected:       make(map[simnet.NodeID]bool),
+		tree:            chain.NewTree(params.GenesisHeader, 0),
+		blocks:          make(map[btc.Hash]*btc.Block),
+		requestedBlocks: make(map[btc.Hash]bool),
+		txCache:         make(map[btc.Hash]cachedTx),
+	}
+	net.Register(id, a)
+	return a
+}
+
+// Start launches peer discovery and the periodic header sync loop.
+func (a *Adapter) Start() {
+	if a.running {
+		return
+	}
+	a.running = true
+	a.discover()
+	a.syncLoop()
+}
+
+// Stop halts the sync loop (the adapter stays registered; Restart by
+// calling Start again).
+func (a *Adapter) Stop() { a.running = false }
+
+// Tree exposes the adapter's header tree.
+func (a *Adapter) Tree() *chain.Tree { return a.tree }
+
+// ConnectedPeers returns the current peer IDs.
+func (a *Adapter) ConnectedPeers() []simnet.NodeID {
+	out := make([]simnet.NodeID, 0, len(a.connected))
+	for id := range a.connected {
+		out = append(out, id)
+	}
+	return out
+}
+
+// HeaderStats returns (accepted, rejected) header counts.
+func (a *Adapter) HeaderStats() (int, int) { return a.headersAccepted, a.headersRejected }
+
+// HasBlock reports whether the adapter holds the block for a header hash.
+func (a *Adapter) HasBlock(h btc.Hash) bool { return a.blocks[h] != nil }
+
+// AddressBookSize returns the number of collected addresses.
+func (a *Adapter) AddressBookSize() int { return len(a.addressBook) }
+
+// discover implements the §III-B discovery process: request addresses from
+// seeds until t_u are known, then connect to ℓ uniformly random nodes.
+func (a *Adapter) discover() {
+	for _, seed := range a.dir.Seeds() {
+		a.net.Send(a.ID, seed, btcnode.MsgGetAddr{})
+	}
+	// Ask already-known peers too (recursive collection).
+	for _, addr := range a.addressBook {
+		if id, ok := a.dir.Resolve(addr); ok && len(a.addressBook) < a.cfg.AddrHighWater {
+			a.net.Send(a.ID, id, btcnode.MsgGetAddr{})
+		}
+	}
+	a.fillConnections()
+}
+
+// fillConnections tops up to ℓ random connections from the address book.
+func (a *Adapter) fillConnections() {
+	rng := a.net.Scheduler().Rand()
+	for len(a.connected) < a.cfg.Connections && len(a.addressBook) > 0 {
+		addr := a.addressBook[rng.Intn(len(a.addressBook))]
+		id, ok := a.dir.Resolve(addr)
+		if !ok || a.connected[id] || id == a.ID {
+			// Unresolvable or duplicate; with few addresses this can loop,
+			// so drop unresolvable entries.
+			if !ok {
+				a.removeAddress(addr)
+			}
+			if len(a.addressBook) <= len(a.connected) {
+				return
+			}
+			continue
+		}
+		a.connected[id] = true
+	}
+}
+
+func (a *Adapter) removeAddress(addr string) {
+	if !a.addrSet[addr] {
+		return
+	}
+	delete(a.addrSet, addr)
+	for i, s := range a.addressBook {
+		if s == addr {
+			a.addressBook = append(a.addressBook[:i], a.addressBook[i+1:]...)
+			break
+		}
+	}
+}
+
+// DropConnection simulates a lost connection: the peer is disconnected and
+// a new random connection is established, replenishing addresses if the
+// book fell below t_l.
+func (a *Adapter) DropConnection(peer simnet.NodeID) {
+	delete(a.connected, peer)
+	if len(a.addressBook) < a.cfg.AddrLowWater {
+		a.discover()
+		return
+	}
+	a.fillConnections()
+}
+
+// syncLoop periodically requests headers from all connected peers and
+// expires stale cached transactions.
+func (a *Adapter) syncLoop() {
+	if !a.running {
+		return
+	}
+	now := a.net.Scheduler().Now()
+	for id, ct := range a.txCache {
+		if now.After(ct.expires) {
+			delete(a.txCache, id)
+		}
+	}
+	locator := a.locator()
+	for peer := range a.connected {
+		a.net.Send(a.ID, peer, btcnode.MsgGetHeaders{Locator: locator})
+	}
+	a.net.Scheduler().After(a.cfg.SyncInterval, a.syncLoop)
+}
+
+// locator lists hashes of the adapter's best-known headers, newest first.
+func (a *Adapter) locator() []btc.Hash {
+	var loc []btc.Hash
+	cur := a.tree.Tip()
+	step := int64(1)
+	for cur != nil {
+		loc = append(loc, cur.Hash)
+		if cur.Parent() == nil {
+			break
+		}
+		if len(loc) >= 10 {
+			step *= 2
+		}
+		for i := int64(0); i < step && cur.Parent() != nil; i++ {
+			cur = cur.Parent()
+		}
+	}
+	return loc
+}
+
+// Receive implements simnet.Endpoint.
+func (a *Adapter) Receive(from simnet.NodeID, msg any) {
+	switch m := msg.(type) {
+	case btcnode.MsgAddr:
+		a.handleAddr(m)
+	case btcnode.MsgHeaders:
+		a.handleHeaders(m)
+	case btcnode.MsgBlock:
+		a.handleBlock(m)
+	case btcnode.MsgInvBlock:
+		// A new block announcement; fetch headers soon via the sync loop.
+		if !a.tree.Contains(m.Hash) {
+			a.net.Send(a.ID, from, btcnode.MsgGetHeaders{Locator: a.locator()})
+		}
+	case btcnode.MsgGetTx:
+		if ct, ok := a.txCache[m.TxID]; ok {
+			a.net.Send(a.ID, from, btcnode.MsgTx{Tx: ct.tx})
+		}
+	case btcnode.MsgNotFound:
+		for _, h := range m.Hashes {
+			delete(a.requestedBlocks, h)
+		}
+	}
+}
+
+// handleAddr merges discovered addresses up to t_u.
+func (a *Adapter) handleAddr(m btcnode.MsgAddr) {
+	for _, addr := range m.Addrs {
+		if len(a.addressBook) >= a.cfg.AddrHighWater {
+			break
+		}
+		if addr == string(a.ID) || a.addrSet[addr] {
+			continue
+		}
+		a.addrSet[addr] = true
+		a.addressBook = append(a.addressBook, addr)
+	}
+	a.fillConnections()
+}
+
+// handleHeaders validates and stores announced headers. Per §III-B the
+// adapter accepts any valid header — multiple headers at the same height
+// are fine; fork resolution is the canister's job.
+func (a *Adapter) handleHeaders(m btcnode.MsgHeaders) {
+	now := a.net.Scheduler().Now()
+	for i := range m.Headers {
+		h := m.Headers[i]
+		hash := h.BlockHash()
+		if a.tree.Contains(hash) {
+			continue
+		}
+		parent := a.tree.Get(h.PrevBlock)
+		if parent == nil {
+			a.headersRejected++
+			continue
+		}
+		if err := chain.ValidateHeader(&h, parent, a.params, now); err != nil {
+			a.headersRejected++
+			continue
+		}
+		if _, err := a.tree.Insert(h); err != nil {
+			a.headersRejected++
+			continue
+		}
+		a.headersAccepted++
+	}
+}
+
+// handleBlock stores a requested block after verifying it matches a known
+// valid header and its Merkle root.
+func (a *Adapter) handleBlock(m btcnode.MsgBlock) {
+	if m.Block == nil {
+		return
+	}
+	hash := m.Block.BlockHash()
+	delete(a.requestedBlocks, hash)
+	if !a.tree.Contains(hash) {
+		return // no validated header for it
+	}
+	if a.blocks[hash] != nil {
+		return
+	}
+	if m.Block.MerkleRoot() != m.Block.Header.MerkleRoot {
+		return
+	}
+	a.blocks[hash] = m.Block
+}
+
+// getBlock returns the block for a header if available, otherwise requests
+// it from connected peers asynchronously and returns nil (Algorithm 1's
+// get_block).
+func (a *Adapter) getBlock(hash btc.Hash) *btc.Block {
+	if b := a.blocks[hash]; b != nil {
+		return b
+	}
+	if !a.requestedBlocks[hash] {
+		a.requestedBlocks[hash] = true
+		for peer := range a.connected {
+			a.net.Send(a.ID, peer, btcnode.MsgGetData{BlockHashes: []btc.Hash{hash}})
+		}
+	}
+	return nil
+}
+
+// maxBlocksAtHeight implements Algorithm 1's max_blocks_at_height: many
+// blocks during initial sync (below the hard-coded height), one block near
+// the tip — "returning only one block is preferable for security reasons"
+// (§IV-A, Lemma IV.3 depends on it).
+func (a *Adapter) maxBlocksAtHeight(anchorHeight int64) int {
+	if anchorHeight < a.cfg.MultiBlockSyncHeight {
+		return 1 << 30
+	}
+	return 1
+}
+
+// HandleRequest implements Algorithm 1: given the canister's request
+// (β*, A, T), cache and advertise the transactions, then BFS the header
+// tree from β* collecting blocks that extend the canister's state (set B)
+// and upcoming headers the canister lacks (set N).
+func (a *Adapter) HandleRequest(req Request) Response {
+	// Lines 1-3: cache and advertise outbound transactions.
+	for _, raw := range req.Txs {
+		tx, err := btc.ParseTransaction(raw)
+		if err != nil {
+			continue // canister already checked syntax; be defensive anyway
+		}
+		a.cacheAndAdvertise(tx)
+	}
+
+	anchorHash := req.Anchor.BlockHash()
+	have := make(map[btc.Hash]bool, len(req.Have)+1)
+	for _, h := range req.Have {
+		have[h] = true
+	}
+	// The anchor's block has been consumed by the canister; treat it as had
+	// so the anchor's children satisfy the prev ∈ A ∪ B condition.
+	have[anchorHash] = true
+
+	start := a.tree.Get(anchorHash)
+	if start == nil {
+		// The canister is ahead of or diverged from this adapter; nothing
+		// useful to serve.
+		return Response{}
+	}
+
+	var resp Response
+	collected := make(map[btc.Hash]bool) // the set B̄ of Algorithm 1
+	sizeBytes := 0
+	maxBlocks := a.maxBlocksAtHeight(req.AnchorHeight)
+
+	a.tree.BFSFrom(start, func(node *chain.Node) bool {
+		if len(resp.Next) >= a.cfg.MaxHeaders {
+			return false // |N| cap reached
+		}
+		cur := node.Hash
+		if cur == anchorHash {
+			return true // the canister knows its own anchor
+		}
+		// Lines 6-11: collect the block if the canister lacks it and its
+		// predecessor is covered.
+		if !have[cur] && (have[node.Header.PrevBlock] || collected[node.Header.PrevBlock]) {
+			if b := a.getBlock(cur); b != nil &&
+				sizeBytes < a.cfg.MaxResponseBytes &&
+				len(resp.Blocks) < maxBlocks {
+				resp.Blocks = append(resp.Blocks, BlockWithHeader{Block: b, Header: node.Header})
+				collected[cur] = true
+				sizeBytes += b.SerializedSize()
+			}
+		}
+		// Lines 12-14: otherwise report the header as upcoming, and prefetch
+		// its block "so that the block may be served in the response to a
+		// future request" (§III-B).
+		if !have[cur] && !collected[cur] {
+			resp.Next = append(resp.Next, node.Header)
+			a.getBlock(cur)
+		}
+		return true
+	})
+	return resp
+}
+
+// cacheAndAdvertise puts a transaction in the expiring cache and announces
+// it to all connected peers; peers pull it with MsgGetTx.
+func (a *Adapter) cacheAndAdvertise(tx *btc.Transaction) {
+	txid := tx.TxID()
+	if _, dup := a.txCache[txid]; !dup {
+		a.txCache[txid] = cachedTx{
+			tx:      tx,
+			expires: a.net.Scheduler().Now().Add(a.cfg.TxCacheExpiry),
+		}
+	}
+	for peer := range a.connected {
+		a.net.Send(a.ID, peer, btcnode.MsgInvTx{TxID: txid})
+	}
+}
+
+// TxCacheSize returns the number of cached outbound transactions.
+func (a *Adapter) TxCacheSize() int { return len(a.txCache) }
+
+// String summarizes adapter state.
+func (a *Adapter) String() string {
+	return fmt.Sprintf("adapter{%s peers=%d headers=%d blocks=%d txcache=%d}",
+		a.ID, len(a.connected), a.tree.Len(), len(a.blocks), len(a.txCache))
+}

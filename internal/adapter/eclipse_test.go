@@ -1,0 +1,116 @@
+package adapter
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"icbtc/internal/btc"
+	"icbtc/internal/btcnode"
+	"icbtc/internal/secp256k1"
+	"icbtc/internal/simnet"
+)
+
+// Integration-level counterpart of the Lemma IV.1 Monte Carlo: adapters
+// running the REAL discovery process against a directory that mixes honest
+// and adversarial (silent) Bitcoin nodes.
+
+// buildMixedNetwork returns a network with honest and silent-adversarial
+// nodes all registered in one directory.
+func buildMixedNetwork(t *testing.T, seed int64, honest, adversarial int) (*simnet.Scheduler, *simnet.Network, *btcnode.SimNetwork) {
+	t.Helper()
+	sched := simnet.NewScheduler(seed)
+	net := simnet.NewNetwork(sched)
+	params := btc.RegtestParams()
+	sim := btcnode.BuildHonestNetwork(net, params, honest)
+	sim.AddAdversaries(adversarial)
+	for _, adv := range sim.Adversaries {
+		adv.SetSilent(true)
+	}
+	return sched, net, sim
+}
+
+func TestAdapterSyncsDespiteSilentAdversaries(t *testing.T) {
+	// 60% of the node population is adversarial and silent; with ℓ=5 the
+	// adapter keeps at least one honest connection w.h.p. and still syncs.
+	sched, net, sim := buildMixedNetwork(t, 51, 4, 6)
+	key, _ := secp256k1.GeneratePrivateKey(rand.New(rand.NewSource(51)))
+	miner := btcnode.NewMinerWithKey(sim.Nodes[0], key)
+	if _, err := miner.MineChain(5, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.SyncAll(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := ConfigForNetwork(btc.Regtest)
+	cfg.Connections = 5
+	cfg.AddrLowWater, cfg.AddrHighWater = 1, 50
+	ad := New("adapter/e", net, btc.RegtestParams(), sim.Directory, cfg)
+	ad.Start()
+	sched.RunFor(2 * time.Minute)
+
+	honestConns := 0
+	for _, p := range ad.ConnectedPeers() {
+		isAdv := false
+		for _, adv := range sim.Adversaries {
+			if adv.Node.ID == p {
+				isAdv = true
+			}
+		}
+		if !isAdv {
+			honestConns++
+		}
+	}
+	if honestConns == 0 {
+		t.Skip("all connections adversarial for this seed (probability ϕ^ℓ); covered by the Monte Carlo")
+	}
+	if got := ad.Tree().MaxHeight(); got != 5 {
+		t.Fatalf("adapter synced to %d with %d honest connections", got, honestConns)
+	}
+}
+
+func TestAdapterEclipseFrequencyMatchesPhiToTheL(t *testing.T) {
+	// Run the real discovery process across many seeds and compare the
+	// all-adversarial-connection frequency with ϕ^ℓ. Small ℓ keeps the
+	// probability measurable with few trials.
+	const (
+		honest      = 5
+		adversarial = 5 // ϕ = 0.5
+		l           = 2 // ϕ^ℓ = 0.25
+		trials      = 120
+	)
+	eclipsed := 0
+	for trial := 0; trial < trials; trial++ {
+		sched, net, sim := buildMixedNetwork(t, int64(1000+trial), honest, adversarial)
+		cfg := ConfigForNetwork(btc.Regtest)
+		cfg.Connections = l
+		cfg.AddrLowWater, cfg.AddrHighWater = 1, 50
+		ad := New(simnet.NodeID(fmt.Sprintf("adapter/t%d", trial)), net, btc.RegtestParams(), sim.Directory, cfg)
+		ad.Start()
+		sched.RunFor(10 * time.Second)
+		advSet := map[simnet.NodeID]bool{}
+		for _, adv := range sim.Adversaries {
+			advSet[adv.Node.ID] = true
+		}
+		all := true
+		peers := ad.ConnectedPeers()
+		if len(peers) == 0 {
+			all = false
+		}
+		for _, p := range peers {
+			if !advSet[p] {
+				all = false
+			}
+		}
+		if all {
+			eclipsed++
+		}
+	}
+	freq := float64(eclipsed) / float64(trials)
+	// ϕ^ℓ = 0.25 ± wide MC band (sd ≈ 0.04 at 120 trials).
+	if freq < 0.10 || freq > 0.45 {
+		t.Fatalf("eclipse frequency %.3f far from ϕ^ℓ = 0.25", freq)
+	}
+}

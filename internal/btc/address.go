@@ -1,0 +1,398 @@
+package btc
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Network identifies which Bitcoin network an address or chain state belongs
+// to. Enum starts at one so the zero value is invalid and cannot be confused
+// with mainnet.
+type Network int
+
+// Supported networks, matching the paper's get_utxos parameter.
+const (
+	Mainnet Network = iota + 1
+	Testnet
+	Regtest
+)
+
+// String implements fmt.Stringer.
+func (n Network) String() string {
+	switch n {
+	case Mainnet:
+		return "mainnet"
+	case Testnet:
+		return "testnet"
+	case Regtest:
+		return "regtest"
+	default:
+		return fmt.Sprintf("Network(%d)", int(n))
+	}
+}
+
+// pubKeyHashVersion returns the base58check version byte for P2PKH addresses.
+func (n Network) pubKeyHashVersion() byte {
+	switch n {
+	case Mainnet:
+		return 0x00
+	case Testnet, Regtest:
+		return 0x6f
+	default:
+		return 0xff
+	}
+}
+
+// bech32HRP returns the human-readable prefix for segwit addresses.
+func (n Network) bech32HRP() string {
+	switch n {
+	case Mainnet:
+		return "bc"
+	case Testnet:
+		return "tb"
+	case Regtest:
+		return "bcrt"
+	default:
+		return "??"
+	}
+}
+
+// Address is an opaque Bitcoin address string plus its decoded payload.
+type Address struct {
+	encoded string
+	network Network
+	// kind distinguishes P2PKH (base58) from P2WPKH (bech32).
+	kind addressKind
+	hash [20]byte
+}
+
+type addressKind int
+
+const (
+	addrP2PKH addressKind = iota + 1
+	addrP2WPKH
+)
+
+// String returns the encoded address.
+func (a Address) String() string { return a.encoded }
+
+// Network returns the network the address belongs to.
+func (a Address) Network() Network { return a.network }
+
+// Hash160 returns the 20-byte key hash inside the address.
+func (a Address) Hash160() [20]byte { return a.hash }
+
+// IsWitness reports whether the address is a segwit (P2WPKH) address.
+func (a Address) IsWitness() bool { return a.kind == addrP2WPKH }
+
+// NewP2PKHAddress builds a pay-to-pubkey-hash address from a key hash.
+func NewP2PKHAddress(hash [20]byte, network Network) Address {
+	payload := make([]byte, 21)
+	payload[0] = network.pubKeyHashVersion()
+	copy(payload[1:], hash[:])
+	return Address{
+		encoded: base58CheckEncode(payload),
+		network: network,
+		kind:    addrP2PKH,
+		hash:    hash,
+	}
+}
+
+// NewP2WPKHAddress builds a pay-to-witness-pubkey-hash (bech32) address.
+func NewP2WPKHAddress(hash [20]byte, network Network) Address {
+	enc, err := bech32Encode(network.bech32HRP(), 0, hash[:])
+	if err != nil {
+		// Cannot happen for a fixed 20-byte program; guard anyway.
+		panic("btc: bech32 encoding of fixed-size program failed: " + err.Error())
+	}
+	return Address{encoded: enc, network: network, kind: addrP2WPKH, hash: hash}
+}
+
+// AddressFromPubKey derives the P2PKH address of a serialized public key.
+func AddressFromPubKey(pubKey []byte, network Network) Address {
+	return NewP2PKHAddress(Hash160(pubKey), network)
+}
+
+// ParseAddress decodes a base58check or bech32 address and validates that it
+// belongs to the given network.
+func ParseAddress(s string, network Network) (Address, error) {
+	if s == "" {
+		return Address{}, errors.New("btc: empty address")
+	}
+	if strings.Contains(s, "1") && strings.HasPrefix(strings.ToLower(s), network.bech32HRP()+"1") {
+		hrp, version, program, err := bech32Decode(strings.ToLower(s))
+		if err != nil {
+			return Address{}, err
+		}
+		if hrp != network.bech32HRP() {
+			return Address{}, fmt.Errorf("btc: address HRP %q does not match network %v", hrp, network)
+		}
+		if version != 0 || len(program) != 20 {
+			return Address{}, fmt.Errorf("btc: unsupported witness version %d / program length %d", version, len(program))
+		}
+		var h [20]byte
+		copy(h[:], program)
+		return Address{encoded: strings.ToLower(s), network: network, kind: addrP2WPKH, hash: h}, nil
+	}
+	payload, err := base58CheckDecode(s)
+	if err != nil {
+		return Address{}, err
+	}
+	if len(payload) != 21 {
+		return Address{}, fmt.Errorf("btc: address payload must be 21 bytes, got %d", len(payload))
+	}
+	if payload[0] != network.pubKeyHashVersion() {
+		return Address{}, fmt.Errorf("btc: address version 0x%02x does not match network %v", payload[0], network)
+	}
+	var h [20]byte
+	copy(h[:], payload[1:])
+	return Address{encoded: s, network: network, kind: addrP2PKH, hash: h}, nil
+}
+
+// --- base58check ---
+
+const base58Alphabet = "123456789ABCDEFGHJKLMNPQRSTUVWXYZabcdefghijkmnopqrstuvwxyz"
+
+func base58Encode(input []byte) string {
+	zeros := 0
+	for zeros < len(input) && input[zeros] == 0 {
+		zeros++
+	}
+	// Base conversion.
+	digits := []byte{0}
+	for _, b := range input[zeros:] {
+		carry := int(b)
+		for i := 0; i < len(digits); i++ {
+			carry += int(digits[i]) << 8
+			digits[i] = byte(carry % 58)
+			carry /= 58
+		}
+		for carry > 0 {
+			digits = append(digits, byte(carry%58))
+			carry /= 58
+		}
+	}
+	var sb strings.Builder
+	sb.Grow(zeros + len(digits))
+	for i := 0; i < zeros; i++ {
+		sb.WriteByte('1')
+	}
+	for i := len(digits) - 1; i >= 0; i-- {
+		sb.WriteByte(base58Alphabet[digits[i]])
+	}
+	// Trim the artificial leading zero digit if input was empty-ish.
+	out := sb.String()
+	if len(input) == zeros {
+		return out[:zeros]
+	}
+	// Remove leading '1' digits introduced by the initial zero digit.
+	trimmed := strings.TrimLeft(out[zeros:], "1")
+	if trimmed == "" && len(input) > zeros {
+		trimmed = "1"
+	}
+	return out[:zeros] + trimmed
+}
+
+var base58Rev = func() [256]int8 {
+	var rev [256]int8
+	for i := range rev {
+		rev[i] = -1
+	}
+	for i := 0; i < len(base58Alphabet); i++ {
+		rev[base58Alphabet[i]] = int8(i)
+	}
+	return rev
+}()
+
+func base58Decode(s string) ([]byte, error) {
+	zeros := 0
+	for zeros < len(s) && s[zeros] == '1' {
+		zeros++
+	}
+	bytesOut := []byte{0}
+	for i := zeros; i < len(s); i++ {
+		d := base58Rev[s[i]]
+		if d < 0 {
+			return nil, fmt.Errorf("btc: invalid base58 character %q", s[i])
+		}
+		carry := int(d)
+		for j := 0; j < len(bytesOut); j++ {
+			carry += int(bytesOut[j]) * 58
+			bytesOut[j] = byte(carry & 0xff)
+			carry >>= 8
+		}
+		for carry > 0 {
+			bytesOut = append(bytesOut, byte(carry&0xff))
+			carry >>= 8
+		}
+	}
+	// Strip the artificial zero and reverse.
+	for len(bytesOut) > 1 && bytesOut[len(bytesOut)-1] == 0 {
+		bytesOut = bytesOut[:len(bytesOut)-1]
+	}
+	if len(bytesOut) == 1 && bytesOut[0] == 0 && len(s) == zeros {
+		bytesOut = nil
+	}
+	out := make([]byte, zeros, zeros+len(bytesOut))
+	for i := len(bytesOut) - 1; i >= 0; i-- {
+		out = append(out, bytesOut[i])
+	}
+	return out, nil
+}
+
+func base58CheckEncode(payload []byte) string {
+	first := sha256.Sum256(payload)
+	second := sha256.Sum256(first[:])
+	full := make([]byte, 0, len(payload)+4)
+	full = append(full, payload...)
+	full = append(full, second[:4]...)
+	return base58Encode(full)
+}
+
+func base58CheckDecode(s string) ([]byte, error) {
+	full, err := base58Decode(s)
+	if err != nil {
+		return nil, err
+	}
+	if len(full) < 4 {
+		return nil, errors.New("btc: base58check payload too short")
+	}
+	payload, checksum := full[:len(full)-4], full[len(full)-4:]
+	first := sha256.Sum256(payload)
+	second := sha256.Sum256(first[:])
+	if !bytes.Equal(checksum, second[:4]) {
+		return nil, errors.New("btc: base58check checksum mismatch")
+	}
+	return payload, nil
+}
+
+// --- bech32 (BIP173) ---
+
+const bech32Charset = "qpzry9x8gf2tvdw0s3jn54khce6mua7l"
+
+var bech32Rev = func() [256]int8 {
+	var rev [256]int8
+	for i := range rev {
+		rev[i] = -1
+	}
+	for i := 0; i < len(bech32Charset); i++ {
+		rev[bech32Charset[i]] = int8(i)
+	}
+	return rev
+}()
+
+func bech32Polymod(values []byte) uint32 {
+	gen := [5]uint32{0x3b6a57b2, 0x26508e6d, 0x1ea119fa, 0x3d4233dd, 0x2a1462b3}
+	chk := uint32(1)
+	for _, v := range values {
+		top := chk >> 25
+		chk = (chk&0x1ffffff)<<5 ^ uint32(v)
+		for i := 0; i < 5; i++ {
+			if (top>>uint(i))&1 == 1 {
+				chk ^= gen[i]
+			}
+		}
+	}
+	return chk
+}
+
+func bech32HRPExpand(hrp string) []byte {
+	out := make([]byte, 0, 2*len(hrp)+1)
+	for i := 0; i < len(hrp); i++ {
+		out = append(out, hrp[i]>>5)
+	}
+	out = append(out, 0)
+	for i := 0; i < len(hrp); i++ {
+		out = append(out, hrp[i]&31)
+	}
+	return out
+}
+
+func bech32CreateChecksum(hrp string, data []byte) []byte {
+	values := append(bech32HRPExpand(hrp), data...)
+	values = append(values, 0, 0, 0, 0, 0, 0)
+	polymod := bech32Polymod(values) ^ 1
+	out := make([]byte, 6)
+	for i := 0; i < 6; i++ {
+		out[i] = byte((polymod >> uint(5*(5-i))) & 31)
+	}
+	return out
+}
+
+func bech32VerifyChecksum(hrp string, data []byte) bool {
+	return bech32Polymod(append(bech32HRPExpand(hrp), data...)) == 1
+}
+
+// convertBits regroups bits between 8-bit and 5-bit words.
+func convertBits(data []byte, fromBits, toBits uint, pad bool) ([]byte, error) {
+	var acc, bits uint
+	maxV := uint(1)<<toBits - 1
+	out := make([]byte, 0, len(data)*int(fromBits)/int(toBits)+1)
+	for _, v := range data {
+		if uint(v)>>fromBits != 0 {
+			return nil, fmt.Errorf("btc: invalid data value %d for %d bits", v, fromBits)
+		}
+		acc = acc<<fromBits | uint(v)
+		bits += fromBits
+		for bits >= toBits {
+			bits -= toBits
+			out = append(out, byte((acc>>bits)&maxV))
+		}
+	}
+	if pad {
+		if bits > 0 {
+			out = append(out, byte((acc<<(toBits-bits))&maxV))
+		}
+	} else if bits >= fromBits || (acc<<(toBits-bits))&maxV != 0 {
+		return nil, errors.New("btc: invalid bech32 padding")
+	}
+	return out, nil
+}
+
+func bech32Encode(hrp string, version byte, program []byte) (string, error) {
+	conv, err := convertBits(program, 8, 5, true)
+	if err != nil {
+		return "", err
+	}
+	data := append([]byte{version}, conv...)
+	combined := append(data, bech32CreateChecksum(hrp, data)...)
+	var sb strings.Builder
+	sb.WriteString(hrp)
+	sb.WriteByte('1')
+	for _, d := range combined {
+		sb.WriteByte(bech32Charset[d])
+	}
+	return sb.String(), nil
+}
+
+func bech32Decode(s string) (hrp string, version byte, program []byte, err error) {
+	pos := strings.LastIndexByte(s, '1')
+	if pos < 1 || pos+7 > len(s) {
+		return "", 0, nil, errors.New("btc: malformed bech32 string")
+	}
+	hrp = s[:pos]
+	data := make([]byte, 0, len(s)-pos-1)
+	for i := pos + 1; i < len(s); i++ {
+		d := bech32Rev[s[i]]
+		if d < 0 {
+			return "", 0, nil, fmt.Errorf("btc: invalid bech32 character %q", s[i])
+		}
+		data = append(data, byte(d))
+	}
+	if !bech32VerifyChecksum(hrp, data) {
+		return "", 0, nil, errors.New("btc: bech32 checksum mismatch")
+	}
+	data = data[:len(data)-6]
+	if len(data) < 1 {
+		return "", 0, nil, errors.New("btc: bech32 payload too short")
+	}
+	version = data[0]
+	program, err = convertBits(data[1:], 5, 8, false)
+	if err != nil {
+		return "", 0, nil, err
+	}
+	return hrp, version, program, nil
+}

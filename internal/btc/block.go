@@ -1,0 +1,361 @@
+package btc
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+	"time"
+)
+
+// BlockHeaderSize is the wire size of a Bitcoin block header.
+const BlockHeaderSize = 80
+
+// BlockHeader is the 80-byte Bitcoin block header.
+type BlockHeader struct {
+	Version    uint32
+	PrevBlock  Hash // hashPrevBlock: hash of the predecessor header
+	MerkleRoot Hash
+	Timestamp  uint32 // seconds since the Unix epoch
+	Bits       uint32 // compact encoding of the difficulty target
+	Nonce      uint32
+}
+
+// Serialize encodes the header in wire format.
+func (h *BlockHeader) Serialize(w io.Writer) error {
+	if err := writeUint32(w, h.Version); err != nil {
+		return err
+	}
+	if err := writeHash(w, h.PrevBlock); err != nil {
+		return err
+	}
+	if err := writeHash(w, h.MerkleRoot); err != nil {
+		return err
+	}
+	if err := writeUint32(w, h.Timestamp); err != nil {
+		return err
+	}
+	if err := writeUint32(w, h.Bits); err != nil {
+		return err
+	}
+	return writeUint32(w, h.Nonce)
+}
+
+// Bytes returns the 80-byte wire encoding.
+func (h *BlockHeader) Bytes() []byte {
+	var buf bytes.Buffer
+	buf.Grow(BlockHeaderSize)
+	_ = h.Serialize(&buf)
+	return buf.Bytes()
+}
+
+// BlockHash returns H(header), the block's identifier.
+func (h *BlockHeader) BlockHash() Hash {
+	return DoubleSHA256(h.Bytes())
+}
+
+// DeserializeBlockHeader decodes a header from r.
+func DeserializeBlockHeader(r io.Reader) (*BlockHeader, error) {
+	var h BlockHeader
+	var err error
+	if h.Version, err = readUint32(r); err != nil {
+		return nil, fmt.Errorf("btc: header version: %w", err)
+	}
+	if h.PrevBlock, err = readHash(r); err != nil {
+		return nil, fmt.Errorf("btc: header prev: %w", err)
+	}
+	if h.MerkleRoot, err = readHash(r); err != nil {
+		return nil, fmt.Errorf("btc: header merkle: %w", err)
+	}
+	if h.Timestamp, err = readUint32(r); err != nil {
+		return nil, fmt.Errorf("btc: header time: %w", err)
+	}
+	if h.Bits, err = readUint32(r); err != nil {
+		return nil, fmt.Errorf("btc: header bits: %w", err)
+	}
+	if h.Nonce, err = readUint32(r); err != nil {
+		return nil, fmt.Errorf("btc: header nonce: %w", err)
+	}
+	return &h, nil
+}
+
+// ParseBlockHeader decodes a header from exactly 80 bytes.
+func ParseBlockHeader(data []byte) (*BlockHeader, error) {
+	if len(data) != BlockHeaderSize {
+		return nil, fmt.Errorf("btc: block header must be %d bytes, got %d", BlockHeaderSize, len(data))
+	}
+	return DeserializeBlockHeader(bytes.NewReader(data))
+}
+
+// Block is a batch of transactions referencing a predecessor block.
+type Block struct {
+	Header       BlockHeader
+	Transactions []*Transaction
+}
+
+// BlockHash returns the hash of the block's header.
+func (b *Block) BlockHash() Hash { return b.Header.BlockHash() }
+
+// Serialize encodes the block in wire format.
+func (b *Block) Serialize(w io.Writer) error {
+	if err := b.Header.Serialize(w); err != nil {
+		return err
+	}
+	if err := WriteVarInt(w, uint64(len(b.Transactions))); err != nil {
+		return err
+	}
+	for _, tx := range b.Transactions {
+		if err := tx.Serialize(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Bytes returns the wire encoding.
+func (b *Block) Bytes() []byte {
+	var buf bytes.Buffer
+	_ = b.Serialize(&buf)
+	return buf.Bytes()
+}
+
+// SerializedSize returns the byte length of the wire encoding.
+func (b *Block) SerializedSize() int {
+	n := BlockHeaderSize + VarIntSize(uint64(len(b.Transactions)))
+	for _, tx := range b.Transactions {
+		n += tx.SerializedSize()
+	}
+	return n
+}
+
+// maxBlockTxs bounds decoder allocation.
+const maxBlockTxs = 1 << 20
+
+// DeserializeBlock decodes a block from r.
+func DeserializeBlock(r io.Reader) (*Block, error) {
+	hdr, err := DeserializeBlockHeader(r)
+	if err != nil {
+		return nil, err
+	}
+	n, err := ReadVarInt(r)
+	if err != nil {
+		return nil, fmt.Errorf("btc: block tx count: %w", err)
+	}
+	if n > maxBlockTxs {
+		return nil, fmt.Errorf("btc: too many transactions: %d", n)
+	}
+	b := &Block{Header: *hdr, Transactions: make([]*Transaction, 0, min(n, maxAlloc))}
+	for i := uint64(0); i < n; i++ {
+		tx, err := DeserializeTransaction(r)
+		if err != nil {
+			return nil, fmt.Errorf("btc: block tx %d: %w", i, err)
+		}
+		b.Transactions = append(b.Transactions, tx)
+	}
+	return b, nil
+}
+
+// ParseBlock decodes a block from bytes, rejecting trailing data.
+func ParseBlock(data []byte) (*Block, error) {
+	r := bytes.NewReader(data)
+	b, err := DeserializeBlock(r)
+	if err != nil {
+		return nil, err
+	}
+	if r.Len() != 0 {
+		return nil, errors.New("btc: trailing bytes after block")
+	}
+	return b, nil
+}
+
+// MerkleRoot computes the Merkle tree root over the block's transaction IDs
+// using Bitcoin's duplicate-last-node rule for odd levels.
+func (b *Block) MerkleRoot() Hash {
+	txids := make([]Hash, len(b.Transactions))
+	for i, tx := range b.Transactions {
+		txids[i] = tx.TxID()
+	}
+	return MerkleRootFromHashes(txids)
+}
+
+// MerkleRootFromHashes computes the Merkle root of a hash list.
+func MerkleRootFromHashes(hashes []Hash) Hash {
+	if len(hashes) == 0 {
+		return ZeroHash
+	}
+	level := make([]Hash, len(hashes))
+	copy(level, hashes)
+	for len(level) > 1 {
+		if len(level)%2 == 1 {
+			level = append(level, level[len(level)-1])
+		}
+		next := make([]Hash, 0, len(level)/2)
+		for i := 0; i < len(level); i += 2 {
+			next = append(next, HashOf(level[i][:], level[i+1][:]))
+		}
+		level = next
+	}
+	return level[0]
+}
+
+// MerkleProof is an inclusion proof for one leaf of a Merkle tree.
+type MerkleProof struct {
+	Index    int
+	Siblings []Hash
+}
+
+// BuildMerkleProof constructs a proof that hashes[index] is included in the
+// tree rooted at MerkleRootFromHashes(hashes).
+func BuildMerkleProof(hashes []Hash, index int) (*MerkleProof, error) {
+	if index < 0 || index >= len(hashes) {
+		return nil, fmt.Errorf("btc: merkle index %d out of range [0,%d)", index, len(hashes))
+	}
+	proof := &MerkleProof{Index: index}
+	level := make([]Hash, len(hashes))
+	copy(level, hashes)
+	pos := index
+	for len(level) > 1 {
+		if len(level)%2 == 1 {
+			level = append(level, level[len(level)-1])
+		}
+		sibling := pos ^ 1
+		proof.Siblings = append(proof.Siblings, level[sibling])
+		next := make([]Hash, 0, len(level)/2)
+		for i := 0; i < len(level); i += 2 {
+			next = append(next, HashOf(level[i][:], level[i+1][:]))
+		}
+		level = next
+		pos /= 2
+	}
+	return proof, nil
+}
+
+// Verify checks the proof against a leaf hash and expected root.
+func (p *MerkleProof) Verify(leaf, root Hash) bool {
+	acc := leaf
+	pos := p.Index
+	for _, sib := range p.Siblings {
+		if pos%2 == 0 {
+			acc = HashOf(acc[:], sib[:])
+		} else {
+			acc = HashOf(sib[:], acc[:])
+		}
+		pos /= 2
+	}
+	return acc == root
+}
+
+// --- Compact-bits difficulty targets ---
+
+// CompactToBig converts the 32-bit compact ("Bits") representation to the
+// full 256-bit target, as Bitcoin consensus does.
+func CompactToBig(compact uint32) *big.Int {
+	mantissa := compact & 0x007fffff
+	exponent := uint(compact >> 24)
+	negative := compact&0x00800000 != 0
+	var target *big.Int
+	if exponent <= 3 {
+		target = big.NewInt(int64(mantissa >> (8 * (3 - exponent))))
+	} else {
+		target = big.NewInt(int64(mantissa))
+		target.Lsh(target, 8*(exponent-3))
+	}
+	if negative {
+		target.Neg(target)
+	}
+	return target
+}
+
+// BigToCompact converts a 256-bit target to compact representation.
+func BigToCompact(target *big.Int) uint32 {
+	if target.Sign() == 0 {
+		return 0
+	}
+	abs := new(big.Int).Abs(target)
+	exponent := uint(len(abs.Bytes()))
+	var mantissa uint32
+	if exponent <= 3 {
+		mantissa = uint32(abs.Int64() << (8 * (3 - exponent)))
+	} else {
+		shifted := new(big.Int).Rsh(abs, 8*(exponent-3))
+		mantissa = uint32(shifted.Int64())
+	}
+	if mantissa&0x00800000 != 0 {
+		mantissa >>= 8
+		exponent++
+	}
+	compact := uint32(exponent<<24) | mantissa
+	if target.Sign() < 0 {
+		compact |= 0x00800000
+	}
+	return compact
+}
+
+// HashMeetsTarget reports whether the block hash, interpreted as a 256-bit
+// big-endian number (after byte reversal from internal order), is at most
+// the target encoded in bits.
+func HashMeetsTarget(h Hash, bits uint32) bool {
+	target := CompactToBig(bits)
+	if target.Sign() <= 0 {
+		return false
+	}
+	var be [HashSize]byte
+	for i := 0; i < HashSize; i++ {
+		be[i] = h[HashSize-1-i]
+	}
+	val := new(big.Int).SetBytes(be[:])
+	return val.Cmp(target) <= 0
+}
+
+// WorkForBits returns the expected hash work to find a block at the given
+// target: work = 2^256 / (target + 1). This is the w(b) function of §II-B.
+func WorkForBits(bits uint32) *big.Int {
+	target := CompactToBig(bits)
+	if target.Sign() <= 0 {
+		return new(big.Int)
+	}
+	num := new(big.Int).Lsh(big.NewInt(1), 256)
+	den := new(big.Int).Add(target, big.NewInt(1))
+	return num.Div(num, den)
+}
+
+// --- Header timestamp validation ---
+
+// MaxFutureBlockTime is the maximum allowed clock skew into the future for a
+// block timestamp (Bitcoin: 2 hours).
+const MaxFutureBlockTime = 2 * time.Hour
+
+// MedianTimePast computes the median of the last up-to-11 timestamps, the
+// lower bound Bitcoin consensus places on a new block's timestamp.
+func MedianTimePast(timestamps []uint32) uint32 {
+	if len(timestamps) == 0 {
+		return 0
+	}
+	n := len(timestamps)
+	if n > 11 {
+		timestamps = timestamps[n-11:]
+		n = 11
+	}
+	sorted := make([]uint32, n)
+	copy(sorted, timestamps)
+	for i := 1; i < n; i++ {
+		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	return sorted[n/2]
+}
+
+// ValidateTimestamp checks a header timestamp against median-time-past and
+// the future-skew bound, the "valid block timestamp" check of §III-B.
+func ValidateTimestamp(ts uint32, mtp uint32, now time.Time) error {
+	if ts <= mtp {
+		return fmt.Errorf("btc: timestamp %d not after median time past %d", ts, mtp)
+	}
+	limit := now.Add(MaxFutureBlockTime).Unix()
+	if int64(ts) > limit {
+		return fmt.Errorf("btc: timestamp %d too far in the future (limit %d)", ts, limit)
+	}
+	return nil
+}

@@ -1,0 +1,209 @@
+package btc
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"icbtc/internal/secp256k1"
+)
+
+func randomTx(rng *rand.Rand) *Transaction {
+	tx := &Transaction{Version: 2, LockTime: rng.Uint32()}
+	nIn := 1 + rng.Intn(4)
+	for i := 0; i < nIn; i++ {
+		var op OutPoint
+		rng.Read(op.TxID[:])
+		op.Vout = uint32(rng.Intn(10))
+		script := make([]byte, rng.Intn(80))
+		rng.Read(script)
+		tx.Inputs = append(tx.Inputs, TxIn{
+			PreviousOutPoint: op,
+			SignatureScript:  script,
+			Sequence:         0xffffffff,
+		})
+	}
+	nOut := 1 + rng.Intn(4)
+	for i := 0; i < nOut; i++ {
+		var h [20]byte
+		rng.Read(h[:])
+		tx.Outputs = append(tx.Outputs, TxOut{
+			Value:    int64(rng.Intn(1_000_000) + 1),
+			PkScript: PayToPubKeyHashScript(h),
+		})
+	}
+	return tx
+}
+
+func TestTransactionRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 50; i++ {
+		tx := randomTx(rng)
+		enc := tx.Bytes()
+		if len(enc) != tx.SerializedSize() {
+			t.Fatalf("SerializedSize %d != actual %d", tx.SerializedSize(), len(enc))
+		}
+		got, err := ParseTransaction(enc)
+		if err != nil {
+			t.Fatalf("parse: %v", err)
+		}
+		if !bytes.Equal(got.Bytes(), enc) {
+			t.Fatal("round trip mismatch")
+		}
+		if got.TxID() != tx.TxID() {
+			t.Fatal("txid changed across round trip")
+		}
+	}
+}
+
+func TestParseTransactionRejectsTrailing(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	tx := randomTx(rng)
+	enc := append(tx.Bytes(), 0x00)
+	if _, err := ParseTransaction(enc); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+}
+
+func TestParseTransactionTruncated(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	tx := randomTx(rng)
+	enc := tx.Bytes()
+	for _, cut := range []int{0, 1, 4, len(enc) / 2, len(enc) - 1} {
+		if _, err := ParseTransaction(enc[:cut]); err == nil {
+			t.Errorf("truncated at %d accepted", cut)
+		}
+	}
+}
+
+func TestIsCoinbase(t *testing.T) {
+	cb := &Transaction{
+		Inputs: []TxIn{{
+			PreviousOutPoint: OutPoint{TxID: ZeroHash, Vout: 0xffffffff},
+		}},
+		Outputs: []TxOut{{Value: 50 * SatoshiPerBitcoin}},
+	}
+	if !cb.IsCoinbase() {
+		t.Fatal("coinbase not detected")
+	}
+	rng := rand.New(rand.NewSource(10))
+	if randomTx(rng).IsCoinbase() {
+		t.Fatal("regular tx detected as coinbase")
+	}
+}
+
+func TestCheckSanity(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	good := randomTx(rng)
+	if err := good.CheckSanity(); err != nil {
+		t.Fatalf("valid tx rejected: %v", err)
+	}
+
+	noIn := &Transaction{Outputs: good.Outputs}
+	if err := noIn.CheckSanity(); err == nil {
+		t.Error("tx with no inputs accepted")
+	}
+	noOut := &Transaction{Inputs: good.Inputs}
+	if err := noOut.CheckSanity(); err == nil {
+		t.Error("tx with no outputs accepted")
+	}
+
+	negative := randomTx(rng)
+	negative.Outputs[0].Value = -1
+	if err := negative.CheckSanity(); err == nil {
+		t.Error("negative output value accepted")
+	}
+
+	huge := randomTx(rng)
+	huge.Outputs[0].Value = MaxSatoshi + 1
+	if err := huge.CheckSanity(); err == nil {
+		t.Error("output above supply cap accepted")
+	}
+
+	overflow := randomTx(rng)
+	overflow.Outputs = []TxOut{
+		{Value: MaxSatoshi, PkScript: overflow.Outputs[0].PkScript},
+		{Value: MaxSatoshi, PkScript: overflow.Outputs[0].PkScript},
+	}
+	if err := overflow.CheckSanity(); err == nil {
+		t.Error("aggregate overflow accepted")
+	}
+
+	dup := randomTx(rng)
+	dup.Inputs = append(dup.Inputs, dup.Inputs[0])
+	if err := dup.CheckSanity(); err == nil {
+		t.Error("duplicate input accepted")
+	}
+}
+
+func TestQuickTxRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tx := randomTx(rng)
+		got, err := ParseTransaction(tx.Bytes())
+		return err == nil && got.TxID() == tx.TxID()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSignVerifyInput(t *testing.T) {
+	key, err := secp256k1.GeneratePrivateKey(rand.New(rand.NewSource(12)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := AddressFromPubKey(key.PubKey().SerializeCompressed(), Regtest)
+	lockScript := PayToAddrScript(addr)
+
+	var prev OutPoint
+	prev.TxID = DoubleSHA256([]byte("funding"))
+	tx := &Transaction{
+		Version: 2,
+		Inputs:  []TxIn{{PreviousOutPoint: prev, Sequence: 0xffffffff}},
+		Outputs: []TxOut{{Value: 1000, PkScript: lockScript}},
+	}
+	if err := SignInput(tx, 0, lockScript, key); err != nil {
+		t.Fatalf("sign: %v", err)
+	}
+	if err := VerifyInput(tx, 0, lockScript); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+
+	// Tampering with the output must invalidate the signature.
+	tx.Outputs[0].Value = 999
+	if err := VerifyInput(tx, 0, lockScript); err == nil {
+		t.Fatal("tampered tx verified")
+	}
+	tx.Outputs[0].Value = 1000
+
+	// A different key's address must not verify.
+	otherKey, _ := secp256k1.GeneratePrivateKey(rand.New(rand.NewSource(13)))
+	otherAddr := AddressFromPubKey(otherKey.PubKey().SerializeCompressed(), Regtest)
+	if err := VerifyInput(tx, 0, PayToAddrScript(otherAddr)); err == nil {
+		t.Fatal("signature verified against wrong locking script")
+	}
+}
+
+func TestSignatureHashDependsOnInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	tx := randomTx(rng)
+	tx.Inputs = append(tx.Inputs, tx.Inputs[0])
+	tx.Inputs[1].PreviousOutPoint.Vout++
+	script := tx.Outputs[0].PkScript
+	h0, err := SignatureHash(tx, 0, script)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1, err := SignatureHash(tx, 1, script)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h0 == h1 {
+		t.Fatal("signature hash identical for different inputs")
+	}
+	if _, err := SignatureHash(tx, len(tx.Inputs), script); err == nil {
+		t.Fatal("out-of-range input accepted")
+	}
+}

@@ -1,0 +1,75 @@
+// Package btcnode implements the simulated Bitcoin peer-to-peer network the
+// Bitcoin adapter connects to: full nodes (header tree, block store, UTXO
+// view with reorg handling, mempool, gossip), miners performing real
+// proof-of-work at simulation-scale difficulty, a DNS-seed-style address
+// directory for peer discovery, and adversarial node variants used by the
+// security experiments (§IV-A).
+package btcnode
+
+import (
+	"icbtc/internal/btc"
+)
+
+// The message vocabulary mirrors the parts of the Bitcoin P2P protocol the
+// integration exercises. Messages are plain values delivered over simnet.
+
+// MsgGetAddr requests peer addresses (DNS-seed / addr gossip discovery).
+type MsgGetAddr struct{}
+
+// MsgAddr answers MsgGetAddr with known node addresses.
+type MsgAddr struct {
+	Addrs []string
+}
+
+// MsgGetHeaders requests headers after the best locator match, as in the
+// Bitcoin getheaders message.
+type MsgGetHeaders struct {
+	// Locator is a list of block hashes, newest first, that the requester
+	// already has; the responder finds the first one it knows.
+	Locator []btc.Hash
+	// Stop, when non-zero, limits the response to headers up to that hash.
+	Stop btc.Hash
+}
+
+// MaxHeadersPerMsg matches Bitcoin's 2000-header limit.
+const MaxHeadersPerMsg = 2000
+
+// MsgHeaders carries block headers.
+type MsgHeaders struct {
+	Headers []btc.BlockHeader
+}
+
+// MsgGetData requests full blocks by hash.
+type MsgGetData struct {
+	BlockHashes []btc.Hash
+}
+
+// MsgBlock carries one full block.
+type MsgBlock struct {
+	Block *btc.Block
+}
+
+// MsgInvBlock announces a new block by hash.
+type MsgInvBlock struct {
+	Hash btc.Hash
+}
+
+// MsgInvTx announces a transaction by ID.
+type MsgInvTx struct {
+	TxID btc.Hash
+}
+
+// MsgGetTx requests an announced transaction.
+type MsgGetTx struct {
+	TxID btc.Hash
+}
+
+// MsgTx carries one transaction.
+type MsgTx struct {
+	Tx *btc.Transaction
+}
+
+// MsgNotFound reports that requested data is unavailable.
+type MsgNotFound struct {
+	Hashes []btc.Hash
+}

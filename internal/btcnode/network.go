@@ -1,0 +1,95 @@
+package btcnode
+
+import (
+	"fmt"
+
+	"icbtc/internal/btc"
+	"icbtc/internal/simnet"
+)
+
+// SimNetwork bundles a population of honest Bitcoin nodes, their seed
+// directory, and optional adversaries — the "Bitcoin network" side of
+// Figure 1.
+type SimNetwork struct {
+	Net         *simnet.Network
+	Params      *btc.Params
+	Nodes       []*Node
+	Directory   *SeedDirectory
+	Adversaries []*Adversary
+}
+
+// BuildHonestNetwork creates count honest nodes wired into a ring-plus-
+// chords topology (every node connects to its ring neighbors and a few
+// deterministic chords), registers all addresses in a seed directory, and
+// fills each node's address book with every known address (so any node can
+// serve discovery requests, like a dual-stacked Bitcoin node answering
+// getaddr).
+func BuildHonestNetwork(net *simnet.Network, params *btc.Params, count int) *SimNetwork {
+	sn := &SimNetwork{Net: net, Params: params, Directory: NewSeedDirectory()}
+	for i := 0; i < count; i++ {
+		id := simnet.NodeID(fmt.Sprintf("btc/%d", i))
+		node := NewNode(id, net, params)
+		sn.Nodes = append(sn.Nodes, node)
+		sn.Directory.AddNode(string(id), id)
+	}
+	// Ring + chords.
+	for i, node := range sn.Nodes {
+		Connect(node, sn.Nodes[(i+1)%count])
+		if count > 4 {
+			Connect(node, sn.Nodes[(i+count/2)%count])
+		}
+	}
+	// Address books: every node knows every address.
+	addrs := sn.Directory.AllAddrs()
+	for _, node := range sn.Nodes {
+		node.SetAddressBook(addrs)
+	}
+	// First node doubles as the DNS seed.
+	if count > 0 {
+		sn.Directory.AddSeed(sn.Nodes[0].ID)
+	}
+	return sn
+}
+
+// AddAdversaries attaches count adversarial nodes to the network and
+// registers their addresses in the directory (so adapters may discover and
+// connect to them, which is the attack surface §IV-A analyzes).
+func (sn *SimNetwork) AddAdversaries(count int) {
+	base := len(sn.Adversaries)
+	for i := 0; i < count; i++ {
+		id := simnet.NodeID(fmt.Sprintf("btcadv/%d", base+i))
+		adv := NewAdversary(id, sn.Net, sn.Params)
+		// Adversaries peer with a couple of honest nodes to stay synced.
+		if len(sn.Nodes) > 0 {
+			Connect(adv.Node, sn.Nodes[i%len(sn.Nodes)])
+		}
+		sn.Adversaries = append(sn.Adversaries, adv)
+		sn.Directory.AddNode(string(id), id)
+	}
+	// Refresh address books to include adversarial addresses.
+	addrs := sn.Directory.AllAddrs()
+	for _, node := range sn.Nodes {
+		node.SetAddressBook(addrs)
+	}
+	for _, adv := range sn.Adversaries {
+		adv.Node.SetAddressBook(addrs)
+	}
+}
+
+// SyncAll lets gossip settle by draining the scheduler for a bounded number
+// of events, then verifies all honest nodes share the same best tip. It
+// returns the common height or an error describing the divergence.
+func (sn *SimNetwork) SyncAll(maxEvents int) (int64, error) {
+	sn.Net.Scheduler().Drain(maxEvents)
+	if len(sn.Nodes) == 0 {
+		return 0, nil
+	}
+	want := sn.Nodes[0].BestTip().Hash
+	for _, n := range sn.Nodes[1:] {
+		if n.BestTip().Hash != want {
+			return 0, fmt.Errorf("btcnode: nodes diverged: %s at %d vs %s at %d",
+				sn.Nodes[0].ID, sn.Nodes[0].Height(), n.ID, n.Height())
+		}
+	}
+	return sn.Nodes[0].Height(), nil
+}

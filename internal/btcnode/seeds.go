@@ -1,0 +1,54 @@
+package btcnode
+
+import (
+	"sort"
+
+	"icbtc/internal/simnet"
+)
+
+// SeedDirectory plays the role of the hard-coded DNS seed nodes bitcoind
+// (and the Bitcoin adapter, §III-B) bootstraps from: it maps a handful of
+// well-known seed identities to node addresses. In the simulation a seed is
+// simply a node that answers MsgGetAddr with its address book.
+type SeedDirectory struct {
+	seeds []simnet.NodeID
+	addrs map[string]simnet.NodeID
+}
+
+// NewSeedDirectory creates an empty directory.
+func NewSeedDirectory() *SeedDirectory {
+	return &SeedDirectory{addrs: make(map[string]simnet.NodeID)}
+}
+
+// AddSeed registers a seed node identity.
+func (d *SeedDirectory) AddSeed(id simnet.NodeID) {
+	d.seeds = append(d.seeds, id)
+}
+
+// Seeds returns the seed identities (the adapter's hard-coded list).
+func (d *SeedDirectory) Seeds() []simnet.NodeID {
+	out := make([]simnet.NodeID, len(d.seeds))
+	copy(out, d.seeds)
+	return out
+}
+
+// AddNode registers a reachable node address.
+func (d *SeedDirectory) AddNode(addr string, id simnet.NodeID) {
+	d.addrs[addr] = id
+}
+
+// Resolve maps an address string to a node ID.
+func (d *SeedDirectory) Resolve(addr string) (simnet.NodeID, bool) {
+	id, ok := d.addrs[addr]
+	return id, ok
+}
+
+// AllAddrs returns every registered address, sorted for determinism.
+func (d *SeedDirectory) AllAddrs() []string {
+	out := make([]string, 0, len(d.addrs))
+	for a := range d.addrs {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,297 @@
+package canister
+
+import (
+	"fmt"
+
+	"icbtc/internal/btc"
+	"icbtc/internal/chain"
+	"icbtc/internal/ic"
+	"icbtc/internal/utxo"
+)
+
+// GetUTXOsArgs are the parameters of the get_utxos endpoint: a Bitcoin
+// address, the network, and an optional filter — either a minimum number of
+// confirmations or a page reference (§III-C).
+type GetUTXOsArgs struct {
+	Address string
+	Network btc.Network
+	// MinConfirmations, when > 0, restricts the view to confirmation-based
+	// c-stable blocks. Values above δ are rejected.
+	MinConfirmations int64
+	// Page resumes a paginated retrieval.
+	Page utxo.PageToken
+	// Limit caps the page size (0 = canister default).
+	Limit int
+}
+
+// GetUTXOsResult is the get_utxos response: the UTXOs, the tip of the
+// considered chain, and a next-page reference when the response is partial.
+type GetUTXOsResult struct {
+	UTXOs     []utxo.UTXO
+	TipHash   btc.Hash
+	TipHeight int64
+	NextPage  utxo.PageToken
+	// StableCount/UnstableCount report where the UTXOs came from (drives
+	// the Fig 7 bifurcation).
+	StableCount, UnstableCount int
+}
+
+// GetBalanceArgs are the parameters of the get_balance endpoint.
+type GetBalanceArgs struct {
+	Address          string
+	Network          btc.Network
+	MinConfirmations int64
+}
+
+// SendTransactionArgs are the parameters of send_transaction: a serialized
+// Bitcoin transaction and the target network.
+type SendTransactionArgs struct {
+	RawTx   []byte
+	Network btc.Network
+}
+
+// Update implements ic.Canister for replicated calls.
+func (c *BitcoinCanister) Update(ctx *ic.CallContext, method string, arg any) (any, error) {
+	switch method {
+	case "get_utxos":
+		args, ok := arg.(GetUTXOsArgs)
+		if !ok {
+			return nil, fmt.Errorf("canister: get_utxos wants GetUTXOsArgs, got %T", arg)
+		}
+		return c.GetUTXOs(ctx, args)
+	case "get_balance":
+		args, ok := arg.(GetBalanceArgs)
+		if !ok {
+			return nil, fmt.Errorf("canister: get_balance wants GetBalanceArgs, got %T", arg)
+		}
+		return c.GetBalance(ctx, args)
+	case "send_transaction":
+		args, ok := arg.(SendTransactionArgs)
+		if !ok {
+			return nil, fmt.Errorf("canister: send_transaction wants SendTransactionArgs, got %T", arg)
+		}
+		return nil, c.SendTransaction(ctx, args)
+	case "get_current_fee_percentiles":
+		return c.GetCurrentFeePercentiles(ctx)
+	case "get_block_headers":
+		args, ok := arg.(GetBlockHeadersArgs)
+		if !ok {
+			return nil, fmt.Errorf("canister: get_block_headers wants GetBlockHeadersArgs, got %T", arg)
+		}
+		return c.GetBlockHeaders(ctx, args)
+	case "get_tip":
+		tip := c.tree.Tip()
+		return tip.Hash, nil
+	default:
+		return nil, fmt.Errorf("canister: no update method %q", method)
+	}
+}
+
+// Query implements ic.Canister for non-replicated calls; the read-only
+// endpoints are the same.
+func (c *BitcoinCanister) Query(ctx *ic.CallContext, method string, arg any) (any, error) {
+	switch method {
+	case "get_utxos", "get_balance", "get_tip", "get_current_fee_percentiles", "get_block_headers":
+		return c.Update(ctx, method, arg)
+	default:
+		return nil, fmt.Errorf("canister: no query method %q", method)
+	}
+}
+
+// checkServable rejects requests on the wrong network or while out of sync.
+func (c *BitcoinCanister) checkServable(network btc.Network) error {
+	if network != 0 && network != c.cfg.Network {
+		return fmt.Errorf("canister: serves %v, request for %v", c.cfg.Network, network)
+	}
+	if !c.synced {
+		return ErrNotSynced
+	}
+	return nil
+}
+
+// consideredChain returns the unstable blocks (anchor excluded) along the
+// current chain — the d_w-maximal path — restricted, when minConf > 0, to
+// confirmation-based minConf-stable blocks.
+func (c *BitcoinCanister) consideredChain(minConf int64) ([]*chain.Node, error) {
+	if minConf > c.cfg.StabilityThreshold {
+		return nil, fmt.Errorf("%w: %d > δ=%d", ErrTooManyConfirmations, minConf, c.cfg.StabilityThreshold)
+	}
+	full := c.tree.CurrentChain()
+	nodes := full[1:] // skip the anchor (already folded into U)
+	if minConf <= 0 {
+		return nodes, nil
+	}
+	var out []*chain.Node
+	for _, n := range nodes {
+		if !c.tree.IsCountStable(n, minConf) {
+			break // stability is monotone along the chain
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// GetUTXOs serves the get_utxos endpoint: the union of the stable set and
+// the unstable blocks of the considered chain, height-descending, paginated.
+func (c *BitcoinCanister) GetUTXOs(ctx *ic.CallContext, args GetUTXOsArgs) (*GetUTXOsResult, error) {
+	ctx.Meter.Charge(ic.CostRequestBase, "request_base")
+	if err := c.checkServable(args.Network); err != nil {
+		return nil, err
+	}
+	view, tip, err := c.addressView(ctx, args.Address, args.MinConfirmations)
+	if err != nil {
+		return nil, err
+	}
+	limit := args.Limit
+	if limit <= 0 || limit > c.cfg.PageLimit {
+		limit = c.cfg.PageLimit
+	}
+	page, next, err := utxo.Page(view.utxos, args.Page, limit)
+	if err != nil {
+		return nil, err
+	}
+	// Metering is per returned UTXO: the pagination limit caps the cost of
+	// one request (the ceiling visible in Fig 7 right), and UTXOs served
+	// from unstable blocks are cheaper than ones fetched from the large
+	// stable set (the figure's bifurcation).
+	result := &GetUTXOsResult{
+		UTXOs:     page,
+		TipHash:   tip.Hash,
+		TipHeight: tip.Height,
+		NextPage:  next,
+	}
+	for i := range page {
+		if view.unstable[page[i].OutPoint] {
+			ctx.Meter.Charge(ic.CostPerUTXOUnstable, "fetch_unstable")
+			result.UnstableCount++
+		} else {
+			ctx.Meter.Charge(ic.CostPerUTXOStable, "fetch_stable")
+			result.StableCount++
+		}
+	}
+	return result, nil
+}
+
+// GetBalance serves the get_balance convenience endpoint.
+func (c *BitcoinCanister) GetBalance(ctx *ic.CallContext, args GetBalanceArgs) (int64, error) {
+	ctx.Meter.Charge(ic.CostRequestBase, "request_base")
+	if err := c.checkServable(args.Network); err != nil {
+		return 0, err
+	}
+	view, _, err := c.addressView(ctx, args.Address, args.MinConfirmations)
+	if err != nil {
+		return 0, err
+	}
+	var total int64
+	for _, u := range view.utxos {
+		ctx.Meter.Charge(ic.CostPerBalanceUTXO, "sum_balance")
+		total += u.Value
+	}
+	return total, nil
+}
+
+// addressUTXOView is the merged stable+unstable view of one address.
+type addressUTXOView struct {
+	utxos []utxo.UTXO
+	// unstable marks outpoints that came from unstable blocks.
+	unstable map[btc.OutPoint]bool
+}
+
+// addressView merges the stable UTXO set with the unstable chain's effects
+// for one address. Scanning the unstable blocks costs work proportional to
+// δ ("the computational complexity ... grows linearly with the parameter
+// δ", §III-C), charged here per block scanned.
+func (c *BitcoinCanister) addressView(ctx *ic.CallContext, address string, minConf int64) (*addressUTXOView, *chain.Node, error) {
+	nodes, err := c.consideredChain(minConf)
+	if err != nil {
+		return nil, nil, err
+	}
+	tip := c.tree.Root()
+	if len(nodes) > 0 {
+		tip = nodes[len(nodes)-1]
+	}
+
+	view := &addressUTXOView{unstable: make(map[btc.OutPoint]bool)}
+	present := make(map[btc.OutPoint]utxo.UTXO)
+	for _, u := range c.stable.UTXOsForAddress(address) {
+		present[u.OutPoint] = u
+	}
+	// Replay unstable blocks on the considered chain.
+	for _, node := range nodes {
+		ctx.Meter.Charge(ic.CostPerUnstableBlockScan, "scan_unstable")
+		block := c.blocks[node.Hash]
+		if block == nil {
+			continue
+		}
+		for _, tx := range block.Transactions {
+			if !tx.IsCoinbase() {
+				for i := range tx.Inputs {
+					delete(present, tx.Inputs[i].PreviousOutPoint)
+				}
+			}
+			txid := tx.TxID()
+			for vout := range tx.Outputs {
+				out := tx.Outputs[vout]
+				if btc.ScriptID(out.PkScript, c.cfg.Network) != address {
+					continue
+				}
+				op := btc.OutPoint{TxID: txid, Vout: uint32(vout)}
+				present[op] = utxo.UTXO{
+					OutPoint: op,
+					Value:    out.Value,
+					PkScript: out.PkScript,
+					Height:   node.Height,
+				}
+				view.unstable[op] = true
+			}
+		}
+	}
+	view.utxos = make([]utxo.UTXO, 0, len(present))
+	for op, u := range present {
+		view.utxos = append(view.utxos, u)
+		if !view.unstable[op] {
+			delete(view.unstable, op) // keep map minimal
+		}
+	}
+	utxo.SortUTXOs(view.utxos)
+	return view, tip, nil
+}
+
+// SendTransaction serves send_transaction: syntax-check the bytes and queue
+// them for forwarding to the Bitcoin adapter with the next update requests.
+func (c *BitcoinCanister) SendTransaction(ctx *ic.CallContext, args SendTransactionArgs) error {
+	ctx.Meter.Charge(ic.CostRequestBase, "request_base")
+	if args.Network != 0 && args.Network != c.cfg.Network {
+		return fmt.Errorf("canister: serves %v, transaction for %v", c.cfg.Network, args.Network)
+	}
+	tx, err := btc.ParseTransaction(args.RawTx)
+	if err != nil {
+		return fmt.Errorf("canister: malformed transaction: %w", err)
+	}
+	if err := tx.CheckSanity(); err != nil {
+		return fmt.Errorf("canister: rejected transaction: %w", err)
+	}
+	txid := tx.TxID()
+	for _, pending := range c.outgoing {
+		if pending.txid == txid {
+			return nil // already queued
+		}
+	}
+	raw := make([]byte, len(args.RawTx))
+	copy(raw, args.RawTx)
+	c.outgoing = append(c.outgoing, outgoingTx{
+		raw:    raw,
+		txid:   txid,
+		rounds: c.cfg.TxRebroadcastRounds,
+	})
+	return nil
+}
+
+// PendingTransactions returns the number of queued outbound transactions.
+func (c *BitcoinCanister) PendingTransactions() int { return len(c.outgoing) }
+
+// Compile-time interface checks.
+var (
+	_ ic.Canister         = (*BitcoinCanister)(nil)
+	_ ic.PayloadProcessor = (*BitcoinCanister)(nil)
+)

@@ -1,0 +1,368 @@
+// Package canister implements the Bitcoin canister of §III-C: the smart
+// contract that maintains the Bitcoin blockchain state on the IC.
+//
+// The canister stores the UTXO set U up to and including the anchor β* (the
+// greatest stable height), the header tree T rooted at the anchor, and the
+// blocks for all headers above the anchor. Algorithm 2 processes adapter
+// responses delivered in IC blocks: valid blocks are attached to the tree,
+// and whenever a block at height h(β*)+1 becomes difficulty-based δ-stable
+// with respect to the anchor's work, the anchor advances — its transactions
+// are folded into U, its block is discarded, and competing headers at the
+// stabilized height are pruned.
+//
+// The read/write API is the paper's: get_utxos (with confirmations filter
+// and pagination), get_balance, and send_transaction. Requests are rejected
+// while the canister is more than τ blocks behind the headers it knows
+// about ("it is risky to provide outdated information").
+package canister
+
+import (
+	"errors"
+	"fmt"
+
+	"icbtc/internal/adapter"
+	"icbtc/internal/btc"
+	"icbtc/internal/chain"
+	"icbtc/internal/ic"
+	"icbtc/internal/utxo"
+)
+
+// Config parameterizes the canister.
+type Config struct {
+	// Network selects address encoding and chain parameters.
+	Network btc.Network
+	// StabilityThreshold is δ: a block at anchor height+1 must be
+	// difficulty-based δ-stable w.r.t. the anchor's work to become the new
+	// anchor (144 on mainnet ≈ one day of blocks).
+	StabilityThreshold int64
+	// SyncSlack is τ: the canister answers requests only while
+	// maxHeight(T) − maxHeight(A) ≤ τ (2 in production).
+	SyncSlack int64
+	// PageLimit is the maximum UTXOs per get_utxos page.
+	PageLimit int
+	// TxRebroadcastRounds is how many adapter request rounds an outbound
+	// transaction stays in the forwarding queue.
+	TxRebroadcastRounds int
+}
+
+// DefaultConfig returns production-flavored parameters for a network
+// (δ=144, τ=2), with a small δ for regtest so tests stabilize quickly.
+func DefaultConfig(network btc.Network) Config {
+	cfg := Config{
+		Network:             network,
+		StabilityThreshold:  144,
+		SyncSlack:           2,
+		PageLimit:           1000,
+		TxRebroadcastRounds: 5,
+	}
+	if network == btc.Regtest {
+		cfg.StabilityThreshold = 6
+	}
+	return cfg
+}
+
+// ErrNotSynced is returned for requests while the canister lags the network
+// by more than τ blocks.
+var ErrNotSynced = errors.New("canister: not synced with the Bitcoin network")
+
+// ErrTooManyConfirmations rejects confirmation filters above δ ("requests
+// for c > δ are rejected as the returned set of UTXOs may not be correct").
+var ErrTooManyConfirmations = errors.New("canister: requested confirmations exceed stability threshold")
+
+// outgoingTx is an outbound transaction waiting to be forwarded.
+type outgoingTx struct {
+	raw    []byte
+	txid   btc.Hash
+	rounds int
+}
+
+// BitcoinCanister is the Bitcoin canister state machine. All methods are
+// deterministic; the subnet executes them identically on every replica.
+type BitcoinCanister struct {
+	cfg    Config
+	params *btc.Params
+
+	// stable is U, the UTXO set up to and including the anchor.
+	stable *utxo.Set
+	// tree is T, rooted at the anchor β*.
+	tree *chain.Tree
+	// blocks holds b(β) for headers above the anchor.
+	blocks map[btc.Hash]*btc.Block
+	// stableHeaders records every anchor in order ("block headers are kept
+	// forever").
+	stableHeaders []btc.BlockHeader
+
+	outgoing []outgoingTx
+	synced   bool
+	// availableHeight is the greatest height for which a block (not just a
+	// header) is present, maintained by updateSynced.
+	availableHeight int64
+
+	// stats
+	ingestedBlocks  int
+	rejectedBlocks  int
+	rejectedHeaders int
+	anchorHeight    int64
+	applyErrors     int
+}
+
+// New creates a canister anchored at the network genesis.
+func New(cfg Config) *BitcoinCanister {
+	params := btc.ParamsForNetwork(cfg.Network)
+	c := &BitcoinCanister{
+		cfg:    cfg,
+		params: params,
+		stable: utxo.New(cfg.Network),
+		tree:   chain.NewTree(params.GenesisHeader, 0),
+		blocks: make(map[btc.Hash]*btc.Block),
+	}
+	c.stableHeaders = append(c.stableHeaders, params.GenesisHeader)
+	// A fresh canister is trivially synced (maxHeight(T) == anchor height);
+	// the flag is recomputed after every processed payload.
+	c.synced = true
+	return c
+}
+
+// Anchor returns the current anchor header β* and its height.
+func (c *BitcoinCanister) Anchor() (btc.BlockHeader, int64) {
+	root := c.tree.Root()
+	return root.Header, root.Height
+}
+
+// AnchorHeight returns h(β*).
+func (c *BitcoinCanister) AnchorHeight() int64 { return c.tree.Root().Height }
+
+// Synced reports whether the canister currently answers requests.
+func (c *BitcoinCanister) Synced() bool { return c.synced }
+
+// StableUTXOCount returns |U|.
+func (c *BitcoinCanister) StableUTXOCount() int { return c.stable.Len() }
+
+// StableStorageBytes approximates the canister's UTXO storage footprint.
+func (c *BitcoinCanister) StableStorageBytes() int64 { return c.stable.ApproxBytes() }
+
+// UnstableBlockCount returns the number of blocks stored above the anchor.
+func (c *BitcoinCanister) UnstableBlockCount() int { return len(c.blocks) }
+
+// IngestedBlocks returns how many blocks Algorithm 2 accepted.
+func (c *BitcoinCanister) IngestedBlocks() int { return c.ingestedBlocks }
+
+// TipHeight returns the height of the current chain tip (max d_w path).
+func (c *BitcoinCanister) TipHeight() int64 { return c.tree.Tip().Height }
+
+// CurrentRequest builds the canister's update request for the adapter: the
+// anchor, the header hashes above the anchor whose blocks are present (A),
+// and pending outbound transactions (T). It is a pure read so every replica
+// derives the identical request.
+func (c *BitcoinCanister) CurrentRequest() adapter.Request {
+	root := c.tree.Root()
+	req := adapter.Request{
+		Anchor:       root.Header,
+		AnchorHeight: root.Height,
+	}
+	c.tree.BFSFrom(root, func(n *chain.Node) bool {
+		if n != root && c.blocks[n.Hash] != nil {
+			req.Have = append(req.Have, n.Hash)
+		}
+		return true
+	})
+	for _, tx := range c.outgoing {
+		req.Txs = append(req.Txs, tx.raw)
+	}
+	return req
+}
+
+// ProcessPayload implements ic.PayloadProcessor: it applies Algorithm 2 to
+// an adapter response contained in a finalized IC block.
+func (c *BitcoinCanister) ProcessPayload(ctx *ic.CallContext, payload any) error {
+	resp, ok := payload.(adapter.Response)
+	if !ok {
+		return fmt.Errorf("canister: unexpected payload type %T", payload)
+	}
+	c.ageOutgoing()
+
+	// Lines 1-15: validate and attach each (b, β), then advance the anchor
+	// while the next block is δ-stable.
+	for _, bw := range resp.Blocks {
+		if err := c.acceptBlock(ctx, bw); err != nil {
+			c.rejectedBlocks++
+			continue
+		}
+		c.advanceAnchor(ctx)
+	}
+	// Lines 16-20: append validated upcoming headers.
+	for i := range resp.Next {
+		h := resp.Next[i]
+		if err := c.acceptHeader(ctx, h); err != nil {
+			c.rejectedHeaders++
+		}
+	}
+	// Lines 21-22: recompute the synced flag.
+	c.updateSynced()
+	return nil
+}
+
+// acceptHeader validates a header against the tree (the same §III-B checks
+// the adapter performs) and inserts it.
+func (c *BitcoinCanister) acceptHeader(ctx *ic.CallContext, h btc.BlockHeader) error {
+	ctx.Meter.Charge(ic.CostPerHeaderValidation, "validate_headers")
+	hash := h.BlockHash()
+	if c.tree.Contains(hash) {
+		return nil // already known: not an error, nothing to do
+	}
+	parent := c.tree.Get(h.PrevBlock)
+	if parent == nil {
+		return chain.ErrOrphan
+	}
+	if err := chain.ValidateHeader(&h, parent, c.params, ctx.Time); err != nil {
+		return err
+	}
+	_, err := c.tree.Insert(h)
+	return err
+}
+
+// acceptBlock validates a (block, header) pair per §III-C — header checks,
+// well-formedness, predecessor availability, Merkle root — and stores it.
+// Transaction spending conditions are intentionally NOT validated.
+func (c *BitcoinCanister) acceptBlock(ctx *ic.CallContext, bw adapter.BlockWithHeader) error {
+	if bw.Block == nil {
+		return errors.New("canister: nil block")
+	}
+	hash := bw.Header.BlockHash()
+	if bw.Block.BlockHash() != hash {
+		return errors.New("canister: block does not match header")
+	}
+	if c.blocks[hash] != nil {
+		return nil // duplicate delivery is harmless
+	}
+	// The predecessor's block must be available (or be the anchor itself).
+	prev := c.tree.Get(bw.Header.PrevBlock)
+	if prev == nil {
+		return chain.ErrOrphan
+	}
+	if prev != c.tree.Root() && c.blocks[prev.Hash] == nil {
+		return errors.New("canister: predecessor block not available")
+	}
+	if err := c.acceptHeader(ctx, bw.Header); err != nil {
+		return err
+	}
+	if err := chain.ValidateBlock(bw.Block); err != nil {
+		return err
+	}
+	c.blocks[hash] = bw.Block
+	c.ingestedBlocks++
+	return nil
+}
+
+// advanceAnchor implements the while-loop of Algorithm 2 (lines 5-13): as
+// long as some available block at height h(β*)+1 is difficulty-based
+// δ-stable with respect to w(β*), fold it into U and re-root the tree.
+func (c *BitcoinCanister) advanceAnchor(ctx *ic.CallContext) {
+	for {
+		root := c.tree.Root()
+		candidates := c.tree.AtHeight(root.Height + 1)
+		var next *chain.Node
+		for _, cand := range candidates {
+			if c.blocks[cand.Hash] == nil {
+				continue
+			}
+			if next == nil || c.tree.DepthByWork(cand).Cmp(c.tree.DepthByWork(next)) > 0 {
+				next = cand
+			}
+		}
+		if next == nil {
+			return
+		}
+		if !c.tree.IsWorkStable(next, c.cfg.StabilityThreshold, root.Work) {
+			return
+		}
+		// Stable: ingest the block into U, discard it, advance the anchor.
+		block := c.blocks[next.Hash]
+		c.ingestStableBlock(ctx, block, next.Height)
+		delete(c.blocks, next.Hash)
+		// Prune competing branches (and their stored blocks) below the new
+		// anchor; "all but the single stable block header are removed".
+		for _, other := range candidates {
+			if other != next {
+				c.dropSubtreeBlocks(other)
+			}
+		}
+		if err := c.tree.Reroot(next); err != nil {
+			// Cannot happen: next is in the tree. Record and stop.
+			c.applyErrors++
+			return
+		}
+		c.stableHeaders = append(c.stableHeaders, next.Header)
+		c.anchorHeight = next.Height
+	}
+}
+
+// dropSubtreeBlocks removes stored blocks for an entire pruned branch.
+func (c *BitcoinCanister) dropSubtreeBlocks(n *chain.Node) {
+	delete(c.blocks, n.Hash)
+	for _, child := range n.Children() {
+		c.dropSubtreeBlocks(child)
+	}
+}
+
+// ingestStableBlock applies a stable block's transactions to U, metering
+// the work (the Fig 6 cost breakdown: input removals and output
+// insertions). Missing inputs are tolerated — the canister trusts proof of
+// work, not transaction validity.
+func (c *BitcoinCanister) ingestStableBlock(ctx *ic.CallContext, block *btc.Block, height int64) {
+	ctx.Meter.Charge(ic.CostBlockOverhead, "block_overhead")
+	for _, tx := range block.Transactions {
+		ctx.Meter.Charge(ic.CostPerTxOverhead, "block_overhead")
+		if !tx.IsCoinbase() {
+			for i := range tx.Inputs {
+				ctx.Meter.Charge(ic.CostPerInputRemove, "remove_inputs")
+				if _, err := c.stable.Remove(tx.Inputs[i].PreviousOutPoint); err != nil {
+					c.applyErrors++
+				}
+			}
+		}
+		txid := tx.TxID()
+		for vout := range tx.Outputs {
+			ctx.Meter.Charge(ic.CostPerOutputInsert, "insert_outputs")
+			op := btc.OutPoint{TxID: txid, Vout: uint32(vout)}
+			if err := c.stable.Add(op, tx.Outputs[vout], height); err != nil {
+				c.applyErrors++
+			}
+		}
+	}
+}
+
+// ageOutgoing decrements rebroadcast budgets and drops exhausted entries.
+func (c *BitcoinCanister) ageOutgoing() {
+	kept := c.outgoing[:0]
+	for _, tx := range c.outgoing {
+		tx.rounds--
+		if tx.rounds > 0 {
+			kept = append(kept, tx)
+		}
+	}
+	c.outgoing = kept
+}
+
+// updateSynced recomputes the τ condition of Algorithm 2 (lines 21-22).
+func (c *BitcoinCanister) updateSynced() {
+	maxT := c.tree.MaxHeight()
+	maxA := c.tree.Root().Height
+	c.tree.BFSFrom(c.tree.Root(), func(n *chain.Node) bool {
+		if c.blocks[n.Hash] != nil && n.Height > maxA {
+			maxA = n.Height
+		}
+		return true
+	})
+	c.availableHeight = maxA
+	c.synced = maxT-maxA <= c.cfg.SyncSlack
+}
+
+// AvailableHeight returns the greatest height for which the canister holds
+// the block itself (headers may extend further, bounded by τ).
+func (c *BitcoinCanister) AvailableHeight() int64 {
+	if c.availableHeight < c.tree.Root().Height {
+		return c.tree.Root().Height
+	}
+	return c.availableHeight
+}

@@ -1,0 +1,355 @@
+// Package chain implements the block-tree machinery of §II-B and the novel
+// stability concepts of §II-C of the paper: heights, the two depth functions
+// d_c (confirmation counting) and d_w (cumulative hash work), δ-stability
+// (Definition II.1), and current-chain selection.
+//
+// The package operates on block headers only; blocks themselves are handled
+// by the adapter and the Bitcoin canister, which both embed a *Tree.
+package chain
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+	"sort"
+
+	"icbtc/internal/btc"
+)
+
+// Node is a header in the block tree together with its tree metadata.
+type Node struct {
+	Header btc.BlockHeader
+	Hash   btc.Hash
+	Height int64
+	// Work is w(b): the expected hash work for this block's target.
+	Work *big.Int
+	// CumulativeWork is the total work on the path from the root to this
+	// node inclusive (used for chain selection shortcuts).
+	CumulativeWork *big.Int
+
+	// tsWindow caches the timestamps of the up-to-11 chain blocks ending at
+	// this node, so median-time-past stays correct after the tree is
+	// rerooted (ancestors below the new root are gone but their timestamps
+	// must still anchor the MTP rule).
+	tsWindow []uint32
+
+	parent   *Node
+	children []*Node
+}
+
+// Parent returns the node's parent, or nil for the root.
+func (n *Node) Parent() *Node { return n.parent }
+
+// Children returns the successors succ(b). The returned slice is shared;
+// callers must not mutate it.
+func (n *Node) Children() []*Node { return n.children }
+
+// Tree is a rooted tree of block headers. The root is typically the genesis
+// header (in the adapter) or the current anchor (in the Bitcoin canister).
+type Tree struct {
+	root  *Node
+	nodes map[btc.Hash]*Node
+	// byHeight indexes nodes by height for stability queries.
+	byHeight map[int64][]*Node
+	maxH     int64
+}
+
+// Well-known errors returned by Insert.
+var (
+	ErrOrphan    = errors.New("chain: header's predecessor is not in the tree")
+	ErrDuplicate = errors.New("chain: header already in the tree")
+)
+
+// NewTree creates a tree rooted at the given header with the given height.
+func NewTree(root btc.BlockHeader, height int64) *Tree {
+	work := btc.WorkForBits(root.Bits)
+	rn := &Node{
+		Header:         root,
+		Hash:           root.BlockHash(),
+		Height:         height,
+		Work:           work,
+		CumulativeWork: new(big.Int).Set(work),
+		tsWindow:       []uint32{root.Timestamp},
+	}
+	t := &Tree{
+		root:     rn,
+		nodes:    map[btc.Hash]*Node{rn.Hash: rn},
+		byHeight: map[int64][]*Node{height: {rn}},
+		maxH:     height,
+	}
+	return t
+}
+
+// Root returns the tree's root node.
+func (t *Tree) Root() *Node { return t.root }
+
+// Len returns the number of headers in the tree.
+func (t *Tree) Len() int { return len(t.nodes) }
+
+// MaxHeight returns the greatest height of any header in the tree.
+func (t *Tree) MaxHeight() int64 { return t.maxH }
+
+// Get returns the node for a header hash, or nil.
+func (t *Tree) Get(h btc.Hash) *Node { return t.nodes[h] }
+
+// Contains reports whether the tree holds the header with the given hash.
+func (t *Tree) Contains(h btc.Hash) bool { return t.nodes[h] != nil }
+
+// AtHeight returns all nodes at a height. The returned slice is shared.
+func (t *Tree) AtHeight(h int64) []*Node { return t.byHeight[h] }
+
+// Insert adds a header whose predecessor must already be in the tree.
+func (t *Tree) Insert(header btc.BlockHeader) (*Node, error) {
+	hash := header.BlockHash()
+	if t.nodes[hash] != nil {
+		return nil, fmt.Errorf("%w: %s", ErrDuplicate, hash)
+	}
+	parent := t.nodes[header.PrevBlock]
+	if parent == nil {
+		return nil, fmt.Errorf("%w: %s (prev %s)", ErrOrphan, hash, header.PrevBlock)
+	}
+	work := btc.WorkForBits(header.Bits)
+	window := make([]uint32, 0, 11)
+	if len(parent.tsWindow) >= 11 {
+		window = append(window, parent.tsWindow[len(parent.tsWindow)-10:]...)
+	} else {
+		window = append(window, parent.tsWindow...)
+	}
+	window = append(window, header.Timestamp)
+	n := &Node{
+		Header:         header,
+		Hash:           hash,
+		Height:         parent.Height + 1,
+		Work:           work,
+		CumulativeWork: new(big.Int).Add(parent.CumulativeWork, work),
+		tsWindow:       window,
+		parent:         parent,
+	}
+	parent.children = append(parent.children, n)
+	t.nodes[hash] = n
+	t.byHeight[n.Height] = append(t.byHeight[n.Height], n)
+	if n.Height > t.maxH {
+		t.maxH = n.Height
+	}
+	return n, nil
+}
+
+// DepthByCount computes d_c(b): the maximum number of blocks (counting b
+// itself) on any path from b to a connected tip. This is the confirmation
+// depth: a transaction in b has d_c(b) confirmations when b is on the chain.
+func (t *Tree) DepthByCount(n *Node) int64 {
+	if n == nil {
+		return 0
+	}
+	best := int64(0)
+	for _, c := range n.children {
+		if d := t.DepthByCount(c); d > best {
+			best = d
+		}
+	}
+	return best + 1
+}
+
+// DepthByWork computes d_w(b): the maximum cumulative hash work on any path
+// from b to a connected tip, including b's own work.
+func (t *Tree) DepthByWork(n *Node) *big.Int {
+	if n == nil {
+		return new(big.Int)
+	}
+	best := new(big.Int)
+	for _, c := range n.children {
+		if d := t.DepthByWork(c); d.Cmp(best) > 0 {
+			best = d
+		}
+	}
+	return best.Add(best, n.Work)
+}
+
+// StabilityByCount returns the confirmation-based stability of node n: the
+// largest δ for which n is δ-stable under d_c, which by Definition II.1 is
+//
+//	min( d_c(n), min over siblings b' at the same height of d_c(n)-d_c(b') ).
+//
+// The value is negative when a competing block at the same height is deeper,
+// exactly as in Figure 3 of the paper.
+func (t *Tree) StabilityByCount(n *Node) int64 {
+	if n == nil {
+		return 0
+	}
+	own := t.DepthByCount(n)
+	stability := own
+	for _, other := range t.byHeight[n.Height] {
+		if other == n {
+			continue
+		}
+		if gap := own - t.DepthByCount(other); gap < stability {
+			stability = gap
+		}
+	}
+	return stability
+}
+
+// IsCountStable reports whether n is δ-stable under d_c (Definition II.1).
+func (t *Tree) IsCountStable(n *Node, delta int64) bool {
+	if delta <= 0 {
+		return true
+	}
+	return t.StabilityByCount(n) >= delta
+}
+
+// WorkStabilityRelativeTo returns the difficulty-based stability of n
+// expressed relative to the work of reference block ref, i.e. the largest δ
+// such that n is difficulty-based δ-stable with respect to ref:
+//
+//	min( d_w(n), min gap to same-height competitors ) / w(ref)
+//
+// following §II-C's normalization d_w(b)/w(b*). The result is a rational
+// value; the integer floor is returned along with the exact numerator for
+// callers that need precision.
+func (t *Tree) WorkStabilityRelativeTo(n *Node, refWork *big.Int) *big.Rat {
+	if n == nil || refWork == nil || refWork.Sign() <= 0 {
+		return new(big.Rat)
+	}
+	own := t.DepthByWork(n)
+	minVal := new(big.Int).Set(own)
+	for _, other := range t.byHeight[n.Height] {
+		if other == n {
+			continue
+		}
+		gap := new(big.Int).Sub(own, t.DepthByWork(other))
+		if gap.Cmp(minVal) < 0 {
+			minVal.Set(gap)
+		}
+	}
+	return new(big.Rat).SetFrac(minVal, refWork)
+}
+
+// IsWorkStable reports whether n is difficulty-based δ-stable with respect
+// to a reference work value: d_w(n)/w(ref) ≥ δ and the same-height dominance
+// condition holds with margin δ·w(ref).
+func (t *Tree) IsWorkStable(n *Node, delta int64, refWork *big.Int) bool {
+	if n == nil {
+		return false
+	}
+	threshold := new(big.Rat).SetInt64(delta)
+	return t.WorkStabilityRelativeTo(n, refWork).Cmp(threshold) >= 0
+}
+
+// Tip returns the tip of the current blockchain: the leaf that maximizes
+// cumulative work from the root (ties broken by lower hash for determinism,
+// which every replica computes identically).
+func (t *Tree) Tip() *Node {
+	var best *Node
+	for _, n := range t.nodes {
+		if len(n.children) != 0 {
+			continue
+		}
+		if best == nil || n.CumulativeWork.Cmp(best.CumulativeWork) > 0 ||
+			(n.CumulativeWork.Cmp(best.CumulativeWork) == 0 && lessHash(n.Hash, best.Hash)) {
+			best = n
+		}
+	}
+	return best
+}
+
+// CurrentChain returns the node path from the root to Tip(), inclusive.
+func (t *Tree) CurrentChain() []*Node {
+	tip := t.Tip()
+	if tip == nil {
+		return nil
+	}
+	var rev []*Node
+	for n := tip; n != nil; n = n.parent {
+		rev = append(rev, n)
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// BFSFrom visits nodes in breadth-first order starting at start (inclusive),
+// calling visit for each; visit returning false stops the walk. Children are
+// visited in deterministic (hash-sorted) order so that every replica walks
+// the tree identically — required for the adapter's Algorithm 1.
+func (t *Tree) BFSFrom(start *Node, visit func(*Node) bool) {
+	if start == nil {
+		return
+	}
+	queue := []*Node{start}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		if !visit(n) {
+			return
+		}
+		kids := make([]*Node, len(n.children))
+		copy(kids, n.children)
+		sort.Slice(kids, func(i, j int) bool { return lessHash(kids[i].Hash, kids[j].Hash) })
+		queue = append(queue, kids...)
+	}
+}
+
+// Reroot rebases the tree at newRoot, discarding everything that is not a
+// descendant of newRoot. Used by the Bitcoin canister when the anchor
+// advances: competing headers below the new anchor are removed while the
+// stable chain's header is kept as the new root.
+func (t *Tree) Reroot(newRoot *Node) error {
+	if t.nodes[newRoot.Hash] != newRoot {
+		return errors.New("chain: new root is not in the tree")
+	}
+	nodes := make(map[btc.Hash]*Node, len(t.nodes))
+	byHeight := make(map[int64][]*Node, len(t.byHeight))
+	maxH := newRoot.Height
+	var walk func(*Node)
+	walk = func(n *Node) {
+		nodes[n.Hash] = n
+		byHeight[n.Height] = append(byHeight[n.Height], n)
+		if n.Height > maxH {
+			maxH = n.Height
+		}
+		for _, c := range n.children {
+			walk(c)
+		}
+	}
+	newRoot.parent = nil
+	walk(newRoot)
+	t.root = newRoot
+	t.nodes = nodes
+	t.byHeight = byHeight
+	t.maxH = maxH
+	return nil
+}
+
+// Ancestors returns the chain of nodes from the root to n inclusive.
+func (t *Tree) Ancestors(n *Node) []*Node {
+	var rev []*Node
+	for cur := n; cur != nil; cur = cur.parent {
+		rev = append(rev, cur)
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// Tips returns all leaves of the tree.
+func (t *Tree) Tips() []*Node {
+	var tips []*Node
+	for _, n := range t.nodes {
+		if len(n.children) == 0 {
+			tips = append(tips, n)
+		}
+	}
+	sort.Slice(tips, func(i, j int) bool { return lessHash(tips[i].Hash, tips[j].Hash) })
+	return tips
+}
+
+func lessHash(a, b btc.Hash) bool {
+	for i := btc.HashSize - 1; i >= 0; i-- {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}

@@ -1,0 +1,127 @@
+package chain
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+	"time"
+
+	"icbtc/internal/btc"
+)
+
+// Header validation shared by the Bitcoin adapter (§III-B) and the Bitcoin
+// canister (§III-C), which performs "the same checks on the block headers as
+// the Bitcoin adapter":
+//
+//  1. the header is well-formed,
+//  2. hashPrevBlock points to a locally available header,
+//  3. the Bits field contains the correct difficulty target,
+//  4. the block header hash satisfies this target, and
+//  5. the Time field contains a valid block timestamp.
+
+// Validation errors.
+var (
+	ErrBadPoW       = errors.New("chain: header hash does not satisfy its target")
+	ErrBadBits      = errors.New("chain: header bits do not match expected difficulty")
+	ErrBadTimestamp = errors.New("chain: invalid header timestamp")
+)
+
+// ExpectedBits returns the difficulty target a header extending parent must
+// carry. Inside a retarget window the child reuses the parent's bits; at a
+// window boundary the target is retargeted by the ratio of actual to
+// intended timespan, clamped to [1/4, 4] as in Bitcoin, and never easier
+// than the network's proof-of-work limit. Networks with
+// DifficultyAdjustmentWindow <= 0 (regtest) never retarget.
+func ExpectedBits(parent *Node, params *btc.Params) uint32 {
+	if parent == nil {
+		return params.PowLimitBits
+	}
+	window := int64(params.DifficultyAdjustmentWindow)
+	if window <= 0 || (parent.Height+1)%window != 0 {
+		return parent.Header.Bits
+	}
+	// Walk back to the first block of the closing window.
+	first := parent
+	for i := int64(0); i < window-1 && first.Parent() != nil; i++ {
+		first = first.Parent()
+	}
+	actual := int64(parent.Header.Timestamp) - int64(first.Header.Timestamp)
+	target := int64(params.TargetBlockInterval/time.Second) * (window - 1)
+	if target <= 0 {
+		return parent.Header.Bits
+	}
+	// Clamp the adjustment factor to [1/4, 4].
+	if actual < target/4 {
+		actual = target / 4
+	}
+	if actual > target*4 {
+		actual = target * 4
+	}
+	oldTarget := btc.CompactToBig(parent.Header.Bits)
+	newTarget := new(big.Int).Mul(oldTarget, big.NewInt(actual))
+	newTarget.Div(newTarget, big.NewInt(target))
+	limit := btc.CompactToBig(params.PowLimitBits)
+	if newTarget.Cmp(limit) > 0 {
+		newTarget.Set(limit)
+	}
+	if newTarget.Sign() <= 0 {
+		newTarget.SetInt64(1)
+	}
+	return btc.BigToCompact(newTarget)
+}
+
+// ValidateHeader performs the full §III-B header check for a header whose
+// predecessor node is parent (which must be non-nil; orphan checks happen at
+// insertion). now anchors the future-timestamp bound.
+func ValidateHeader(header *btc.BlockHeader, parent *Node, params *btc.Params, now time.Time) error {
+	if header == nil {
+		return errors.New("chain: nil header")
+	}
+	if parent == nil {
+		return ErrOrphan
+	}
+	if want := ExpectedBits(parent, params); header.Bits != want {
+		return fmt.Errorf("%w: got 0x%08x, want 0x%08x", ErrBadBits, header.Bits, want)
+	}
+	if !btc.HashMeetsTarget(header.BlockHash(), header.Bits) {
+		return fmt.Errorf("%w: %s", ErrBadPoW, header.BlockHash())
+	}
+	mtp := medianTimePastOf(parent)
+	if err := btc.ValidateTimestamp(header.Timestamp, mtp, now); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadTimestamp, err)
+	}
+	return nil
+}
+
+// medianTimePastOf returns the median of the timestamp window ending at n.
+// The window is cached on the node at insertion time (see Node.tsWindow) so
+// the value is identical on trees that have been rerooted at an anchor.
+func medianTimePastOf(n *Node) uint32 {
+	return btc.MedianTimePast(n.tsWindow)
+}
+
+// ValidateBlock performs the Bitcoin canister's block checks of §III-C: the
+// block must be well-formed, its header must be valid (caller's concern),
+// and the Merkle tree root of the transactions must match the header.
+// Transaction spend conditions are deliberately NOT verified (the canister
+// "relies on the proof of work that goes into the blocks").
+func ValidateBlock(block *btc.Block) error {
+	if block == nil {
+		return errors.New("chain: nil block")
+	}
+	if len(block.Transactions) == 0 {
+		return errors.New("chain: block has no transactions")
+	}
+	if !block.Transactions[0].IsCoinbase() {
+		return errors.New("chain: first transaction is not a coinbase")
+	}
+	for i, tx := range block.Transactions[1:] {
+		if tx.IsCoinbase() {
+			return fmt.Errorf("chain: transaction %d is an extra coinbase", i+1)
+		}
+	}
+	if got := block.MerkleRoot(); got != block.Header.MerkleRoot {
+		return fmt.Errorf("chain: merkle root mismatch: computed %s, header %s", got, block.Header.MerkleRoot)
+	}
+	return nil
+}

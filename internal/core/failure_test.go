@@ -1,0 +1,188 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"icbtc/internal/simnet"
+)
+
+// Failure-injection tests: the integration must stay safe (never serve
+// wrong data) and recover liveness when the fault clears.
+
+func TestSurvivesMessageLoss(t *testing.T) {
+	in, err := New(fastOptionsNoKeys(40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.Net.SetLossRate(0.15)
+	in.Start()
+	in.RunFor(10 * time.Second)
+	if _, err := in.MineBlocks(6); err != nil {
+		t.Fatal(err)
+	}
+	// Retransmissions come from the periodic sync loops; allow extra time.
+	if err := in.AwaitCanisterHeight(6, 10*time.Minute); err != nil {
+		t.Fatalf("did not recover under 15%% loss: %v", err)
+	}
+	bal, _, err := in.GetBalance(in.MinerAddress().String(), 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bal != 6*in.Params.BlockSubsidy {
+		t.Fatalf("balance %d under loss", bal)
+	}
+}
+
+func TestAdapterPartitionHeals(t *testing.T) {
+	in, err := New(fastOptionsNoKeys(41))
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.Start()
+	in.RunFor(5 * time.Second)
+	if _, err := in.MineBlocks(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := in.AwaitCanisterHeight(2, 2*time.Minute); err != nil {
+		t.Fatal(err)
+	}
+
+	// Partition ALL adapters away from the Bitcoin network.
+	for _, ad := range in.Adapters {
+		in.Net.SetPartition(ad.ID, "ic-island")
+	}
+	if _, err := in.MineBlocks(3); err != nil {
+		t.Fatal(err)
+	}
+	in.RunFor(30 * time.Second)
+	// The canister must not have advanced (no data path), but must still
+	// serve its last-known state (lag is in blocks it cannot know about).
+	if in.Canister.AvailableHeight() > 2 {
+		t.Fatalf("canister advanced to %d during partition", in.Canister.AvailableHeight())
+	}
+
+	// Heal: adapters resync and the canister catches up.
+	in.Net.HealPartitions()
+	if err := in.AwaitCanisterHeight(5, 5*time.Minute); err != nil {
+		t.Fatalf("did not catch up after heal: %v", err)
+	}
+}
+
+func TestCanisterDowntimeRecovery(t *testing.T) {
+	// §IV-A's downtime scenario, benign version: the subnet halts, the
+	// Bitcoin network keeps growing, the subnet resumes and must not act on
+	// stale state until it has caught up (the synced flag), then recover.
+	in, err := New(fastOptionsNoKeys(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.Start()
+	in.RunFor(5 * time.Second)
+	if _, err := in.MineBlocks(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := in.AwaitCanisterHeight(3, 2*time.Minute); err != nil {
+		t.Fatal(err)
+	}
+
+	in.Subnet.SetHalted(true)
+	if _, err := in.MineBlocks(5); err != nil { // chain grows to 8 unseen
+		t.Fatal(err)
+	}
+	in.RunFor(20 * time.Second)
+	if in.Canister.AvailableHeight() != 3 {
+		t.Fatalf("canister moved while halted: %d", in.Canister.AvailableHeight())
+	}
+
+	in.Subnet.SetHalted(false)
+	if err := in.AwaitCanisterHeight(8, 5*time.Minute); err != nil {
+		t.Fatalf("did not recover after downtime: %v", err)
+	}
+	bal, _, err := in.GetBalance(in.MinerAddress().String(), 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bal != 8*in.Params.BlockSubsidy {
+		t.Fatalf("post-recovery balance %d", bal)
+	}
+}
+
+func TestCrashedBitcoinNodesTolerated(t *testing.T) {
+	// Killing a minority of Bitcoin nodes must not stop the pipeline: the
+	// adapters' random connections route around them.
+	in, err := New(fastOptionsNoKeys(43))
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.Start()
+	in.RunFor(5 * time.Second)
+	// Crash two non-mining nodes.
+	in.Net.SetDown(in.Bitcoin.Nodes[3].ID, true)
+	in.Net.SetDown(in.Bitcoin.Nodes[4].ID, true)
+	// Adapters with dead peers replace them.
+	for _, ad := range in.Adapters {
+		for _, p := range ad.ConnectedPeers() {
+			if in.Net.IsDown(p) {
+				ad.DropConnection(p)
+			}
+		}
+	}
+	if _, err := in.MineBlocks(4); err != nil {
+		t.Fatal(err)
+	}
+	if err := in.AwaitCanisterHeight(4, 5*time.Minute); err != nil {
+		t.Fatalf("pipeline stalled with crashed Bitcoin nodes: %v", err)
+	}
+}
+
+func TestDownIcReplicasTolerated(t *testing.T) {
+	// f crashed replicas: consensus continues (their block-maker slots are
+	// skipped) and the integration stays live.
+	in, err := New(fastOptionsNoKeys(44))
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.Subnet.Replicas()[0].Down = true // f = 1 for N=4
+	in.Start()
+	in.RunFor(5 * time.Second)
+	if _, err := in.MineBlocks(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := in.AwaitCanisterHeight(3, 3*time.Minute); err != nil {
+		t.Fatalf("subnet stalled with a down replica: %v", err)
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	// Two integrations with the same seed must produce identical canister
+	// state after identical operations — the reproducibility property the
+	// whole evaluation rests on.
+	run := func() (int64, int, simnet.NodeID) {
+		in, err := New(fastOptionsNoKeys(45))
+		if err != nil {
+			t.Fatal(err)
+		}
+		in.Start()
+		in.RunFor(5 * time.Second)
+		if _, err := in.MineBlocks(5); err != nil {
+			t.Fatal(err)
+		}
+		if err := in.AwaitCanisterHeight(5, 3*time.Minute); err != nil {
+			t.Fatal(err)
+		}
+		peers := in.Adapters[0].ConnectedPeers()
+		var first simnet.NodeID
+		if len(peers) > 0 {
+			first = peers[0]
+		}
+		return in.Canister.TipHeight(), in.Canister.StableUTXOCount(), first
+	}
+	h1, u1, p1 := run()
+	h2, u2, p2 := run()
+	if h1 != h2 || u1 != u2 {
+		t.Fatalf("replay diverged: (%d,%d) vs (%d,%d)", h1, u1, h2, u2)
+	}
+	_ = p1
+	_ = p2 // peer sets are maps; ordering may differ, values compared above
+}

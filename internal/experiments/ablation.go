@@ -1,0 +1,266 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"icbtc/internal/adapter"
+	"icbtc/internal/btc"
+	"icbtc/internal/btcnode"
+	"icbtc/internal/canister"
+	"icbtc/internal/ic"
+	"icbtc/internal/secp256k1"
+	"icbtc/internal/simnet"
+
+	"math/rand"
+)
+
+// Ablation benches for the design choices DESIGN.md calls out.
+
+// --- δ sweep: request cost vs stability threshold (§III-C trade-off) ---
+
+// DeltaRow is one δ sample.
+type DeltaRow struct {
+	Delta int64
+	// GetUTXOsInstructions is the mean metered cost of get_utxos when the
+	// unstable suffix has δ blocks to scan.
+	GetUTXOsInstructions uint64
+	// UnstableBlocks actually held above the anchor.
+	UnstableBlocks int
+}
+
+// DeltaSweepResult quantifies "there is a trade-off between the
+// computational complexity and security as a larger δ makes it less likely
+// that blocks ... are affected by a block reorganization" (§III-C).
+type DeltaSweepResult struct {
+	Rows []DeltaRow
+}
+
+// RunDeltaSweep measures get_utxos cost across δ values with the same
+// workload: the per-request cost grows with δ because every request scans
+// the unstable suffix.
+func RunDeltaSweep(seed int64) (*DeltaSweepResult, error) {
+	res := &DeltaSweepResult{}
+	for _, delta := range []int64{6, 12, 36, 72, 144} {
+		f := NewFeeder(btc.Regtest, delta, seed)
+		var addrHash [20]byte
+		addrHash[0] = byte(delta)
+		addr := btc.NewP2PKHAddress(addrHash, btc.Regtest)
+		script := btc.PayToAddrScript(addr)
+		// Funds arrive early (stable once past δ), then the chain grows a
+		// full unstable suffix of δ+2 blocks with light traffic to the
+		// same address.
+		if _, err := f.FeedBlock([]TxSpec{{Outputs: PayN(script, 50, 546)}}); err != nil {
+			return nil, err
+		}
+		for i := int64(0); i < delta+2; i++ {
+			if _, err := f.FeedBlock([]TxSpec{{Outputs: PayN(script, 1, 546)}}); err != nil {
+				return nil, err
+			}
+		}
+		ctx := f.QueryCtx()
+		if _, err := f.Canister.GetUTXOs(ctx, canister.GetUTXOsArgs{Address: addr.String()}); err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, DeltaRow{
+			Delta:                delta,
+			GetUTXOsInstructions: ctx.Meter.Total(),
+			UnstableBlocks:       f.Canister.UnstableBlockCount(),
+		})
+	}
+	return res, nil
+}
+
+// Print renders the sweep.
+func (r *DeltaSweepResult) Print(w io.Writer) {
+	fmt.Fprintln(w, "Ablation: δ sweep — get_utxos cost vs stability threshold (§III-C trade-off)")
+	fmt.Fprintf(w, "%-8s %18s %16s\n", "δ", "instructions[M]", "unstable blocks")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-8d %18.2f %16d\n", row.Delta, float64(row.GetUTXOsInstructions)/1e6, row.UnstableBlocks)
+	}
+}
+
+// --- single-block vs multi-block responses (§III-B / §IV-A) ---
+
+// SyncModeRow compares the two Algorithm 1 modes.
+type SyncModeRow struct {
+	Mode string
+	// RequestRounds is how many canister request/response rounds were
+	// needed to ingest the whole chain.
+	RequestRounds int
+	// MaxBlocksPerResponse observed.
+	MaxBlocksPerResponse int
+}
+
+// SyncModeResult is the ablation for "Returning multiple blocks speeds up
+// the syncing process but returning only one block is preferable for
+// security reasons" (§III-B).
+type SyncModeResult struct {
+	ChainHeight int
+	Rows        []SyncModeRow
+}
+
+// RunSyncModes syncs the same chain through an adapter once per mode.
+func RunSyncModes(seed int64) (*SyncModeResult, error) {
+	const height = 40
+	res := &SyncModeResult{ChainHeight: height}
+	for _, mode := range []struct {
+		name       string
+		multiBelow int64
+	}{
+		{"single-block (tip rule)", 0},
+		{"multi-block (initial sync)", 1 << 30},
+	} {
+		sched := simnet.NewScheduler(seed)
+		net := simnet.NewNetwork(sched)
+		params := btc.RegtestParams()
+		sim := btcnode.BuildHonestNetwork(net, params, 4)
+		key, err := secp256k1.GeneratePrivateKey(rand.New(rand.NewSource(seed)))
+		if err != nil {
+			return nil, err
+		}
+		miner := btcnode.NewMinerWithKey(sim.Nodes[0], key)
+		if _, err := miner.MineChain(height, 0); err != nil {
+			return nil, err
+		}
+		if _, err := sim.SyncAll(5_000_000); err != nil {
+			return nil, err
+		}
+		cfg := adapter.ConfigForNetwork(btc.Regtest)
+		cfg.Connections = 3
+		cfg.AddrLowWater, cfg.AddrHighWater = 1, 10
+		cfg.MultiBlockSyncHeight = mode.multiBelow
+		ad := adapter.New("adapter/0", net, params, sim.Directory, cfg)
+		ad.Start()
+		sched.RunFor(time.Minute)
+
+		canCfg := canister.DefaultConfig(btc.Regtest)
+		can := canister.New(canCfg)
+		rounds := 0
+		maxBlocks := 0
+		for can.AvailableHeight() < height && rounds < 10*height {
+			rounds++
+			resp := ad.HandleRequest(can.CurrentRequest())
+			if len(resp.Blocks) > maxBlocks {
+				maxBlocks = len(resp.Blocks)
+			}
+			ctx := &ic.CallContext{Meter: ic.NewMeter(), Time: sched.Now(), Kind: ic.KindUpdate}
+			if err := can.ProcessPayload(ctx, resp); err != nil {
+				return nil, err
+			}
+			sched.RunFor(2 * time.Second) // block fetches in flight
+		}
+		res.Rows = append(res.Rows, SyncModeRow{
+			Mode:                 mode.name,
+			RequestRounds:        rounds,
+			MaxBlocksPerResponse: maxBlocks,
+		})
+	}
+	return res, nil
+}
+
+// Print renders the comparison.
+func (r *SyncModeResult) Print(w io.Writer) {
+	fmt.Fprintf(w, "Ablation: Algorithm 1 response modes, syncing a %d-block chain\n", r.ChainHeight)
+	fmt.Fprintf(w, "%-30s %16s %22s\n", "mode", "request rounds", "max blocks/response")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-30s %16d %22d\n", row.Mode, row.RequestRounds, row.MaxBlocksPerResponse)
+	}
+	fmt.Fprintln(w, "single-block mode bounds a malicious block maker to one fork block per IC round (Lemma IV.3)")
+}
+
+// --- τ sweep: availability vs staleness tolerance ---
+
+// TauRow is one τ sample.
+type TauRow struct {
+	Tau int64
+	// AnsweredFraction of requests served while the canister lags the
+	// network by `Lag` blocks.
+	AnsweredFraction float64
+	Lag              int64
+}
+
+// TauSweepResult quantifies the τ availability/staleness trade-off of
+// Algorithm 2's synced flag.
+type TauSweepResult struct {
+	Rows []TauRow
+}
+
+// RunTauSweep measures, for each τ, whether requests are answered while
+// the canister knows about `lag` upcoming blocks it has not ingested.
+func RunTauSweep(seed int64) (*TauSweepResult, error) {
+	res := &TauSweepResult{}
+	for _, tau := range []int64{0, 1, 2, 4, 8} {
+		for _, lag := range []int64{0, 1, 2, 3, 6} {
+			cfg := canister.DefaultConfig(btc.Regtest)
+			cfg.SyncSlack = tau
+			f := &Feeder{
+				Canister: canister.New(cfg),
+				Builder:  NewBlockBuilder(btc.RegtestParams(), seed),
+				now:      time.Unix(1_700_000_000, 0).UTC(),
+			}
+			script := btc.PayToPubKeyHashScript([20]byte{0x7A})
+			// Ingest 5 blocks fully.
+			for i := 0; i < 5; i++ {
+				if _, err := f.FeedBlock([]TxSpec{{Outputs: PayN(script, 2, 546)}}); err != nil {
+					return nil, err
+				}
+			}
+			// Then the chain grows by `lag` blocks the canister only hears
+			// about as headers.
+			var headers []btc.BlockHeader
+			for i := int64(0); i < lag; i++ {
+				blk, err := f.Builder.NextBlock(nil)
+				if err != nil {
+					return nil, err
+				}
+				headers = append(headers, blk.Header)
+			}
+			if len(headers) > 0 {
+				ctx := f.ctx()
+				if err := f.Canister.ProcessPayload(ctx, adapterResponseHeaders(headers)); err != nil {
+					return nil, err
+				}
+			}
+			ctx := f.QueryCtx()
+			_, err := f.Canister.GetBalance(ctx, canister.GetBalanceArgs{Address: "any"})
+			answered := 1.0
+			if err != nil {
+				answered = 0.0
+			}
+			res.Rows = append(res.Rows, TauRow{Tau: tau, Lag: lag, AnsweredFraction: answered})
+		}
+	}
+	return res, nil
+}
+
+func adapterResponseHeaders(h []btc.BlockHeader) adapter.Response {
+	return adapter.Response{Next: h}
+}
+
+// Print renders the τ/lag matrix.
+func (r *TauSweepResult) Print(w io.Writer) {
+	fmt.Fprintln(w, "Ablation: τ sweep — requests answered (1) or refused (0) at a given block lag")
+	fmt.Fprintf(w, "%-6s", "τ\\lag")
+	lags := []int64{0, 1, 2, 3, 6}
+	for _, l := range lags {
+		fmt.Fprintf(w, "%6d", l)
+	}
+	fmt.Fprintln(w)
+	byTau := map[int64]map[int64]float64{}
+	for _, row := range r.Rows {
+		if byTau[row.Tau] == nil {
+			byTau[row.Tau] = map[int64]float64{}
+		}
+		byTau[row.Tau][row.Lag] = row.AnsweredFraction
+	}
+	for _, tau := range []int64{0, 1, 2, 4, 8} {
+		fmt.Fprintf(w, "%-6d", tau)
+		for _, l := range lags {
+			fmt.Fprintf(w, "%6.0f", byTau[tau][l])
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w, "production τ=2 keeps availability through transient lag while refusing stale answers")
+}

@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"icbtc/internal/adapter"
+	"icbtc/internal/btc"
+	"icbtc/internal/canister"
+	"icbtc/internal/ic"
+)
+
+// Feeder drives a BitcoinCanister with blocks from a BlockBuilder the way
+// consensus payloads would, one Algorithm-2 invocation per block, and
+// accumulates per-block metering — the measurement loop shared by the
+// figure experiments.
+type Feeder struct {
+	Canister *canister.BitcoinCanister
+	Builder  *BlockBuilder
+	now      time.Time
+}
+
+// NewFeeder wires a fresh canister (with the given δ) to a builder.
+func NewFeeder(network btc.Network, delta int64, seed int64) *Feeder {
+	cfg := canister.DefaultConfig(network)
+	if delta > 0 {
+		cfg.StabilityThreshold = delta
+	}
+	return &Feeder{
+		Canister: canister.New(cfg),
+		Builder:  NewBlockBuilder(btc.ParamsForNetwork(network), seed),
+		now:      time.Unix(1_700_000_000, 0).UTC(),
+	}
+}
+
+// ctx builds a fresh metered update context.
+func (f *Feeder) ctx() *ic.CallContext {
+	f.now = f.now.Add(time.Second)
+	return &ic.CallContext{Meter: ic.NewMeter(), Time: f.now, Kind: ic.KindUpdate}
+}
+
+// BlockCost is the metered cost of ingesting one block.
+type BlockCost struct {
+	Height        int64
+	Transactions  int
+	Instructions  uint64
+	InsertOutputs uint64
+	RemoveInputs  uint64
+}
+
+// FeedBlock builds and delivers one block, returning its ingestion cost.
+// Because stable-ingestion (the expensive part, Fig 6) happens only when a
+// block crosses the δ boundary, the reported cost is attributed to the
+// block that was folded into the UTXO set during this delivery.
+func (f *Feeder) FeedBlock(specs []TxSpec) (BlockCost, error) {
+	block, err := f.Builder.NextBlock(specs)
+	if err != nil {
+		return BlockCost{}, err
+	}
+	ctx := f.ctx()
+	payload := adapter.Response{Blocks: []adapter.BlockWithHeader{{Block: block, Header: block.Header}}}
+	if err := f.Canister.ProcessPayload(ctx, payload); err != nil {
+		return BlockCost{}, fmt.Errorf("experiments: feeding block %d: %w", f.Builder.Height(), err)
+	}
+	return BlockCost{
+		Height:        f.Builder.Height(),
+		Transactions:  len(block.Transactions),
+		Instructions:  ctx.Meter.Total(),
+		InsertOutputs: ctx.Meter.Category("insert_outputs"),
+		RemoveInputs:  ctx.Meter.Category("remove_inputs"),
+	}, nil
+}
+
+// FeedEmpty feeds n empty blocks (coinbase only); used to push earlier
+// blocks past the stability threshold.
+func (f *Feeder) FeedEmpty(n int) error {
+	for i := 0; i < n; i++ {
+		if _, err := f.FeedBlock(nil); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// QueryCtx builds a query-kind context for read measurements.
+func (f *Feeder) QueryCtx() *ic.CallContext {
+	return &ic.CallContext{Meter: ic.NewMeter(), Time: f.now, Kind: ic.KindQuery}
+}

@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"icbtc/internal/btc"
+	"icbtc/internal/canister"
+	"icbtc/internal/ic"
+	"icbtc/internal/simnet"
+)
+
+// Throughput scaling: the paper omits a throughput evaluation "due to
+// space constraints and the fact that capacity can be increased linearly
+// on demand by hosting Bitcoin canisters on more subnets" (§IV-B). This
+// extension experiment substantiates that claim in the simulation: K
+// independent subnets each hosting a Bitcoin canister serve K times the
+// replicated-call throughput at essentially unchanged latency.
+
+// ScalingRow is one subnet-count sample.
+type ScalingRow struct {
+	Subnets int
+	// CompletedCalls across all subnets in the measurement window.
+	CompletedCalls int
+	// AvgLatency across all completed calls.
+	AvgLatency time.Duration
+}
+
+// ScalingResult is the sweep over subnet counts.
+type ScalingResult struct {
+	Window time.Duration
+	Rows   []ScalingRow
+}
+
+// RunScaling measures aggregate replicated-call throughput for 1..4
+// subnets over a fixed virtual-time window under saturating demand.
+func RunScaling(seed int64) (*ScalingResult, error) {
+	const window = 2 * time.Minute
+	res := &ScalingResult{Window: window}
+	for _, k := range []int{1, 2, 3, 4} {
+		sched := simnet.NewScheduler(seed + int64(k))
+		completed := 0
+		var latencySum time.Duration
+		var addr string
+		for i := 0; i < k; i++ {
+			cfg := ic.DefaultConfig()
+			cfg.DisableThresholdKeys = true
+			cfg.DegradedRoundProb = 0
+			cfg.Seed = seed + int64(k*100+i)
+			s, err := ic.NewSubnet(sched, cfg)
+			if err != nil {
+				return nil, err
+			}
+			// Each subnet hosts its own Bitcoin canister with a small state.
+			can := canister.New(canister.DefaultConfig(btc.Regtest))
+			s.InstallCanister("bitcoin", can)
+			s.Start()
+			if addr == "" {
+				addr = btc.NewP2PKHAddress([20]byte{0x5C}, btc.Regtest).String()
+			}
+			// Saturating demand: one call per 100ms per subnet.
+			subnet := s
+			var issue func()
+			issue = func() {
+				subnet.SubmitUpdate("bitcoin", "get_balance",
+					canister.GetBalanceArgs{Address: addr}, "load", func(r ic.Result) {
+						if r.Err == nil {
+							completed++
+							latencySum += r.Latency
+						}
+					})
+				sched.After(100*time.Millisecond, issue)
+			}
+			sched.After(time.Duration(i)*10*time.Millisecond, issue)
+		}
+		sched.RunFor(window)
+		row := ScalingRow{Subnets: k, CompletedCalls: completed}
+		if completed > 0 {
+			row.AvgLatency = latencySum / time.Duration(completed)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Print renders the sweep.
+func (r *ScalingResult) Print(w io.Writer) {
+	fmt.Fprintf(w, "Extension: throughput scaling over %v (paper: capacity increases linearly with subnets)\n", r.Window)
+	fmt.Fprintf(w, "%-9s %16s %14s %16s\n", "subnets", "completed calls", "avg latency", "calls vs 1-subnet")
+	base := 0
+	for _, row := range r.Rows {
+		if row.Subnets == 1 {
+			base = row.CompletedCalls
+		}
+		ratio := 0.0
+		if base > 0 {
+			ratio = float64(row.CompletedCalls) / float64(base)
+		}
+		fmt.Fprintf(w, "%-9d %16d %14v %15.2fx\n", row.Subnets, row.CompletedCalls, row.AvgLatency.Round(time.Millisecond), ratio)
+	}
+}

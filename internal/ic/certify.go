@@ -1,0 +1,25 @@
+package ic
+
+import (
+	"math/big"
+
+	"icbtc/internal/secp256k1"
+)
+
+// Thin wrappers keeping the subnet code free of direct big.Int plumbing.
+
+func parseSchnorr(sig []byte) (*secp256k1.SchnorrSignature, error) {
+	return secp256k1.ParseSchnorrSignature(sig)
+}
+
+func verifySchnorr(sig *secp256k1.SchnorrSignature, msg []byte, px *big.Int) bool {
+	return secp256k1.SchnorrVerify(sig, msg, px)
+}
+
+// xOnly extracts the x coordinate from a compressed public key.
+func xOnly(compressed []byte) *big.Int {
+	if len(compressed) != 33 {
+		return new(big.Int)
+	}
+	return new(big.Int).SetBytes(compressed[1:])
+}

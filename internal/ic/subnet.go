@@ -1,0 +1,453 @@
+package ic
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"icbtc/internal/simnet"
+	"icbtc/internal/tecdsa"
+)
+
+// Config parameterizes a subnet. Defaults reproduce the latency envelope
+// the paper reports for IC mainnet (§IV-B): replicated requests answered in
+// 7–18 s (min ≈ 7 s, p90 ≈ 18 s), queries in a few hundred milliseconds.
+type Config struct {
+	// N is the number of replicas (must be 3f+1 for some f ≥ 0).
+	N int
+	// RoundInterval is the target block time.
+	RoundInterval time.Duration
+	// FinalizeBase/FinalizeJitter bound the notarization+finalization delay
+	// after a block proposal.
+	FinalizeBase, FinalizeJitter time.Duration
+	// CertifyDelay is the response-certification (threshold signature) time.
+	CertifyDelay time.Duration
+	// XNetDelay is the one-way cross-subnet transfer time for replicated
+	// calls arriving from (and returning to) canisters on other subnets.
+	XNetDelay time.Duration
+	// DegradedRoundProb is the probability a round degrades (block maker
+	// timeout, fallback to the next rank), adding RoundExtension delay.
+	DegradedRoundProb float64
+	// RoundExtension is the extra delay of a degraded round.
+	RoundExtension time.Duration
+	// QueryRTTBase/QueryRTTJitter model the client↔replica network for
+	// non-replicated queries.
+	QueryRTTBase, QueryRTTJitter time.Duration
+	// QueryRate and UpdateRate convert instructions to execution seconds.
+	QueryRate, UpdateRate float64
+	// MaxIngressPerBlock bounds per-block ingress messages.
+	MaxIngressPerBlock int
+	// Seed seeds the beacon and the threshold-key DKG.
+	Seed int64
+	// DisableThresholdKeys skips DKG (faster tests that do not sign).
+	DisableThresholdKeys bool
+}
+
+// DefaultConfig returns the mainnet-flavored configuration: 13 replicas
+// (f = 4), 1 s rounds.
+func DefaultConfig() Config {
+	return Config{
+		N:                  13,
+		RoundInterval:      time.Second,
+		FinalizeBase:       900 * time.Millisecond,
+		FinalizeJitter:     900 * time.Millisecond,
+		CertifyDelay:       1200 * time.Millisecond,
+		XNetDelay:          2300 * time.Millisecond,
+		DegradedRoundProb:  0.12,
+		RoundExtension:     9 * time.Second,
+		QueryRTTBase:       180 * time.Millisecond,
+		QueryRTTJitter:     80 * time.Millisecond,
+		QueryRate:          2e8,
+		UpdateRate:         2e9,
+		MaxIngressPerBlock: 64,
+		Seed:               1,
+	}
+}
+
+// Replica is one subnet node. Honest replicas build payloads from their own
+// Bitcoin adapter; Byzantine replicas may substitute arbitrary payloads when
+// they are the block maker.
+type Replica struct {
+	Index int
+	ID    simnet.NodeID
+	// payloadBuilders produce per-canister payloads when this replica makes
+	// a block.
+	payloadBuilders map[CanisterID]PayloadBuilder
+	// Byzantine marks the replica as attacker-controlled.
+	Byzantine bool
+	// MaliciousPayload, when set on a Byzantine replica, overrides the
+	// payload for a canister when this replica is the block maker.
+	MaliciousPayload func(CanisterID) any
+	// Down marks a crashed replica; it is skipped as block maker.
+	Down bool
+}
+
+// SetPayloadBuilder installs the builder used when this replica proposes.
+func (r *Replica) SetPayloadBuilder(id CanisterID, b PayloadBuilder) {
+	r.payloadBuilders[id] = b
+}
+
+// Result is the outcome of a canister call.
+type Result struct {
+	Value any
+	Err   error
+	// Instructions charged during the execution.
+	Instructions uint64
+	// Latency is the end-to-end virtual time from submission to response.
+	Latency time.Duration
+	// Certified indicates the response carries a subnet threshold signature
+	// (replicated calls only).
+	Certified bool
+	// Signature is the subnet's Schnorr certification over the response
+	// hash, when Certified.
+	Signature []byte
+}
+
+// BlockMetrics records the execution cost of one finalized block.
+type BlockMetrics struct {
+	Round        int64
+	Instructions uint64
+	Categories   map[string]uint64
+	Ingress      int
+	Payloads     int
+}
+
+// Subnet is a replicated state machine hosting canisters.
+type Subnet struct {
+	cfg     Config
+	sched   *simnet.Scheduler
+	rng     *rand.Rand
+	beacon  []byte
+	running bool
+	halted  bool
+
+	replicas  []*Replica
+	canisters map[CanisterID]Canister
+	committee *tecdsa.Committee
+
+	round   int64
+	ingress []*pendingCall
+
+	// blockMetrics keeps per-block execution statistics for experiments.
+	blockMetrics []BlockMetrics
+	// onRound observers (tests hook round progression).
+	onRound []func(round int64, maker *Replica)
+}
+
+type pendingCall struct {
+	canister  CanisterID
+	method    string
+	arg       any
+	caller    string
+	submitted time.Time
+	cb        func(Result)
+}
+
+// NewSubnet creates a subnet with the given configuration on a scheduler.
+func NewSubnet(sched *simnet.Scheduler, cfg Config) (*Subnet, error) {
+	if cfg.N <= 0 || (cfg.N-1)%3 != 0 {
+		return nil, fmt.Errorf("ic: subnet size must be 3f+1, got %d", cfg.N)
+	}
+	s := &Subnet{
+		cfg:       cfg,
+		sched:     sched,
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		canisters: make(map[CanisterID]Canister),
+	}
+	seed := sha256.Sum256([]byte(fmt.Sprintf("beacon-%d", cfg.Seed)))
+	s.beacon = seed[:]
+	f := (cfg.N - 1) / 3
+	if !cfg.DisableThresholdKeys {
+		committee, err := tecdsa.NewCommittee(cfg.N, f, s.rng)
+		if err != nil {
+			return nil, fmt.Errorf("ic: threshold DKG: %w", err)
+		}
+		s.committee = committee
+	}
+	for i := 0; i < cfg.N; i++ {
+		s.replicas = append(s.replicas, &Replica{
+			Index:           i,
+			ID:              simnet.NodeID(fmt.Sprintf("ic/%d", i)),
+			payloadBuilders: make(map[CanisterID]PayloadBuilder),
+		})
+	}
+	return s, nil
+}
+
+// F returns the fault tolerance f = (n-1)/3.
+func (s *Subnet) F() int { return (s.cfg.N - 1) / 3 }
+
+// Replicas returns the subnet's replicas.
+func (s *Subnet) Replicas() []*Replica { return s.replicas }
+
+// Committee exposes the threshold-signature committee (nil when disabled).
+func (s *Subnet) Committee() *tecdsa.Committee { return s.committee }
+
+// Round returns the current consensus round number.
+func (s *Subnet) Round() int64 { return s.round }
+
+// InstallCanister deploys a canister under an ID.
+func (s *Subnet) InstallCanister(id CanisterID, c Canister) {
+	s.canisters[id] = c
+}
+
+// Canister returns an installed canister.
+func (s *Subnet) Canister(id CanisterID) Canister { return s.canisters[id] }
+
+// OnRound registers an observer invoked at each round start with the round
+// number and the selected block maker.
+func (s *Subnet) OnRound(fn func(round int64, maker *Replica)) {
+	s.onRound = append(s.onRound, fn)
+}
+
+// Start begins the consensus round loop.
+func (s *Subnet) Start() {
+	if s.running {
+		return
+	}
+	s.running = true
+	s.sched.After(s.cfg.RoundInterval, s.runRound)
+}
+
+// SetHalted pauses (true) or resumes (false) block production — the
+// "downtime of the Bitcoin canister" scenario of §IV-A. While halted the
+// round loop keeps ticking but produces no blocks.
+func (s *Subnet) SetHalted(h bool) { s.halted = h }
+
+// blockMakerFor ranks replicas for a round using the random beacon and
+// returns the first rank that is not down.
+func (s *Subnet) blockMakerFor(round int64) *Replica {
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], uint64(round))
+	h := sha256.Sum256(append(append([]byte{}, s.beacon...), buf[:]...))
+	// Fisher-Yates driven by the beacon gives the full ranking.
+	perm := make([]int, len(s.replicas))
+	for i := range perm {
+		perm[i] = i
+	}
+	rnd := rand.New(rand.NewSource(int64(binary.BigEndian.Uint64(h[:8]))))
+	rnd.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+	for _, idx := range perm {
+		if !s.replicas[idx].Down {
+			return s.replicas[idx]
+		}
+	}
+	return nil
+}
+
+// runRound executes one consensus round: select the block maker, assemble
+// the block (payloads + ingress), and schedule deterministic execution at
+// finalization time.
+func (s *Subnet) runRound() {
+	if !s.running {
+		return
+	}
+	defer s.sched.After(s.cfg.RoundInterval, s.runRound)
+	if s.halted {
+		return
+	}
+	round := s.round
+	s.round++
+	maker := s.blockMakerFor(round)
+	if maker == nil {
+		return // all replicas down
+	}
+	for _, fn := range s.onRound {
+		fn(round, maker)
+	}
+
+	// Assemble payloads: the block maker queries its own builders; a
+	// Byzantine maker may substitute arbitrary payloads.
+	type payloadEntry struct {
+		canister CanisterID
+		payload  any
+	}
+	var payloads []payloadEntry
+	for id := range s.canisters {
+		if _, ok := s.canisters[id].(PayloadProcessor); !ok {
+			continue
+		}
+		var p any
+		if maker.Byzantine && maker.MaliciousPayload != nil {
+			p = maker.MaliciousPayload(id)
+		} else if b := maker.payloadBuilders[id]; b != nil {
+			p = b.BuildPayload()
+		}
+		if p != nil {
+			payloads = append(payloads, payloadEntry{canister: id, payload: p})
+		}
+	}
+
+	// Drain ingress up to the per-block limit.
+	take := len(s.ingress)
+	if s.cfg.MaxIngressPerBlock > 0 && take > s.cfg.MaxIngressPerBlock {
+		take = s.cfg.MaxIngressPerBlock
+	}
+	batch := s.ingress[:take]
+	s.ingress = append([]*pendingCall(nil), s.ingress[take:]...)
+
+	// Finalization delay, possibly degraded (maker timeout → next rank).
+	delay := s.cfg.FinalizeBase
+	if s.cfg.FinalizeJitter > 0 {
+		delay += time.Duration(s.rng.Int63n(int64(s.cfg.FinalizeJitter)))
+	}
+	if s.cfg.DegradedRoundProb > 0 && s.rng.Float64() < s.cfg.DegradedRoundProb {
+		delay += s.cfg.RoundExtension
+	}
+	s.sched.After(delay, func() {
+		if s.halted {
+			return // halted while the block was in flight
+		}
+		blockTime := s.sched.Now()
+		metrics := BlockMetrics{Round: round, Categories: make(map[string]uint64)}
+		// 1. Payload processing (Bitcoin adapter responses etc.).
+		for _, pe := range payloads {
+			proc := s.canisters[pe.canister].(PayloadProcessor)
+			meter := NewMeter()
+			ctx := &CallContext{Meter: meter, Time: blockTime, Caller: "consensus", Kind: KindUpdate, subnet: s}
+			// Errors are intentionally swallowed after accounting: a bad
+			// payload must not halt the subnet.
+			_ = proc.ProcessPayload(ctx, pe.payload)
+			metrics.Instructions += meter.Total()
+			for k, v := range meter.Categories() {
+				metrics.Categories[k] += v
+			}
+			metrics.Payloads++
+		}
+		// 2. Ingress execution in consensus order.
+		for _, call := range batch {
+			s.executeUpdate(call, blockTime, &metrics)
+		}
+		// 3. Timers.
+		for _, can := range s.canisters {
+			if th, ok := can.(TimerHandler); ok {
+				meter := NewMeter()
+				ctx := &CallContext{Meter: meter, Time: blockTime, Caller: "timer", Kind: KindUpdate, subnet: s}
+				th.OnTimer(ctx)
+				metrics.Instructions += meter.Total()
+			}
+		}
+		s.blockMetrics = append(s.blockMetrics, metrics)
+	})
+}
+
+// executeUpdate runs one replicated call and schedules its certified
+// response delivery.
+func (s *Subnet) executeUpdate(call *pendingCall, blockTime time.Time, metrics *BlockMetrics) {
+	can := s.canisters[call.canister]
+	meter := NewMeter()
+	res := Result{Certified: true}
+	if can == nil {
+		res.Err = fmt.Errorf("ic: canister %s not found", call.canister)
+	} else {
+		ctx := &CallContext{Meter: meter, Time: blockTime, Caller: call.caller, Kind: KindUpdate, subnet: s}
+		res.Value, res.Err = can.Update(ctx, call.method, call.arg)
+	}
+	res.Instructions = meter.Total()
+	metrics.Instructions += meter.Total()
+	for k, v := range meter.Categories() {
+		metrics.Categories[k] += v
+	}
+	metrics.Ingress++
+
+	// Execution time + certification + XNet return hop.
+	execTime := time.Duration(float64(meter.Total()) / s.cfg.UpdateRate * float64(time.Second))
+	respDelay := execTime + s.cfg.CertifyDelay + s.cfg.XNetDelay
+	submitted := call.submitted
+	cb := call.cb
+	s.sched.After(respDelay, func() {
+		res.Latency = s.sched.Now().Sub(submitted)
+		if s.committee != nil {
+			// Certify the response with the subnet key so "any entity that
+			// knows the public key of the corresponding subnet" can verify
+			// it (§VI).
+			digest := responseDigest(res.Value, res.Err)
+			if sig, err := s.committee.SignSchnorr(digest[:]); err == nil {
+				res.Signature = sig.Serialize()
+			}
+		}
+		if cb != nil {
+			cb(res)
+		}
+	})
+}
+
+// SubmitUpdate submits a replicated call as if from a canister on another
+// subnet: the request pays the inbound XNet hop, waits for block inclusion,
+// executes at finalization, and returns a certified response. cb runs on
+// the simulation goroutine when the response arrives.
+func (s *Subnet) SubmitUpdate(canister CanisterID, method string, arg any, caller string, cb func(Result)) {
+	submitted := s.sched.Now()
+	s.sched.After(s.cfg.XNetDelay, func() {
+		s.ingress = append(s.ingress, &pendingCall{
+			canister:  canister,
+			method:    method,
+			arg:       arg,
+			caller:    caller,
+			submitted: submitted,
+			cb:        cb,
+		})
+	})
+}
+
+// Query executes a non-replicated call against the current state on a
+// single randomly chosen replica. The response is not certified ("cannot be
+// fully trusted", §IV-B).
+func (s *Subnet) Query(canister CanisterID, method string, arg any, caller string, cb func(Result)) {
+	submitted := s.sched.Now()
+	rtt := s.cfg.QueryRTTBase
+	if s.cfg.QueryRTTJitter > 0 {
+		rtt += time.Duration(s.rng.Int63n(int64(s.cfg.QueryRTTJitter)))
+	}
+	// Request travels half the RTT, executes, then returns.
+	s.sched.After(rtt/2, func() {
+		can := s.canisters[canister]
+		meter := NewMeter()
+		res := Result{}
+		if can == nil {
+			res.Err = fmt.Errorf("ic: canister %s not found", canister)
+		} else {
+			ctx := &CallContext{Meter: meter, Time: s.sched.Now(), Caller: caller, Kind: KindQuery, subnet: s}
+			res.Value, res.Err = can.Query(ctx, method, arg)
+		}
+		res.Instructions = meter.Total()
+		execTime := time.Duration(float64(meter.Total()) / s.cfg.QueryRate * float64(time.Second))
+		s.sched.After(execTime+rtt/2, func() {
+			res.Latency = s.sched.Now().Sub(submitted)
+			if cb != nil {
+				cb(res)
+			}
+		})
+	})
+}
+
+// BlockMetricsLog returns the accumulated per-block execution metrics.
+func (s *Subnet) BlockMetricsLog() []BlockMetrics { return s.blockMetrics }
+
+// ResetBlockMetrics clears the metrics log (between experiment phases).
+func (s *Subnet) ResetBlockMetrics() { s.blockMetrics = nil }
+
+// VerifyCertified checks a certified response signature against the
+// subnet's public key.
+func (s *Subnet) VerifyCertified(value any, errVal error, signature []byte) bool {
+	if s.committee == nil || len(signature) != 64 {
+		return false
+	}
+	digest := responseDigest(value, errVal)
+	sig, err := parseSchnorr(signature)
+	if err != nil {
+		return false
+	}
+	px := xOnly(s.committee.PublicKey().SerializeCompressed())
+	return verifySchnorr(sig, digest[:], px)
+}
+
+func responseDigest(value any, err error) [32]byte {
+	h := sha256.New()
+	fmt.Fprintf(h, "%#v|%v", value, err)
+	var out [32]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}

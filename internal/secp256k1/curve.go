@@ -1,0 +1,336 @@
+// Package secp256k1 implements the secp256k1 elliptic curve used by Bitcoin,
+// together with deterministic ECDSA (RFC 6979 style), DER signature encoding,
+// and BIP340-style Schnorr signatures.
+//
+// The Go standard library does not ship secp256k1, so the curve is implemented
+// from scratch on top of math/big. Performance is adequate for simulation and
+// testing purposes; constant-time execution is explicitly a non-goal (this is
+// a research reproduction, not a wallet).
+package secp256k1
+
+import (
+	"crypto/subtle"
+	"errors"
+	"fmt"
+	"math/big"
+)
+
+// Curve parameters for secp256k1 (SEC 2, §2.4.1):
+//
+//	p  = 2^256 - 2^32 - 977
+//	a  = 0, b = 7
+//	Gx, Gy = base point
+//	n  = group order
+var (
+	curveP  = mustHex("fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f")
+	curveN  = mustHex("fffffffffffffffffffffffffffffffebaaedce6af48a03bbfd25e8cd0364141")
+	curveB  = big.NewInt(7)
+	curveGx = mustHex("79be667ef9dcbbac55a06295ce870b07029bfcdb2dce28d959f2815b16f81798")
+	curveGy = mustHex("483ada7726a3c4655da4fbfc0e1108a8fd17b448a68554199c47d08ffb10d4b8")
+
+	// halfN is n/2, used for low-S normalization.
+	halfN = new(big.Int).Rsh(curveN, 1)
+)
+
+func mustHex(s string) *big.Int {
+	v, ok := new(big.Int).SetString(s, 16)
+	if !ok {
+		panic("secp256k1: bad hex constant " + s)
+	}
+	return v
+}
+
+// P returns the field prime (a copy).
+func P() *big.Int { return new(big.Int).Set(curveP) }
+
+// N returns the group order (a copy).
+func N() *big.Int { return new(big.Int).Set(curveN) }
+
+// Point is an affine point on the curve. The zero value is the point at
+// infinity (the group identity).
+type Point struct {
+	X, Y *big.Int
+}
+
+// Infinity reports whether p is the point at infinity.
+func (p Point) Infinity() bool { return p.X == nil || p.Y == nil }
+
+// Generator returns the base point G.
+func Generator() Point {
+	return Point{X: new(big.Int).Set(curveGx), Y: new(big.Int).Set(curveGy)}
+}
+
+// OnCurve reports whether p satisfies y^2 = x^3 + 7 (mod p). The point at
+// infinity is on the curve.
+func (p Point) OnCurve() bool {
+	if p.Infinity() {
+		return true
+	}
+	if p.X.Sign() < 0 || p.X.Cmp(curveP) >= 0 || p.Y.Sign() < 0 || p.Y.Cmp(curveP) >= 0 {
+		return false
+	}
+	y2 := new(big.Int).Mul(p.Y, p.Y)
+	y2.Mod(y2, curveP)
+	x3 := new(big.Int).Mul(p.X, p.X)
+	x3.Mod(x3, curveP)
+	x3.Mul(x3, p.X)
+	x3.Add(x3, curveB)
+	x3.Mod(x3, curveP)
+	return y2.Cmp(x3) == 0
+}
+
+// Equal reports whether two points are the same group element.
+func (p Point) Equal(q Point) bool {
+	if p.Infinity() || q.Infinity() {
+		return p.Infinity() && q.Infinity()
+	}
+	return p.X.Cmp(q.X) == 0 && p.Y.Cmp(q.Y) == 0
+}
+
+// Neg returns -p.
+func (p Point) Neg() Point {
+	if p.Infinity() {
+		return Point{}
+	}
+	return Point{X: new(big.Int).Set(p.X), Y: new(big.Int).Sub(curveP, p.Y)}
+}
+
+// jacobian is an internal projective representation: x = X/Z^2, y = Y/Z^3.
+type jacobian struct {
+	x, y, z *big.Int
+}
+
+func toJacobian(p Point) jacobian {
+	if p.Infinity() {
+		return jacobian{x: big.NewInt(1), y: big.NewInt(1), z: big.NewInt(0)}
+	}
+	return jacobian{
+		x: new(big.Int).Set(p.X),
+		y: new(big.Int).Set(p.Y),
+		z: big.NewInt(1),
+	}
+}
+
+func (j jacobian) infinity() bool { return j.z.Sign() == 0 }
+
+func (j jacobian) toAffine() Point {
+	if j.infinity() {
+		return Point{}
+	}
+	zInv := new(big.Int).ModInverse(j.z, curveP)
+	zInv2 := new(big.Int).Mul(zInv, zInv)
+	zInv2.Mod(zInv2, curveP)
+	x := new(big.Int).Mul(j.x, zInv2)
+	x.Mod(x, curveP)
+	zInv3 := zInv2.Mul(zInv2, zInv)
+	zInv3.Mod(zInv3, curveP)
+	y := new(big.Int).Mul(j.y, zInv3)
+	y.Mod(y, curveP)
+	return Point{X: x, Y: y}
+}
+
+func modP(v *big.Int) *big.Int { return v.Mod(v, curveP) }
+
+// double returns 2*j using the standard Jacobian doubling formulas for a=0.
+func (j jacobian) double() jacobian {
+	if j.infinity() || j.y.Sign() == 0 {
+		return jacobian{x: big.NewInt(1), y: big.NewInt(1), z: big.NewInt(0)}
+	}
+	// A = X^2, B = Y^2, C = B^2
+	a := modP(new(big.Int).Mul(j.x, j.x))
+	b := modP(new(big.Int).Mul(j.y, j.y))
+	c := modP(new(big.Int).Mul(b, b))
+	// D = 2*((X+B)^2 - A - C)
+	d := new(big.Int).Add(j.x, b)
+	d.Mul(d, d)
+	d.Sub(d, a)
+	d.Sub(d, c)
+	d.Lsh(d, 1)
+	modP(d)
+	// E = 3*A, F = E^2
+	e := new(big.Int).Lsh(a, 1)
+	e.Add(e, a)
+	modP(e)
+	f := modP(new(big.Int).Mul(e, e))
+	// X' = F - 2*D
+	x3 := new(big.Int).Lsh(d, 1)
+	x3.Sub(f, x3)
+	modP(x3)
+	// Y' = E*(D - X') - 8*C
+	y3 := new(big.Int).Sub(d, x3)
+	y3.Mul(y3, e)
+	c8 := new(big.Int).Lsh(c, 3)
+	y3.Sub(y3, c8)
+	modP(y3)
+	// Z' = 2*Y*Z
+	z3 := new(big.Int).Mul(j.y, j.z)
+	z3.Lsh(z3, 1)
+	modP(z3)
+	return jacobian{x: x3, y: y3, z: z3}
+}
+
+// add returns j + q (mixed or general Jacobian addition).
+func (j jacobian) add(q jacobian) jacobian {
+	if j.infinity() {
+		return q
+	}
+	if q.infinity() {
+		return j
+	}
+	z1z1 := modP(new(big.Int).Mul(j.z, j.z))
+	z2z2 := modP(new(big.Int).Mul(q.z, q.z))
+	u1 := modP(new(big.Int).Mul(j.x, z2z2))
+	u2 := modP(new(big.Int).Mul(q.x, z1z1))
+	s1 := modP(new(big.Int).Mul(new(big.Int).Mul(j.y, q.z), z2z2))
+	s2 := modP(new(big.Int).Mul(new(big.Int).Mul(q.y, j.z), z1z1))
+	if u1.Cmp(u2) == 0 {
+		if s1.Cmp(s2) != 0 {
+			return jacobian{x: big.NewInt(1), y: big.NewInt(1), z: big.NewInt(0)}
+		}
+		return j.double()
+	}
+	h := new(big.Int).Sub(u2, u1)
+	modP(h)
+	i := new(big.Int).Lsh(h, 1)
+	i.Mul(i, i)
+	modP(i)
+	jj := modP(new(big.Int).Mul(h, i))
+	r := new(big.Int).Sub(s2, s1)
+	r.Lsh(r, 1)
+	modP(r)
+	v := modP(new(big.Int).Mul(u1, i))
+	x3 := new(big.Int).Mul(r, r)
+	x3.Sub(x3, jj)
+	x3.Sub(x3, new(big.Int).Lsh(v, 1))
+	modP(x3)
+	y3 := new(big.Int).Sub(v, x3)
+	y3.Mul(y3, r)
+	s1jj := new(big.Int).Mul(s1, jj)
+	s1jj.Lsh(s1jj, 1)
+	y3.Sub(y3, s1jj)
+	modP(y3)
+	z3 := new(big.Int).Add(j.z, q.z)
+	z3.Mul(z3, z3)
+	z3.Sub(z3, z1z1)
+	z3.Sub(z3, z2z2)
+	z3.Mul(z3, h)
+	modP(z3)
+	return jacobian{x: x3, y: y3, z: z3}
+}
+
+// Add returns p + q.
+func Add(p, q Point) Point {
+	return toJacobian(p).add(toJacobian(q)).toAffine()
+}
+
+// Double returns 2*p.
+func Double(p Point) Point {
+	return toJacobian(p).double().toAffine()
+}
+
+// ScalarMult returns k*p with k reduced modulo n.
+func ScalarMult(p Point, k *big.Int) Point {
+	kk := new(big.Int).Mod(k, curveN)
+	if kk.Sign() == 0 || p.Infinity() {
+		return Point{}
+	}
+	acc := jacobian{x: big.NewInt(1), y: big.NewInt(1), z: big.NewInt(0)}
+	base := toJacobian(p)
+	for i := kk.BitLen() - 1; i >= 0; i-- {
+		acc = acc.double()
+		if kk.Bit(i) == 1 {
+			acc = acc.add(base)
+		}
+	}
+	return acc.toAffine()
+}
+
+// ScalarBaseMult returns k*G.
+func ScalarBaseMult(k *big.Int) Point {
+	return ScalarMult(Generator(), k)
+}
+
+// SerializeCompressed returns the 33-byte SEC compressed encoding of p.
+func (p Point) SerializeCompressed() []byte {
+	if p.Infinity() {
+		return make([]byte, 33)
+	}
+	out := make([]byte, 33)
+	if p.Y.Bit(0) == 0 {
+		out[0] = 0x02
+	} else {
+		out[0] = 0x03
+	}
+	p.X.FillBytes(out[1:])
+	return out
+}
+
+// SerializeUncompressed returns the 65-byte SEC uncompressed encoding of p.
+func (p Point) SerializeUncompressed() []byte {
+	out := make([]byte, 65)
+	out[0] = 0x04
+	if p.Infinity() {
+		return out
+	}
+	p.X.FillBytes(out[1:33])
+	p.Y.FillBytes(out[33:])
+	return out
+}
+
+// ErrInvalidPoint is returned when a serialized point cannot be decoded onto
+// the curve.
+var ErrInvalidPoint = errors.New("secp256k1: invalid point encoding")
+
+// ParsePoint decodes a 33-byte compressed or 65-byte uncompressed point.
+func ParsePoint(data []byte) (Point, error) {
+	switch {
+	case len(data) == 33 && (data[0] == 0x02 || data[0] == 0x03):
+		x := new(big.Int).SetBytes(data[1:])
+		if x.Cmp(curveP) >= 0 {
+			return Point{}, ErrInvalidPoint
+		}
+		y, err := liftX(x, data[0] == 0x03)
+		if err != nil {
+			return Point{}, err
+		}
+		return Point{X: x, Y: y}, nil
+	case len(data) == 65 && data[0] == 0x04:
+		x := new(big.Int).SetBytes(data[1:33])
+		y := new(big.Int).SetBytes(data[33:])
+		pt := Point{X: x, Y: y}
+		if !pt.OnCurve() || pt.Infinity() {
+			return Point{}, ErrInvalidPoint
+		}
+		return pt, nil
+	default:
+		return Point{}, fmt.Errorf("%w: length %d", ErrInvalidPoint, len(data))
+	}
+}
+
+// liftX computes y with the requested parity such that (x, y) is on the curve.
+func liftX(x *big.Int, odd bool) (*big.Int, error) {
+	// y^2 = x^3 + 7 mod p; p ≡ 3 (mod 4) so sqrt(v) = v^((p+1)/4).
+	y2 := new(big.Int).Mul(x, x)
+	y2.Mod(y2, curveP)
+	y2.Mul(y2, x)
+	y2.Add(y2, curveB)
+	y2.Mod(y2, curveP)
+	exp := new(big.Int).Add(curveP, big.NewInt(1))
+	exp.Rsh(exp, 2)
+	y := new(big.Int).Exp(y2, exp, curveP)
+	check := new(big.Int).Mul(y, y)
+	check.Mod(check, curveP)
+	if check.Cmp(y2) != 0 {
+		return nil, ErrInvalidPoint
+	}
+	if (y.Bit(0) == 1) != odd {
+		y.Sub(curveP, y)
+	}
+	return y, nil
+}
+
+// constantTimeEq compares two byte slices without early exit. Used only in
+// tests and verification helpers; documented here to make the intent clear.
+func constantTimeEq(a, b []byte) bool {
+	return len(a) == len(b) && subtle.ConstantTimeCompare(a, b) == 1
+}

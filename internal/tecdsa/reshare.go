@@ -1,0 +1,83 @@
+package tecdsa
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+
+	"icbtc/internal/secp256k1"
+)
+
+// Key resharing: the IC reshares its threshold keys when subnet membership
+// changes (node replacement, subnet growth) without ever reconstructing the
+// key and without changing the public key — the property that keeps a
+// canister's Bitcoin address stable across subnet reconfigurations.
+//
+// The protocol is the standard Shamir resharing: each party of the old
+// committee deals a fresh degree-t' sharing of its own key share to the new
+// committee; a new party's share is the Lagrange-weighted sum of the
+// sub-shares it received. Feldman commitments let recipients verify every
+// dealing against the dealer's original share commitment.
+
+// Reshare produces a new committee of size newN with threshold newT holding
+// shares of the SAME secret key; the public key is unchanged. At least
+// oldT+1 parties of the old committee participate (here: the first oldT+1,
+// which suffices for the passively-secure setting).
+func (c *Committee) Reshare(newN, newT int, rng io.Reader) (*Committee, error) {
+	if newN <= 0 || newT < 0 || newN < 2*newT+1 {
+		return nil, fmt.Errorf("tecdsa: reshare needs n >= 2t+1, got n=%d t=%d", newN, newT)
+	}
+	order := secp256k1.N()
+	dealers := c.parties[:c.t+1]
+	indices := make([]int, len(dealers))
+	for i, p := range dealers {
+		indices[i] = p.index
+	}
+
+	// Each dealer shares λ_i · x_i (its Lagrange-weighted key share); the
+	// sum of the dealt secrets is Σ λ_i x_i = x, so summing received
+	// sub-shares yields a fresh degree-newT sharing of x.
+	newShares := make([]*big.Int, newN)
+	for i := range newShares {
+		newShares[i] = new(big.Int)
+	}
+	var sumCommit FeldmanCommitment
+	for di, dealer := range dealers {
+		lambda := lagrangeCoefficient(dealer.index, indices)
+		weighted := new(big.Int).Mul(lambda, dealer.keyShare.Value)
+		weighted.Mod(weighted, order)
+		shares, commit, err := ShareSecretVerifiable(weighted, newN, newT, rng)
+		if err != nil {
+			return nil, fmt.Errorf("tecdsa: dealer %d resharing: %w", di, err)
+		}
+		for i, s := range shares {
+			if !VerifyShare(s, commit) {
+				return nil, fmt.Errorf("tecdsa: invalid reshare dealing from %d", di)
+			}
+			newShares[i].Add(newShares[i], s.Value)
+			newShares[i].Mod(newShares[i], order)
+		}
+		sumCommit = AddCommitments(sumCommit, commit)
+	}
+	// The aggregate commitment's constant term must equal the old public
+	// key — recipients use this to verify the key survived intact.
+	if !sumCommit.PublicPoint().Equal(c.pubKey.Point) {
+		return nil, errors.New("tecdsa: reshare changed the public key")
+	}
+	nc := &Committee{
+		n:      newN,
+		t:      newT,
+		pubKey: c.pubKey,
+		keyCom: sumCommit,
+		rng:    rng,
+	}
+	nc.parties = make([]*party, newN)
+	for i := 0; i < newN; i++ {
+		nc.parties[i] = &party{
+			index:    i + 1,
+			keyShare: Share{Index: i + 1, Value: newShares[i]},
+		}
+	}
+	return nc, nil
+}

@@ -1,0 +1,95 @@
+package utxo
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"icbtc/internal/btc"
+)
+
+// Pagination for get_utxos (§III-C): responses for addresses holding many
+// UTXOs are split into pages; the response carries an opaque "next page
+// reference" the caller passes back to resume. Because UTXOs are sorted by
+// height descending with a deterministic tie-break, a (height, outpoint)
+// cursor identifies a stable resumption point even while new blocks arrive
+// above the cursor height.
+
+// PageToken is the opaque next-page reference.
+type PageToken []byte
+
+// pageCursor is the decoded form of a PageToken.
+type pageCursor struct {
+	height int64
+	op     btc.OutPoint
+}
+
+func encodeCursor(c pageCursor) PageToken {
+	var buf bytes.Buffer
+	var h [8]byte
+	binary.BigEndian.PutUint64(h[:], uint64(c.height))
+	buf.Write(h[:])
+	buf.Write(c.op.TxID[:])
+	var v [4]byte
+	binary.BigEndian.PutUint32(v[:], c.op.Vout)
+	buf.Write(v[:])
+	return buf.Bytes()
+}
+
+// ErrBadPageToken is returned for malformed next-page references.
+var ErrBadPageToken = errors.New("utxo: malformed page token")
+
+func decodeCursor(tok PageToken) (pageCursor, error) {
+	if len(tok) != 8+btc.HashSize+4 {
+		return pageCursor{}, fmt.Errorf("%w: length %d", ErrBadPageToken, len(tok))
+	}
+	var c pageCursor
+	c.height = int64(binary.BigEndian.Uint64(tok[:8]))
+	copy(c.op.TxID[:], tok[8:8+btc.HashSize])
+	c.op.Vout = binary.BigEndian.Uint32(tok[8+btc.HashSize:])
+	return c, nil
+}
+
+// Page selects up to limit UTXOs from the canonically sorted list, resuming
+// after the position encoded in token (nil for the first page). It returns
+// the page and the token for the next page (nil when exhausted).
+func Page(sorted []UTXO, token PageToken, limit int) ([]UTXO, PageToken, error) {
+	if limit <= 0 {
+		return nil, nil, fmt.Errorf("utxo: page limit must be positive, got %d", limit)
+	}
+	start := 0
+	if len(token) != 0 {
+		cur, err := decodeCursor(token)
+		if err != nil {
+			return nil, nil, err
+		}
+		// Resume strictly after the cursor position in canonical order.
+		for start < len(sorted) && !cursorBefore(cur, sorted[start]) {
+			start++
+		}
+	}
+	end := start + limit
+	if end > len(sorted) {
+		end = len(sorted)
+	}
+	page := make([]UTXO, end-start)
+	copy(page, sorted[start:end])
+	if end == len(sorted) {
+		return page, nil, nil
+	}
+	last := sorted[end-1]
+	return page, encodeCursor(pageCursor{height: last.Height, op: last.OutPoint}), nil
+}
+
+// cursorBefore reports whether the cursor strictly precedes u in canonical
+// (height-descending) order, meaning u belongs to a later page position.
+func cursorBefore(c pageCursor, u UTXO) bool {
+	if c.height != u.Height {
+		return c.height > u.Height
+	}
+	if c.op.TxID != u.OutPoint.TxID {
+		return lessHash(c.op.TxID, u.OutPoint.TxID)
+	}
+	return c.op.Vout < u.OutPoint.Vout
+}

@@ -1,0 +1,382 @@
+package utxo
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"icbtc/internal/btc"
+)
+
+func addrKey(seed byte) (string, []byte) {
+	var h [20]byte
+	h[0] = seed
+	addr := btc.NewP2PKHAddress(h, btc.Regtest)
+	return addr.String(), btc.PayToAddrScript(addr)
+}
+
+func mustAdd(t *testing.T, s *Set, op btc.OutPoint, value int64, script []byte, height int64) {
+	t.Helper()
+	if err := s.Add(op, btc.TxOut{Value: value, PkScript: script}, height); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func op(n byte, vout uint32) btc.OutPoint {
+	var h btc.Hash
+	h[0] = n
+	return btc.OutPoint{TxID: h, Vout: vout}
+}
+
+func TestAddRemoveBalance(t *testing.T) {
+	s := New(btc.Regtest)
+	key, script := addrKey(1)
+	mustAdd(t, s, op(1, 0), 100, script, 5)
+	mustAdd(t, s, op(1, 1), 250, script, 6)
+
+	if got := s.Balance(key); got != 350 {
+		t.Fatalf("balance %d, want 350", got)
+	}
+	if s.Len() != 2 || s.AddressCount() != 1 {
+		t.Fatalf("len=%d addrs=%d", s.Len(), s.AddressCount())
+	}
+
+	removed, err := s.Remove(op(1, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed.Value != 100 || removed.Height != 5 {
+		t.Fatalf("removed %+v", removed)
+	}
+	if got := s.Balance(key); got != 250 {
+		t.Fatalf("balance after remove %d, want 250", got)
+	}
+	if _, err := s.Remove(op(1, 0)); err == nil {
+		t.Fatal("double spend accepted")
+	}
+	if err := s.Add(op(1, 1), btc.TxOut{Value: 1, PkScript: script}, 7); err == nil {
+		t.Fatal("duplicate outpoint accepted")
+	}
+}
+
+func TestApproxBytesTracksContents(t *testing.T) {
+	s := New(btc.Regtest)
+	_, script := addrKey(2)
+	if s.ApproxBytes() != 0 {
+		t.Fatal("empty set has nonzero size")
+	}
+	mustAdd(t, s, op(2, 0), 1, script, 1)
+	grown := s.ApproxBytes()
+	if grown <= 0 {
+		t.Fatal("size did not grow")
+	}
+	if _, err := s.Remove(op(2, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if s.ApproxBytes() != 0 {
+		t.Fatalf("size %d after removing everything", s.ApproxBytes())
+	}
+}
+
+func TestUTXOsForAddressSorted(t *testing.T) {
+	s := New(btc.Regtest)
+	key, script := addrKey(3)
+	heights := []int64{3, 9, 1, 9, 5}
+	for i, h := range heights {
+		mustAdd(t, s, op(byte(10+i), 0), int64(i+1), script, h)
+	}
+	got := s.UTXOsForAddress(key)
+	if len(got) != len(heights) {
+		t.Fatalf("got %d UTXOs", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Height > got[i-1].Height {
+			t.Fatal("not sorted by height descending")
+		}
+	}
+	if s.UTXOsForAddress("unknown") != nil {
+		t.Fatal("unknown address must return nil")
+	}
+}
+
+// coinbaseTx builds a coinbase paying value to script.
+func coinbaseTx(value int64, script []byte, salt byte) *btc.Transaction {
+	return &btc.Transaction{
+		Version: 2,
+		Inputs: []btc.TxIn{{
+			PreviousOutPoint: btc.OutPoint{TxID: btc.ZeroHash, Vout: 0xffffffff},
+			SignatureScript:  []byte{salt},
+		}},
+		Outputs: []btc.TxOut{{Value: value, PkScript: script}},
+	}
+}
+
+func spendTx(prev btc.OutPoint, value int64, script []byte) *btc.Transaction {
+	return &btc.Transaction{
+		Version: 2,
+		Inputs:  []btc.TxIn{{PreviousOutPoint: prev, Sequence: 0xffffffff}},
+		Outputs: []btc.TxOut{{Value: value, PkScript: script}},
+	}
+}
+
+func TestApplyUnapplyBlock(t *testing.T) {
+	s := New(btc.Regtest)
+	keyA, scriptA := addrKey(4)
+	keyB, scriptB := addrKey(5)
+
+	cb := coinbaseTx(50, scriptA, 1)
+	blk1 := &btc.Block{Transactions: []*btc.Transaction{cb}}
+	undo1, stats1, err := s.ApplyBlock(blk1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats1.OutputsInserted != 1 || stats1.InputsRemoved != 0 {
+		t.Fatalf("stats1 %+v", stats1)
+	}
+	if s.Balance(keyA) != 50 {
+		t.Fatalf("balance A %d", s.Balance(keyA))
+	}
+
+	spend := spendTx(btc.OutPoint{TxID: cb.TxID(), Vout: 0}, 45, scriptB)
+	blk2 := &btc.Block{Transactions: []*btc.Transaction{coinbaseTx(50, scriptA, 2), spend}}
+	undo2, stats2, err := s.ApplyBlock(blk2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats2.OutputsInserted != 2 || stats2.InputsRemoved != 1 {
+		t.Fatalf("stats2 %+v", stats2)
+	}
+	if s.Balance(keyA) != 50 || s.Balance(keyB) != 45 {
+		t.Fatalf("balances A=%d B=%d", s.Balance(keyA), s.Balance(keyB))
+	}
+
+	// Undo block 2: A back to 50 (block1 coinbase), B to 0.
+	if err := s.UnapplyBlock(undo2); err != nil {
+		t.Fatal(err)
+	}
+	if s.Balance(keyA) != 50 || s.Balance(keyB) != 0 {
+		t.Fatalf("after undo: A=%d B=%d", s.Balance(keyA), s.Balance(keyB))
+	}
+	if err := s.UnapplyBlock(undo1); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 0 || s.ApproxBytes() != 0 {
+		t.Fatalf("set not empty after full undo: len=%d", s.Len())
+	}
+}
+
+func TestApplyBlockMissingInputRollsBack(t *testing.T) {
+	s := New(btc.Regtest)
+	_, scriptA := addrKey(6)
+	spend := spendTx(op(99, 0), 10, scriptA) // spends a nonexistent output
+	blk := &btc.Block{Transactions: []*btc.Transaction{coinbaseTx(50, scriptA, 3), spend}}
+	if _, _, err := s.ApplyBlock(blk, 1); err == nil {
+		t.Fatal("missing input accepted")
+	}
+	if s.Len() != 0 {
+		t.Fatalf("partial application leaked %d outputs", s.Len())
+	}
+}
+
+func TestApplySpendWithinBlock(t *testing.T) {
+	// A transaction may spend an output created earlier in the same block.
+	s := New(btc.Regtest)
+	keyA, scriptA := addrKey(7)
+	keyB, scriptB := addrKey(8)
+	cb := coinbaseTx(50, scriptA, 4)
+	chained := spendTx(btc.OutPoint{TxID: cb.TxID(), Vout: 0}, 49, scriptB)
+	blk := &btc.Block{Transactions: []*btc.Transaction{cb, chained}}
+	if _, _, err := s.ApplyBlock(blk, 1); err != nil {
+		t.Fatal(err)
+	}
+	if s.Balance(keyA) != 0 || s.Balance(keyB) != 49 {
+		t.Fatalf("A=%d B=%d", s.Balance(keyA), s.Balance(keyB))
+	}
+}
+
+func TestQuickApplyUnapplyIsIdentity(t *testing.T) {
+	// Property: applying then unapplying a random block leaves the set
+	// exactly as before (same length, size, and balances).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := New(btc.Regtest)
+		_, scriptA := addrKey(9)
+		// Seed the set with coinbases.
+		var ops []btc.OutPoint
+		for i := 0; i < 5; i++ {
+			cb := coinbaseTx(int64(10+i), scriptA, byte(i))
+			if _, _, err := s.ApplyBlock(&btc.Block{Transactions: []*btc.Transaction{cb}}, int64(i+1)); err != nil {
+				return false
+			}
+			ops = append(ops, btc.OutPoint{TxID: cb.TxID(), Vout: 0})
+		}
+		lenBefore, bytesBefore := s.Len(), s.ApproxBytes()
+
+		// Random spending block.
+		txs := []*btc.Transaction{coinbaseTx(50, scriptA, 0xEE)}
+		spendIdx := rng.Perm(len(ops))[:1+rng.Intn(len(ops)-1)]
+		for _, i := range spendIdx {
+			_, scriptX := addrKey(byte(100 + i))
+			txs = append(txs, spendTx(ops[i], int64(1+rng.Intn(9)), scriptX))
+		}
+		undo, _, err := s.ApplyBlock(&btc.Block{Transactions: txs}, 10)
+		if err != nil {
+			return false
+		}
+		if err := s.UnapplyBlock(undo); err != nil {
+			return false
+		}
+		return s.Len() == lenBefore && s.ApproxBytes() == bytesBefore
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForEach(t *testing.T) {
+	s := New(btc.Regtest)
+	_, script := addrKey(10)
+	for i := 0; i < 5; i++ {
+		mustAdd(t, s, op(byte(i), 0), int64(i), script, int64(i))
+	}
+	count := 0
+	s.ForEach(func(UTXO) bool { count++; return true })
+	if count != 5 {
+		t.Fatalf("visited %d", count)
+	}
+	count = 0
+	s.ForEach(func(UTXO) bool { count++; return count < 2 })
+	if count != 2 {
+		t.Fatalf("early stop visited %d", count)
+	}
+}
+
+func TestPagination(t *testing.T) {
+	s := New(btc.Regtest)
+	key, script := addrKey(11)
+	const total = 57
+	for i := 0; i < total; i++ {
+		mustAdd(t, s, op(byte(i), uint32(i)), int64(i+1), script, int64(i%10))
+	}
+	sorted := s.UTXOsForAddress(key)
+
+	var token PageToken
+	var collected []UTXO
+	pages := 0
+	for {
+		page, next, err := Page(sorted, token, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		collected = append(collected, page...)
+		pages++
+		if next == nil {
+			break
+		}
+		token = next
+	}
+	if pages != 6 {
+		t.Fatalf("pages %d, want 6", pages)
+	}
+	if len(collected) != total {
+		t.Fatalf("collected %d, want %d", len(collected), total)
+	}
+	// Pagination must preserve canonical order and completeness.
+	for i := range collected {
+		if collected[i].OutPoint != sorted[i].OutPoint || collected[i].Height != sorted[i].Height {
+			t.Fatalf("page ordering broken at %d", i)
+		}
+	}
+}
+
+func TestPaginationStableUnderGrowth(t *testing.T) {
+	// New UTXOs at greater heights sort before the cursor and must not
+	// disturb resumption of an in-flight pagination.
+	s := New(btc.Regtest)
+	key, script := addrKey(12)
+	for i := 0; i < 20; i++ {
+		mustAdd(t, s, op(byte(i), 0), int64(i+1), script, int64(i))
+	}
+	sorted := s.UTXOsForAddress(key)
+	first, token, err := Page(sorted, nil, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first) != 5 || token == nil {
+		t.Fatal("first page wrong")
+	}
+	// New block adds UTXOs at height 100.
+	mustAdd(t, s, op(200, 0), 999, script, 100)
+	resorted := s.UTXOsForAddress(key)
+	rest, _, err := Page(resorted, token, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The rest must be exactly the remaining 15 original UTXOs.
+	if len(rest) != 15 {
+		t.Fatalf("rest %d, want 15", len(rest))
+	}
+	for _, u := range rest {
+		if u.Height >= 15 && u.Height != int64(u.Value-1) {
+			t.Fatalf("unexpected UTXO %+v in continuation", u)
+		}
+	}
+}
+
+func TestPageErrors(t *testing.T) {
+	if _, _, err := Page(nil, nil, 0); err == nil {
+		t.Fatal("zero limit accepted")
+	}
+	if _, _, err := Page(nil, PageToken{1, 2, 3}, 5); err == nil {
+		t.Fatal("malformed token accepted")
+	}
+	page, next, err := Page(nil, nil, 5)
+	if err != nil || len(page) != 0 || next != nil {
+		t.Fatal("empty input paging wrong")
+	}
+}
+
+func TestQuickPaginationComplete(t *testing.T) {
+	// Property: for any UTXO population and page size, pagination visits
+	// every UTXO exactly once.
+	f := func(seed int64, limitRaw uint8) bool {
+		limit := int(limitRaw%20) + 1
+		rng := rand.New(rand.NewSource(seed))
+		s := New(btc.Regtest)
+		key, script := addrKey(13)
+		n := rng.Intn(60)
+		for i := 0; i < n; i++ {
+			if err := s.Add(op(byte(i), uint32(i)), btc.TxOut{Value: int64(i + 1), PkScript: script}, int64(rng.Intn(8))); err != nil {
+				return false
+			}
+		}
+		sorted := s.UTXOsForAddress(key)
+		seen := make(map[btc.OutPoint]int)
+		var token PageToken
+		for {
+			page, next, err := Page(sorted, token, limit)
+			if err != nil {
+				return false
+			}
+			for _, u := range page {
+				seen[u.OutPoint]++
+			}
+			if next == nil {
+				break
+			}
+			token = next
+		}
+		if len(seen) != n {
+			return false
+		}
+		for _, c := range seen {
+			if c != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
