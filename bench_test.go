@@ -15,6 +15,7 @@ import (
 	"testing"
 	"time"
 
+	"icbtc/internal/adapter"
 	"icbtc/internal/btc"
 	"icbtc/internal/canister"
 	"icbtc/internal/experiments"
@@ -153,6 +154,72 @@ func BenchmarkAblationSyncModes(b *testing.B) {
 		b.ReportMetric(float64(res.Rows[0].RequestRounds), "rounds-single")
 		b.ReportMetric(float64(res.Rows[1].RequestRounds), "rounds-multi")
 	}
+}
+
+// BenchmarkReadPathDeepUnstable runs the read-path scenario (δ=144, skewed
+// addresses): the overlay must beat the naive-replay oracle by ≥5× and stay
+// flat in unstable depth while the oracle grows linearly.
+func BenchmarkReadPathDeepUnstable(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunReadPath(experiments.DefaultReadPathConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.BalanceSpeedupAtFullDepth(), "bal-speedup-x")
+		b.ReportMetric(res.UTXOsWallSpeedupAtFullDepth(), "utxo-wall-x")
+		b.ReportMetric(float64(res.Rows[0].BalanceOverlay)/1e6, "bal-ovl-Minstr")
+		b.ReportMetric(float64(res.Rows[0].BalanceOracle)/1e6, "bal-oracle-Minstr")
+	}
+}
+
+// BenchmarkGetBalanceOverlayVsReplay microbenches one get_balance against a
+// mainnet-deep unstable chain on each read path.
+func BenchmarkGetBalanceOverlayVsReplay(b *testing.B) {
+	for _, rp := range []struct {
+		name string
+		path canister.ReadPath
+	}{{"overlay", canister.ReadPathOverlay}, {"replay", canister.ReadPathReplay}} {
+		b.Run(rp.name, func(b *testing.B) {
+			cfg := canister.DefaultConfig(btc.Regtest)
+			cfg.StabilityThreshold = 144
+			cfg.ReadPath = rp.path
+			can := canister.New(cfg)
+			builder := experiments.NewBlockBuilder(btc.RegtestParams(), 11)
+			var h [20]byte
+			h[0] = 0x77
+			addr := btc.NewP2PKHAddress(h, btc.Regtest)
+			script := btc.PayToAddrScript(addr)
+			now := time.Unix(1_700_000_000, 0).UTC()
+			for i := 0; i < 150; i++ {
+				blk, err := builder.NextBlock([]experiments.TxSpec{{Outputs: experiments.PayN(script, 2, 546)}})
+				if err != nil {
+					b.Fatal(err)
+				}
+				now = now.Add(time.Minute)
+				ctx := &ic.CallContext{Meter: ic.NewMeter(), Time: now, Kind: ic.KindUpdate}
+				if err := can.ProcessPayload(ctx, adapterResponse(blk)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				// An update context bypasses the balance cache, so each
+				// iteration measures the full view merge (or replay).
+				ctx := &ic.CallContext{Meter: ic.NewMeter(), Time: now, Kind: ic.KindUpdate}
+				if _, err := can.GetBalance(ctx, canister.GetBalanceArgs{Address: addr.String()}); err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					b.ReportMetric(float64(ctx.Meter.Total())/1e6, "Minstr")
+				}
+			}
+		})
+	}
+}
+
+func adapterResponse(blk *btc.Block) adapter.Response {
+	return adapter.Response{Blocks: []adapter.BlockWithHeader{{Block: blk, Header: blk.Header}}}
 }
 
 // --- Substrate hot-path benches ---

@@ -11,6 +11,7 @@
 //	bench -fig cost         # §IV-B requests-per-dollar arithmetic
 //	bench -fig eclipse      # Lemma IV.1 Monte Carlo
 //	bench -fig downtime     # Lemma IV.3 Monte Carlo
+//	bench -fig readpath     # overlay vs naive-replay read path at δ=144
 //	bench -fig ablations    # δ / τ / sync-mode ablations
 package main
 
@@ -25,7 +26,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate (3, 5, 6, 7, latency, cost, eclipse, downtime, ablations, scaling, all)")
+	fig := flag.String("fig", "all", "figure to regenerate (3, 5, 6, 7, latency, cost, eclipse, downtime, readpath, ablations, scaling, all)")
 	seed := flag.Int64("seed", 7, "simulation seed")
 	scale := flag.Int("scale", 10, "population scale divisor for Fig 7 / latency (1 = paper's full 1000 addresses)")
 	trials := flag.Int("trials", 50_000, "Monte Carlo trials for the security lemmas")
@@ -111,6 +112,16 @@ func run(fig string, seed int64, scale, trials int) error {
 			return err
 		}
 		sc.Print(out)
+	}
+	if all || fig == "readpath" {
+		section("Read path: overlay vs naive replay (δ=144)")
+		cfg := experiments.DefaultReadPathConfig()
+		cfg.Seed = seed
+		res, err := experiments.RunReadPath(cfg)
+		if err != nil {
+			return err
+		}
+		res.Print(out)
 	}
 	if all || fig == "ablations" {
 		section("Ablation: δ sweep")

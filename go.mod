@@ -1,0 +1,3 @@
+module icbtc
+
+go 1.24

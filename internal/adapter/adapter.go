@@ -118,6 +118,10 @@ type Adapter struct {
 	txCache map[btc.Hash]cachedTx
 
 	running bool
+	// syncGen invalidates scheduler ticks from superseded sync loops: every
+	// Start begins a new generation, so a tick scheduled before a
+	// Stop/Start pair cannot resurrect the old loop alongside the new one.
+	syncGen int
 	// stats
 	headersAccepted int
 	headersRejected int
@@ -148,13 +152,19 @@ func (a *Adapter) Start() {
 		return
 	}
 	a.running = true
+	a.syncGen++
 	a.discover()
-	a.syncLoop()
+	a.syncLoop(a.syncGen)
 }
 
 // Stop halts the sync loop (the adapter stays registered; Restart by
-// calling Start again).
-func (a *Adapter) Stop() { a.running = false }
+// calling Start again). In-flight block requests are forgotten: their
+// replies will be discarded by the stopped Receive gate, so they must be
+// re-issued after a restart.
+func (a *Adapter) Stop() {
+	a.running = false
+	a.requestedBlocks = make(map[btc.Hash]bool)
+}
 
 // Tree exposes the adapter's header tree.
 func (a *Adapter) Tree() *chain.Tree { return a.tree }
@@ -239,9 +249,11 @@ func (a *Adapter) DropConnection(peer simnet.NodeID) {
 }
 
 // syncLoop periodically requests headers from all connected peers and
-// expires stale cached transactions.
-func (a *Adapter) syncLoop() {
-	if !a.running {
+// expires stale cached transactions. Ticks are gated on the adapter's
+// running state and generation: a tick that fires after Stop (or after a
+// Stop/Start pair started a newer loop) dies silently.
+func (a *Adapter) syncLoop(gen int) {
+	if !a.running || gen != a.syncGen {
 		return
 	}
 	now := a.net.Scheduler().Now()
@@ -254,7 +266,7 @@ func (a *Adapter) syncLoop() {
 	for peer := range a.connected {
 		a.net.Send(a.ID, peer, btcnode.MsgGetHeaders{Locator: locator})
 	}
-	a.net.Scheduler().After(a.cfg.SyncInterval, a.syncLoop)
+	a.net.Scheduler().After(a.cfg.SyncInterval, func() { a.syncLoop(gen) })
 }
 
 // locator lists hashes of the adapter's best-known headers, newest first.
@@ -277,8 +289,15 @@ func (a *Adapter) locator() []btc.Hash {
 	return loc
 }
 
-// Receive implements simnet.Endpoint.
+// Receive implements simnet.Endpoint. A stopped adapter (the node
+// machine's sandboxed process being torn down) ignores all network traffic:
+// without this gate the adapter kept syncing headers while Stop()ped, since
+// peers' block announcements would trigger getheaders round trips entirely
+// outside the (gated) sync loop.
 func (a *Adapter) Receive(from simnet.NodeID, msg any) {
+	if !a.running {
+		return
+	}
 	switch m := msg.(type) {
 	case btcnode.MsgAddr:
 		a.handleAddr(m)

@@ -445,3 +445,83 @@ func TestAdapterStopAndRestart(t *testing.T) {
 		t.Fatalf("post-restart height %d, want 6", h.ad.Tree().MaxHeight())
 	}
 }
+
+func TestStoppedAdapterIgnoresNetworkTraffic(t *testing.T) {
+	// A Stop()ped adapter must not sync — not even when peers push headers
+	// or announce blocks directly, which bypasses the (gated) sync loop.
+	h := newHarness(t, 15, 4)
+	if _, err := h.miner.MineChain(2, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.sim.SyncAll(500_000); err != nil {
+		t.Fatal(err)
+	}
+	h.ad.Start()
+	h.run(time.Minute)
+	if h.ad.Tree().MaxHeight() != 2 {
+		t.Fatalf("pre-stop height %d", h.ad.Tree().MaxHeight())
+	}
+	h.ad.Stop()
+
+	// Push traffic straight at the stopped adapter: an inv announcement and
+	// an unsolicited headers message for a new block.
+	blocks, err := h.miner.MineChain(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.sim.SyncAll(500_000); err != nil {
+		t.Fatal(err)
+	}
+	h.ad.Receive(h.sim.Nodes[0].ID, btcnode.MsgInvBlock{Hash: blocks[0].BlockHash()})
+	h.ad.Receive(h.sim.Nodes[0].ID, btcnode.MsgHeaders{Headers: []btc.BlockHeader{blocks[0].Header}})
+	h.run(30 * time.Second)
+	if h.ad.Tree().MaxHeight() != 2 {
+		t.Fatalf("stopped adapter accepted headers: height %d", h.ad.Tree().MaxHeight())
+	}
+
+	// A rapid Stop/Start cycle must leave exactly one live sync loop, and
+	// syncing must resume.
+	h.ad.Start()
+	h.ad.Stop()
+	h.ad.Start()
+	h.run(time.Minute)
+	if h.ad.Tree().MaxHeight() != 3 {
+		t.Fatalf("post-restart height %d, want 3", h.ad.Tree().MaxHeight())
+	}
+}
+
+func TestBlockRequestInFlightAcrossRestart(t *testing.T) {
+	// A block whose getdata was in flight when the adapter stopped (the
+	// reply is discarded by the stopped Receive gate) must be re-requested
+	// after a restart — Stop clears the in-flight bookkeeping.
+	h := newHarness(t, 16, 4)
+	blocks, err := h.miner.MineChain(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.sim.SyncAll(500_000); err != nil {
+		t.Fatal(err)
+	}
+	h.ad.Start()
+	h.run(10 * time.Second)
+	hash := blocks[0].BlockHash()
+
+	// Request the block, then stop before the reply can be processed.
+	if b := h.ad.getBlock(hash); b != nil {
+		t.Fatal("block present before any reply")
+	}
+	h.ad.Stop()
+	h.run(30 * time.Second) // replies arrive and are dropped
+	if h.ad.HasBlock(hash) {
+		t.Fatal("stopped adapter stored a block")
+	}
+
+	h.ad.Start()
+	if b := h.ad.getBlock(hash); b != nil {
+		t.Fatal("block cannot be present before the re-request round trip")
+	}
+	h.run(30 * time.Second)
+	if !h.ad.HasBlock(hash) {
+		t.Fatal("in-flight block never re-requested after restart")
+	}
+}

@@ -27,6 +27,21 @@ import (
 	"icbtc/internal/utxo"
 )
 
+// ReadPath selects the implementation behind get_utxos/get_balance.
+type ReadPath int
+
+const (
+	// ReadPathOverlay (the default) merges the stable set with per-block
+	// address-indexed deltas computed once at block acceptance, so request
+	// cost no longer grows linearly with δ.
+	ReadPathOverlay ReadPath = iota
+	// ReadPathReplay is the naive §III-C behavior: rescan every unstable
+	// block of the considered chain on every request. Retained as the
+	// oracle the differential test harness (internal/difftest) and the
+	// read-path benchmark compare the overlay against.
+	ReadPathReplay
+)
+
 // Config parameterizes the canister.
 type Config struct {
 	// Network selects address encoding and chain parameters.
@@ -43,6 +58,8 @@ type Config struct {
 	// TxRebroadcastRounds is how many adapter request rounds an outbound
 	// transaction stays in the forwarding queue.
 	TxRebroadcastRounds int
+	// ReadPath selects the read-path implementation (overlay by default).
+	ReadPath ReadPath
 }
 
 // DefaultConfig returns production-flavored parameters for a network
@@ -92,6 +109,12 @@ type BitcoinCanister struct {
 	// forever").
 	stableHeaders []btc.BlockHeader
 
+	// balanceCache memoizes get_balance results for the overlay read path,
+	// keyed by (address, tip, minConfirmations). Any tree mutation — a new
+	// block or header, an anchor advance, a reorg — clears it; within one
+	// tree state the merged view is immutable, so entries stay coherent.
+	balanceCache map[balanceKey]int64
+
 	outgoing []outgoingTx
 	synced   bool
 	// availableHeight is the greatest height for which a block (not just a
@@ -110,11 +133,12 @@ type BitcoinCanister struct {
 func New(cfg Config) *BitcoinCanister {
 	params := btc.ParamsForNetwork(cfg.Network)
 	c := &BitcoinCanister{
-		cfg:    cfg,
-		params: params,
-		stable: utxo.New(cfg.Network),
-		tree:   chain.NewTree(params.GenesisHeader, 0),
-		blocks: make(map[btc.Hash]*btc.Block),
+		cfg:          cfg,
+		params:       params,
+		stable:       utxo.New(cfg.Network),
+		tree:         chain.NewTree(params.GenesisHeader, 0),
+		blocks:       make(map[btc.Hash]*btc.Block),
+		balanceCache: make(map[balanceKey]int64),
 	}
 	c.stableHeaders = append(c.stableHeaders, params.GenesisHeader)
 	// A fresh canister is trivially synced (maxHeight(T) == anchor height);
@@ -180,6 +204,12 @@ func (c *BitcoinCanister) ProcessPayload(ctx *ic.CallContext, payload any) error
 		return fmt.Errorf("canister: unexpected payload type %T", payload)
 	}
 	c.ageOutgoing()
+	// Anything in the payload can change the considered chain (new blocks,
+	// upcoming headers shifting the tip, an anchor advance), so drop the
+	// memoized balances up front; they are cheap to rebuild from deltas.
+	if len(resp.Blocks) > 0 || len(resp.Next) > 0 {
+		c.invalidateBalanceCache()
+	}
 
 	// Lines 1-15: validate and attach each (b, β), then advance the anchor
 	// while the next block is δ-stable.
@@ -251,7 +281,48 @@ func (c *BitcoinCanister) acceptBlock(ctx *ic.CallContext, bw adapter.BlockWithH
 	}
 	c.blocks[hash] = bw.Block
 	c.ingestedBlocks++
+	// Compute the block's address-indexed delta once, now, and attach it to
+	// the tree node: the overlay read path merges these instead of
+	// rescanning blocks, and pruning (reorg, anchor advance) discards them
+	// together with their nodes.
+	node := c.tree.Get(hash)
+	ctx.Meter.Charge(uint64(len(bw.Block.Transactions))*ic.CostPerDeltaBuildTx, "build_delta")
+	delta := utxo.BuildBlockDelta(bw.Block, node.Height, c.cfg.Network, c.resolveOwner(node))
+	node.SetAux(delta)
 	return nil
+}
+
+// resolveOwner attributes an outpoint spent by a block attached at node to
+// the address keys whose merged views may contain it: creators among the
+// node's unstable ancestors plus the stable set's entry. An unresolvable
+// outpoint (an alien input the canister never tracked, or one created on a
+// competing branch) yields no owners — the spend is a no-op for every view,
+// exactly as the naive replay's unconditional delete would be.
+func (c *BitcoinCanister) resolveOwner(node *chain.Node) utxo.OwnerResolver {
+	return func(op btc.OutPoint) []utxo.OwnedOutput {
+		var owners []utxo.OwnedOutput
+		seen := make(map[string]bool, 2)
+		for anc := node.Parent(); anc != nil; anc = anc.Parent() {
+			d, _ := anc.Aux().(*utxo.BlockDelta)
+			if d == nil {
+				continue
+			}
+			if u, ok := d.CreatedOutput(op); ok {
+				key := btc.ScriptID(u.PkScript, c.cfg.Network)
+				if !seen[key] {
+					seen[key] = true
+					owners = append(owners, utxo.OwnedOutput{AddressKey: key, Value: u.Value})
+				}
+			}
+		}
+		if u, ok := c.stable.Get(op); ok {
+			key := btc.ScriptID(u.PkScript, c.cfg.Network)
+			if !seen[key] {
+				owners = append(owners, utxo.OwnedOutput{AddressKey: key, Value: u.Value})
+			}
+		}
+		return owners
+	}
 }
 
 // advanceAnchor implements the while-loop of Algorithm 2 (lines 5-13): as
@@ -292,6 +363,11 @@ func (c *BitcoinCanister) advanceAnchor(ctx *ic.CallContext) {
 			c.applyErrors++
 			return
 		}
+		// The new anchor's transactions now live in the stable set; its
+		// delta (and the balance cache derived from the old view) must not
+		// be consulted again.
+		next.SetAux(nil)
+		c.invalidateBalanceCache()
 		c.stableHeaders = append(c.stableHeaders, next.Header)
 		c.anchorHeight = next.Height
 	}

@@ -1,0 +1,307 @@
+package canister
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"icbtc/internal/adapter"
+	"icbtc/internal/btc"
+	"icbtc/internal/ic"
+)
+
+// forge mines valid blocks on arbitrary parents WITHOUT any transaction
+// validation, which btcnode's miner would enforce — needed to exercise the
+// canister's tolerance of spends referencing outputs from losing branches.
+type forge struct {
+	t      *testing.T
+	params *btc.Params
+	window map[btc.Hash][]uint32
+	extra  uint64
+}
+
+func newForge(t *testing.T) *forge {
+	params := btc.RegtestParams()
+	g := params.GenesisHeader
+	return &forge{
+		t:      t,
+		params: params,
+		window: map[btc.Hash][]uint32{g.BlockHash(): {g.Timestamp}},
+	}
+}
+
+func (f *forge) block(parent btc.Hash, height int64, payout []byte, txs ...*btc.Transaction) *btc.Block {
+	f.t.Helper()
+	pw, ok := f.window[parent]
+	if !ok {
+		f.t.Fatalf("forge: unknown parent %s", parent)
+	}
+	f.extra++
+	coinbase := &btc.Transaction{
+		Version: 2,
+		Inputs: []btc.TxIn{{
+			PreviousOutPoint: btc.OutPoint{TxID: btc.ZeroHash, Vout: 0xffffffff},
+			SignatureScript:  []byte{byte(height), byte(f.extra), byte(f.extra >> 8)},
+		}},
+		Outputs: []btc.TxOut{{Value: f.params.BlockSubsidy, PkScript: payout}},
+	}
+	blk := &btc.Block{
+		Header: btc.BlockHeader{
+			Version:   1,
+			PrevBlock: parent,
+			Timestamp: btc.MedianTimePast(pw) + 30,
+			Bits:      f.params.GenesisHeader.Bits,
+		},
+		Transactions: append([]*btc.Transaction{coinbase}, txs...),
+	}
+	blk.Header.MerkleRoot = blk.MerkleRoot()
+	for nonce := uint32(0); ; nonce++ {
+		blk.Header.Nonce = nonce
+		if btc.HashMeetsTarget(blk.BlockHash(), blk.Header.Bits) {
+			break
+		}
+		if nonce > 1<<24 {
+			f.t.Fatal("forge: PoW exhausted")
+		}
+	}
+	w := append(append([]uint32{}, pw...), blk.Header.Timestamp)
+	if len(w) > 11 {
+		w = w[len(w)-11:]
+	}
+	f.window[blk.BlockHash()] = w
+	return blk
+}
+
+// overlayPair builds one canister per read path plus a payload pump that
+// feeds both identically.
+type overlayPair struct {
+	t               *testing.T
+	overlay, replay *BitcoinCanister
+	now             time.Time
+}
+
+func newOverlayPair(t *testing.T) *overlayPair {
+	mk := func(rp ReadPath) *BitcoinCanister {
+		cfg := DefaultConfig(btc.Regtest) // δ = 6
+		cfg.ReadPath = rp
+		return New(cfg)
+	}
+	g := btc.RegtestParams().GenesisHeader
+	return &overlayPair{
+		t:       t,
+		overlay: mk(ReadPathOverlay),
+		replay:  mk(ReadPathReplay),
+		now:     time.Unix(int64(g.Timestamp), 0).Add(time.Hour),
+	}
+}
+
+func (p *overlayPair) ctx(kind ic.CallKind) *ic.CallContext {
+	return &ic.CallContext{Meter: ic.NewMeter(), Time: p.now, Kind: kind}
+}
+
+func (p *overlayPair) deliver(blocks ...*btc.Block) {
+	p.t.Helper()
+	p.now = p.now.Add(time.Duration(len(blocks)) * time.Minute)
+	resp := adapter.Response{}
+	for _, b := range blocks {
+		resp.Blocks = append(resp.Blocks, adapter.BlockWithHeader{Block: b, Header: b.Header})
+	}
+	before := p.overlay.IngestedBlocks()
+	if err := p.overlay.ProcessPayload(p.ctx(ic.KindUpdate), resp); err != nil {
+		p.t.Fatal(err)
+	}
+	if err := p.replay.ProcessPayload(p.ctx(ic.KindUpdate), resp); err != nil {
+		p.t.Fatal(err)
+	}
+	if got := p.overlay.IngestedBlocks() - before; got != len(blocks) {
+		p.t.Fatalf("ingested %d of %d delivered blocks", got, len(blocks))
+	}
+}
+
+// balances asserts both read paths agree and match the expected value.
+func (p *overlayPair) balance(addr string, minConf int64) int64 {
+	p.t.Helper()
+	a, errA := p.overlay.GetBalance(p.ctx(ic.KindQuery), GetBalanceArgs{Address: addr, MinConfirmations: minConf})
+	b, errB := p.replay.GetBalance(p.ctx(ic.KindQuery), GetBalanceArgs{Address: addr, MinConfirmations: minConf})
+	if errA != nil || errB != nil {
+		p.t.Fatalf("balance(%s, c=%d): overlay err %v, replay err %v", addr, minConf, errA, errB)
+	}
+	if a != b {
+		p.t.Fatalf("balance(%s, c=%d): overlay %d != replay %d", addr, minConf, a, b)
+	}
+	return a
+}
+
+func testAddr(b byte) (string, []byte) {
+	var h [20]byte
+	h[0] = b
+	a := btc.NewP2PKHAddress(h, btc.Regtest)
+	return a.String(), btc.PayToAddrScript(a)
+}
+
+// TestReorgSpendOfLosingBranchOutput exercises the satellite edge case: a
+// winning fork contains a transaction spending an output that was created
+// only on the branch it displaced. The canister does not validate spends,
+// so the block is accepted; the spend must be a no-op for every address
+// view on the new chain — on both read paths.
+func TestReorgSpendOfLosingBranchOutput(t *testing.T) {
+	f := newForge(t)
+	p := newOverlayPair(t)
+	genesis := f.params.GenesisHeader.BlockHash()
+	_, minerScript := testAddr(0xAA)
+	addrP, scriptP := testAddr(0xBB)
+
+	// Branch A: block 1, then block A2 creating output X for address P.
+	b1 := f.block(genesis, 1, minerScript)
+	fund := &btc.Transaction{
+		Version: 2,
+		Inputs:  []btc.TxIn{{PreviousOutPoint: btc.OutPoint{TxID: btc.DoubleSHA256([]byte("external")), Vout: 0}}},
+		Outputs: []btc.TxOut{{Value: 7_000, PkScript: scriptP}},
+	}
+	a2 := f.block(b1.BlockHash(), 2, minerScript, fund)
+	p.deliver(b1, a2)
+	if got := p.balance(addrP, 0); got != 7_000 {
+		t.Fatalf("pre-reorg balance %d, want 7000", got)
+	}
+	outX := btc.OutPoint{TxID: fund.TxID(), Vout: 0}
+
+	// Branch B from block 1: B2 funds P with output Y, B3 spends X — an
+	// output that exists only on branch A — and B4 seals the reorg.
+	fundY := &btc.Transaction{
+		Version: 2,
+		Inputs:  []btc.TxIn{{PreviousOutPoint: btc.OutPoint{TxID: btc.DoubleSHA256([]byte("other")), Vout: 0}}},
+		Outputs: []btc.TxOut{{Value: 1_100, PkScript: scriptP}},
+	}
+	spendX := &btc.Transaction{
+		Version: 2,
+		Inputs:  []btc.TxIn{{PreviousOutPoint: outX}},
+		Outputs: []btc.TxOut{{Value: 6_500, PkScript: minerScript}},
+	}
+	b2 := f.block(b1.BlockHash(), 2, minerScript, fundY)
+	b3 := f.block(b2.BlockHash(), 3, minerScript, spendX)
+	b4 := f.block(b3.BlockHash(), 4, minerScript)
+	p.deliver(b2, b3, b4)
+
+	if got := p.overlay.TipHeight(); got != 4 {
+		t.Fatalf("tip %d, want 4 (reorg to branch B)", got)
+	}
+	// On the current chain X never existed: the spend in B3 is a no-op and
+	// P's view is exactly {Y}.
+	if got := p.balance(addrP, 0); got != 1_100 {
+		t.Fatalf("post-reorg balance %d, want 1100 (Y only)", got)
+	}
+	res, err := p.overlay.GetUTXOs(p.ctx(ic.KindQuery), GetUTXOsArgs{Address: addrP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.UTXOs) != 1 || res.UTXOs[0].OutPoint.TxID != fundY.TxID() {
+		t.Fatalf("post-reorg view %+v, want exactly Y", res.UTXOs)
+	}
+
+	// Branch A overtakes again (A3..A5): X is visible once more, and the
+	// winning-branch-only spend of it is gone from the considered chain.
+	a3 := f.block(a2.BlockHash(), 3, minerScript)
+	a4 := f.block(a3.BlockHash(), 4, minerScript)
+	a5 := f.block(a4.BlockHash(), 5, minerScript)
+	p.deliver(a3, a4, a5)
+	if got := p.balance(addrP, 0); got != 7_000 {
+		t.Fatalf("re-reorg balance %d, want 7000 (X restored, Y gone)", got)
+	}
+}
+
+// TestGetBalanceAtExactlyDeltaConfirmations pins the minConfirmations == δ
+// boundary: the filter admits only count-δ-stable unstable blocks, which
+// with equal-work blocks is the empty set at the tip — the answer is the
+// stable set alone — while δ+1 is rejected outright.
+func TestGetBalanceAtExactlyDeltaConfirmations(t *testing.T) {
+	f := newForge(t)
+	p := newOverlayPair(t)
+	addrM, scriptM := testAddr(0xCC)
+	const delta = 6 // regtest default
+
+	parent := f.params.GenesisHeader.BlockHash()
+	for h := int64(1); h <= 12; h++ {
+		b := f.block(parent, h, scriptM)
+		p.deliver(b)
+		parent = b.BlockHash()
+	}
+	if got := p.overlay.AnchorHeight(); got != 7 {
+		t.Fatalf("anchor %d, want 7", got)
+	}
+	subsidy := f.params.BlockSubsidy
+
+	// c = δ: no unstable block has δ confirmations yet (the deepest has
+	// δ−1), so exactly the 7 folded coinbases answer.
+	if got := p.balance(addrM, delta); got != 7*subsidy {
+		t.Fatalf("balance at c=δ: %d, want %d", got, 7*subsidy)
+	}
+	// c = δ−1 admits exactly one unstable block.
+	if got := p.balance(addrM, delta-1); got != 8*subsidy {
+		t.Fatalf("balance at c=δ-1: %d, want %d", got, 8*subsidy)
+	}
+	// c = 1 sees everything; c = 0 is the unfiltered view.
+	if got := p.balance(addrM, 1); got != 12*subsidy {
+		t.Fatalf("balance at c=1: %d, want %d", got, 12*subsidy)
+	}
+	// c = δ+1 must be rejected by both paths.
+	for _, can := range []*BitcoinCanister{p.overlay, p.replay} {
+		if _, err := can.GetBalance(p.ctx(ic.KindQuery), GetBalanceArgs{Address: addrM, MinConfirmations: delta + 1}); !errors.Is(err, ErrTooManyConfirmations) {
+			t.Fatalf("c=δ+1: got %v, want ErrTooManyConfirmations", err)
+		}
+	}
+}
+
+// TestBalanceCacheCoherence verifies the overlay's balance cache is
+// invalidated by every tree mutation and cleared deltas on anchor advance.
+func TestBalanceCacheCoherence(t *testing.T) {
+	f := newForge(t)
+	p := newOverlayPair(t)
+	addrM, scriptM := testAddr(0xDD)
+
+	parent := f.params.GenesisHeader.BlockHash()
+	b1 := f.block(parent, 1, scriptM)
+	p.deliver(b1)
+
+	// First query misses, second hits the cache.
+	if got := p.balance(addrM, 0); got != f.params.BlockSubsidy {
+		t.Fatalf("balance %d", got)
+	}
+	if p.overlay.BalanceCacheSize() == 0 {
+		t.Fatal("query did not populate the balance cache")
+	}
+	hit := p.ctx(ic.KindQuery)
+	if _, err := p.overlay.GetBalance(hit, GetBalanceArgs{Address: addrM}); err != nil {
+		t.Fatal(err)
+	}
+	if hit.Meter.Category("balance_cache_hit") == 0 {
+		t.Fatal("repeat query did not hit the cache")
+	}
+
+	// A new block must invalidate and the next answer must be fresh.
+	b2 := f.block(b1.BlockHash(), 2, scriptM)
+	p.deliver(b2)
+	if p.overlay.BalanceCacheSize() != 0 {
+		t.Fatal("cache survived a tree mutation")
+	}
+	if got := p.balance(addrM, 0); got != 2*f.params.BlockSubsidy {
+		t.Fatalf("post-mutation balance %d", got)
+	}
+
+	// Drive the anchor forward; the new root's delta attachment must be
+	// cleared (its effects now live in the stable set).
+	parent = b2.BlockHash()
+	for h := int64(3); h <= 9; h++ {
+		b := f.block(parent, h, scriptM)
+		p.deliver(b)
+		parent = b.BlockHash()
+	}
+	if p.overlay.AnchorHeight() == 0 {
+		t.Fatal("anchor did not advance")
+	}
+	if p.overlay.tree.Root().Aux() != nil {
+		t.Fatal("anchor node still carries a block delta")
+	}
+	if got := p.balance(addrM, 0); got != 9*f.params.BlockSubsidy {
+		t.Fatalf("post-advance balance %d", got)
+	}
+}

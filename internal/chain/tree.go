@@ -33,9 +33,22 @@ type Node struct {
 	// must still anchor the MTP rule).
 	tsWindow []uint32
 
+	// aux is an opaque per-node attachment owned by the tree's embedder.
+	// The Bitcoin canister stores a block's address-indexed UTXO delta here
+	// so its read path can merge per-block effects without rescanning
+	// blocks; because the attachment lives on the node, pruning a subtree
+	// (Reroot) discards stale deltas together with their headers.
+	aux any
+
 	parent   *Node
 	children []*Node
 }
+
+// SetAux attaches an opaque per-node value (nil clears it).
+func (n *Node) SetAux(v any) { n.aux = v }
+
+// Aux returns the node's attachment, or nil.
+func (n *Node) Aux() any { return n.aux }
 
 // Parent returns the node's parent, or nil for the root.
 func (n *Node) Parent() *Node { return n.parent }

@@ -1,0 +1,432 @@
+// Package difftest is the differential test harness for the canister read
+// path: the incremental unstable-state overlay is an equivalence-preserving
+// rewrite of the naive §III-C per-request block replay, so the harness runs
+// randomized workloads — mines, reorgs up to δ−1 deep, sends (including
+// double spends and spends of outputs created on losing branches, which the
+// canister deliberately does not validate away), and paginated queries at
+// varying minConfirmations — through two canisters fed byte-identical
+// payloads: one on ReadPathOverlay, one on ReadPathReplay (the oracle). All
+// request results must be byte-identical.
+package difftest
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"icbtc/internal/adapter"
+	"icbtc/internal/btc"
+	"icbtc/internal/canister"
+	"icbtc/internal/ic"
+)
+
+// Config parameterizes one differential run.
+type Config struct {
+	// Seed drives every random choice; a run is fully reproducible.
+	Seed int64
+	// Steps is how many workload iterations to execute.
+	Steps int
+	// Delta is δ (the canisters' stability threshold).
+	Delta int64
+	// Addresses is the size of the synthetic address population.
+	Addresses int
+}
+
+// DefaultConfig returns a workload mix that exercises forks, conflicting
+// spends, pagination, and confirmation filters within a small δ.
+func DefaultConfig(seed int64) Config {
+	return Config{Seed: seed, Steps: 100, Delta: 6, Addresses: 10}
+}
+
+// Stats summarizes a completed run.
+type Stats struct {
+	Steps        int
+	BlocksMined  int
+	Reorgs       int
+	Queries      int
+	PagesWalked  int
+	HeaderDelays int
+}
+
+// Harness drives the two canisters.
+type Harness struct {
+	cfg    Config
+	rng    *rand.Rand
+	params *btc.Params
+
+	overlay *canister.BitcoinCanister
+	replay  *canister.BitcoinCanister
+
+	miner *forkMiner
+	now   time.Time
+
+	// addrs is the synthetic population queries and outputs draw from.
+	addrs []popAddr
+	// pool holds previously created outpoints across every branch; spends
+	// sample it with replacement, so double spends and spends of outputs
+	// created on losing branches occur naturally.
+	pool []poolEntry
+	// pending holds blocks whose headers were announced (via Next) one step
+	// before their blocks are delivered, exercising header-only tree nodes.
+	pending []*btc.Block
+
+	stats Stats
+}
+
+type popAddr struct {
+	address string
+	script  []byte
+}
+
+type poolEntry struct {
+	op    btc.OutPoint
+	value int64
+}
+
+// New creates a harness with both canisters at genesis.
+func New(cfg Config) *Harness {
+	params := btc.RegtestParams()
+	mk := func(rp canister.ReadPath) *canister.BitcoinCanister {
+		c := canister.DefaultConfig(btc.Regtest)
+		c.StabilityThreshold = cfg.Delta
+		c.ReadPath = rp
+		return canister.New(c)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	h := &Harness{
+		cfg:     cfg,
+		rng:     rng,
+		params:  params,
+		overlay: mk(canister.ReadPathOverlay),
+		replay:  mk(canister.ReadPathReplay),
+		miner:   newForkMiner(params),
+		now:     time.Unix(int64(params.GenesisHeader.Timestamp), 0).Add(time.Hour),
+	}
+	for i := 0; i < cfg.Addresses; i++ {
+		var hash [20]byte
+		rng.Read(hash[:])
+		a := btc.NewP2PKHAddress(hash, params.Network)
+		h.addrs = append(h.addrs, popAddr{address: a.String(), script: btc.PayToAddrScript(a)})
+	}
+	return h
+}
+
+// Stats returns the run counters so far.
+func (h *Harness) Stats() Stats { return h.stats }
+
+// Run executes cfg.Steps workload iterations, stopping at the first
+// divergence between the overlay and the oracle.
+func (h *Harness) Run() (Stats, error) {
+	for i := 0; i < h.cfg.Steps; i++ {
+		if err := h.Step(); err != nil {
+			return h.stats, fmt.Errorf("difftest: seed %d step %d: %w", h.cfg.Seed, i, err)
+		}
+	}
+	return h.stats, nil
+}
+
+// Step executes one workload iteration: deliver any deferred blocks, mutate
+// the chain (extend or reorg), then cross-check a batch of queries.
+func (h *Harness) Step() error {
+	h.stats.Steps++
+	if err := h.deliverPending(); err != nil {
+		return err
+	}
+
+	switch {
+	case h.rng.Intn(4) == 0 && h.forkDepthBudget() > 0:
+		if err := h.reorg(); err != nil {
+			return err
+		}
+	default:
+		block, err := h.mineOnTip()
+		if err != nil {
+			return err
+		}
+		// One time in five, announce the header first and hold the block
+		// back one step (the adapter's upcoming-headers flow), putting a
+		// header-only node at the tip of the considered chain.
+		if h.rng.Intn(5) == 0 {
+			h.stats.HeaderDelays++
+			h.pending = append(h.pending, block)
+			if err := h.deliver(adapter.Response{Next: []btc.BlockHeader{block.Header}}); err != nil {
+				return err
+			}
+		} else if err := h.deliverBlocks(block); err != nil {
+			return err
+		}
+	}
+
+	if err := h.checkStateAgreement(); err != nil {
+		return err
+	}
+	return h.checkQueries()
+}
+
+// deliverPending ships blocks whose headers went out last step.
+func (h *Harness) deliverPending() error {
+	if len(h.pending) == 0 {
+		return nil
+	}
+	blocks := h.pending
+	h.pending = nil
+	return h.deliverBlocks(blocks...)
+}
+
+// forkDepthBudget returns the deepest admissible fork point distance from
+// the tip: at most δ−1 and never below the anchor.
+func (h *Harness) forkDepthBudget() int64 {
+	budget := h.overlay.TipHeight() - h.overlay.AnchorHeight()
+	if max := h.cfg.Delta - 1; budget > max {
+		budget = max
+	}
+	return budget
+}
+
+// reorg mines a heavier competing branch from up to δ−1 blocks below the
+// tip and delivers it; the canisters must switch their current chain to it.
+func (h *Harness) reorg() error {
+	h.stats.Reorgs++
+	depth := 1 + h.rng.Int63n(h.forkDepthBudget())
+	base := h.tipHash()
+	for i := int64(0); i < depth; i++ {
+		base = h.miner.parentOf(base)
+	}
+	// depth+1 blocks strictly outweigh the displaced suffix (equal bits).
+	blocks := make([]*btc.Block, 0, depth+1)
+	parent := base
+	for i := int64(0); i <= depth; i++ {
+		b, err := h.miner.mine(parent, h.randomTxs())
+		if err != nil {
+			return err
+		}
+		h.recordOutputs(b)
+		blocks = append(blocks, b)
+		parent = b.BlockHash()
+		h.now = h.now.Add(time.Minute)
+	}
+	h.stats.BlocksMined += len(blocks)
+	return h.deliverBlocks(blocks...)
+}
+
+// mineOnTip extends the current chain by one block of random transactions.
+func (h *Harness) mineOnTip() (*btc.Block, error) {
+	block, err := h.miner.mine(h.tipHash(), h.randomTxs())
+	if err != nil {
+		return nil, err
+	}
+	h.recordOutputs(block)
+	h.stats.BlocksMined++
+	h.now = h.now.Add(time.Minute)
+	return block, nil
+}
+
+// tipHash asks the canister for its current tip (both canisters run the
+// same state machine, so either would do; state agreement is checked after
+// every step).
+func (h *Harness) tipHash() btc.Hash {
+	v, err := h.overlay.Update(h.ctx(ic.KindUpdate), "get_tip", nil)
+	if err != nil {
+		panic(err) // get_tip cannot fail
+	}
+	return v.(btc.Hash)
+}
+
+// randomTxs builds 0..4 transactions: spends sampled (with replacement)
+// from every output ever created on any branch, occasional alien inputs the
+// canister never tracked, and 1..3 outputs paying population addresses.
+func (h *Harness) randomTxs() []*btc.Transaction {
+	txs := make([]*btc.Transaction, 0, 4)
+	for n := h.rng.Intn(5); n > 0; n-- {
+		tx := &btc.Transaction{Version: 2}
+		switch {
+		case len(h.pool) > 0 && h.rng.Intn(10) < 7:
+			for k := 1 + h.rng.Intn(2); k > 0 && len(h.pool) > 0; k-- {
+				e := h.pool[h.rng.Intn(len(h.pool))]
+				tx.Inputs = append(tx.Inputs, btc.TxIn{PreviousOutPoint: e.op, Sequence: 0xffffffff})
+			}
+		default:
+			// Alien input: value entering the tracked set from outside, or
+			// plain garbage — the canister trusts proof of work, not spends.
+			var fake btc.OutPoint
+			h.rng.Read(fake.TxID[:])
+			tx.Inputs = append(tx.Inputs, btc.TxIn{PreviousOutPoint: fake, Sequence: 0xffffffff})
+		}
+		for k := 1 + h.rng.Intn(3); k > 0; k-- {
+			addr := h.addrs[h.rng.Intn(len(h.addrs))]
+			tx.Outputs = append(tx.Outputs, btc.TxOut{
+				Value:    500 + int64(h.rng.Intn(10_000)),
+				PkScript: addr.script,
+			})
+		}
+		txs = append(txs, tx)
+	}
+	return txs
+}
+
+// recordOutputs adds a block's outputs to the spend-candidate pool.
+func (h *Harness) recordOutputs(block *btc.Block) {
+	for _, tx := range block.Transactions {
+		txid := tx.TxID()
+		for vout := range tx.Outputs {
+			h.pool = append(h.pool, poolEntry{
+				op:    btc.OutPoint{TxID: txid, Vout: uint32(vout)},
+				value: tx.Outputs[vout].Value,
+			})
+		}
+	}
+	if len(h.pool) > 600 {
+		h.pool = h.pool[len(h.pool)-600:]
+	}
+}
+
+// deliverBlocks ships blocks (parent-first) to both canisters.
+func (h *Harness) deliverBlocks(blocks ...*btc.Block) error {
+	resp := adapter.Response{}
+	for _, b := range blocks {
+		resp.Blocks = append(resp.Blocks, adapter.BlockWithHeader{Block: b, Header: b.Header})
+	}
+	return h.deliver(resp)
+}
+
+// deliver processes one payload on both canisters with identical contexts.
+func (h *Harness) deliver(resp adapter.Response) error {
+	if err := h.overlay.ProcessPayload(h.ctx(ic.KindUpdate), resp); err != nil {
+		return fmt.Errorf("overlay payload: %w", err)
+	}
+	if err := h.replay.ProcessPayload(h.ctx(ic.KindUpdate), resp); err != nil {
+		return fmt.Errorf("replay payload: %w", err)
+	}
+	return nil
+}
+
+func (h *Harness) ctx(kind ic.CallKind) *ic.CallContext {
+	return &ic.CallContext{Meter: ic.NewMeter(), Time: h.now, Kind: kind}
+}
+
+// checkStateAgreement asserts the two state machines stayed identical (the
+// read path must not influence consensus state).
+func (h *Harness) checkStateAgreement() error {
+	type probe struct {
+		name string
+		a, b int64
+	}
+	for _, p := range []probe{
+		{"tip height", h.overlay.TipHeight(), h.replay.TipHeight()},
+		{"anchor height", h.overlay.AnchorHeight(), h.replay.AnchorHeight()},
+		{"stable UTXOs", int64(h.overlay.StableUTXOCount()), int64(h.replay.StableUTXOCount())},
+		{"unstable blocks", int64(h.overlay.UnstableBlockCount()), int64(h.replay.UnstableBlockCount())},
+	} {
+		if p.a != p.b {
+			return fmt.Errorf("state divergence: %s overlay=%d replay=%d", p.name, p.a, p.b)
+		}
+	}
+	return nil
+}
+
+// checkQueries cross-checks a batch of balance and paginated UTXO queries,
+// including a deliberately out-of-range confirmations filter.
+func (h *Harness) checkQueries() error {
+	confChoices := []int64{0, 1, h.cfg.Delta / 2, h.cfg.Delta, h.cfg.Delta + 1}
+	for q := 0; q < 4; q++ {
+		addr := h.addrs[h.rng.Intn(len(h.addrs))].address
+		if h.rng.Intn(12) == 0 {
+			addr = "unknown-address"
+		}
+		minConf := confChoices[h.rng.Intn(len(confChoices))]
+		if err := h.compareBalance(addr, minConf); err != nil {
+			return err
+		}
+		if err := h.compareUTXOPages(addr, minConf, 1+h.rng.Intn(7)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (h *Harness) compareBalance(addr string, minConf int64) error {
+	h.stats.Queries++
+	args := canister.GetBalanceArgs{Address: addr, MinConfirmations: minConf}
+	a, errA := h.overlay.GetBalance(h.ctx(ic.KindQuery), args)
+	b, errB := h.replay.GetBalance(h.ctx(ic.KindQuery), args)
+	if err := sameError(errA, errB); err != nil {
+		return fmt.Errorf("get_balance(%s, c=%d): %w", addr, minConf, err)
+	}
+	if errA == nil && a != b {
+		return fmt.Errorf("get_balance(%s, c=%d): overlay=%d replay=%d", addr, minConf, a, b)
+	}
+	// A repeated query must hit the overlay's balance cache and agree.
+	a2, err := h.overlay.GetBalance(h.ctx(ic.KindQuery), args)
+	if errA == nil && (err != nil || a2 != a) {
+		return fmt.Errorf("get_balance(%s, c=%d): cache answered %d/%v, first answer %d", addr, minConf, a2, err, a)
+	}
+	return nil
+}
+
+func (h *Harness) compareUTXOPages(addr string, minConf int64, limit int) error {
+	var tokA, tokB []byte
+	for page := 0; ; page++ {
+		if page > 400 {
+			return fmt.Errorf("get_utxos(%s, c=%d): pagination did not terminate", addr, minConf)
+		}
+		h.stats.Queries++
+		h.stats.PagesWalked++
+		resA, errA := h.overlay.GetUTXOs(h.ctx(ic.KindQuery), canister.GetUTXOsArgs{
+			Address: addr, MinConfirmations: minConf, Page: tokA, Limit: limit,
+		})
+		resB, errB := h.replay.GetUTXOs(h.ctx(ic.KindQuery), canister.GetUTXOsArgs{
+			Address: addr, MinConfirmations: minConf, Page: tokB, Limit: limit,
+		})
+		if err := sameError(errA, errB); err != nil {
+			return fmt.Errorf("get_utxos(%s, c=%d) page %d: %w", addr, minConf, page, err)
+		}
+		if errA != nil {
+			return nil // both rejected identically (e.g. c > δ)
+		}
+		ba, bb := EncodeUTXOsResult(resA), EncodeUTXOsResult(resB)
+		if !bytes.Equal(ba, bb) {
+			return fmt.Errorf("get_utxos(%s, c=%d) page %d: overlay %x != replay %x", addr, minConf, page, ba, bb)
+		}
+		if resA.NextPage == nil {
+			return nil
+		}
+		tokA, tokB = resA.NextPage, resB.NextPage
+	}
+}
+
+func sameError(a, b error) error {
+	switch {
+	case a == nil && b == nil:
+		return nil
+	case a == nil || b == nil:
+		return fmt.Errorf("error divergence: overlay=%v replay=%v", a, b)
+	case a.Error() != b.Error():
+		return fmt.Errorf("error divergence: overlay=%q replay=%q", a, b)
+	}
+	return nil
+}
+
+// EncodeUTXOsResult serializes a get_utxos response deterministically so
+// responses can be compared byte for byte.
+func EncodeUTXOsResult(res *canister.GetUTXOsResult) []byte {
+	var buf bytes.Buffer
+	w := func(v any) { _ = binary.Write(&buf, binary.BigEndian, v) }
+	buf.Write(res.TipHash[:])
+	w(res.TipHeight)
+	w(int64(res.StableCount))
+	w(int64(res.UnstableCount))
+	w(int64(len(res.NextPage)))
+	buf.Write(res.NextPage)
+	w(int64(len(res.UTXOs)))
+	for _, u := range res.UTXOs {
+		buf.Write(u.OutPoint.TxID[:])
+		w(u.OutPoint.Vout)
+		w(u.Value)
+		w(u.Height)
+		w(int64(len(u.PkScript)))
+		buf.Write(u.PkScript)
+	}
+	return buf.Bytes()
+}

@@ -1,0 +1,46 @@
+package difftest
+
+import (
+	"testing"
+)
+
+// TestDifferentialOverlayVsReplay runs the randomized differential workload
+// across a battery of fixed seeds: ≥ 1000 workload iterations in total,
+// every get_utxos page and get_balance answer byte-identical between the
+// overlay read path and the naive-replay oracle.
+func TestDifferentialOverlayVsReplay(t *testing.T) {
+	seeds := []int64{1, 2, 3, 5, 8, 13, 21, 34, 55, 89, 144, 233}
+	totalSteps := 0
+	for _, seed := range seeds {
+		cfg := DefaultConfig(seed)
+		h := New(cfg)
+		stats, err := h.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		totalSteps += stats.Steps
+		if stats.Reorgs == 0 {
+			t.Errorf("seed %d: workload produced no reorgs", seed)
+		}
+		if stats.Queries == 0 || stats.BlocksMined == 0 {
+			t.Errorf("seed %d: degenerate workload: %+v", seed, stats)
+		}
+	}
+	if totalSteps < 1000 {
+		t.Fatalf("only %d workload iterations, want >= 1000", totalSteps)
+	}
+}
+
+// TestDifferentialLargerDelta repeats the exercise with a deeper stability
+// threshold so reorgs reach depths the regtest default cannot.
+func TestDifferentialLargerDelta(t *testing.T) {
+	for _, seed := range []int64{7, 11} {
+		cfg := DefaultConfig(seed)
+		cfg.Delta = 12
+		cfg.Steps = 60
+		h := New(cfg)
+		if _, err := h.Run(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

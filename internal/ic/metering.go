@@ -32,8 +32,24 @@ const (
 	// request dominated by the fixed base).
 	CostPerBalanceUTXO = 3_000
 	// CostPerUnstableBlockScan prices walking one unstable block during an
-	// address view — the linear-in-δ term of §III-C.
+	// address view — the linear-in-δ term of §III-C. Only the naive replay
+	// read path (the differential oracle) pays it; the overlay read path
+	// replaces it with the per-delta costs below.
 	CostPerUnstableBlockScan = 200_000
+	// CostPerDeltaLookup prices consulting one unstable block's
+	// address-indexed delta during an overlay read: two map lookups instead
+	// of a full block scan, so the δ-proportional term almost vanishes.
+	CostPerDeltaLookup = 2_000
+	// CostPerDeltaEntry prices applying one created/spent delta entry for
+	// the queried address while merging the overlay view.
+	CostPerDeltaEntry = 2_000
+	// CostPerDeltaBuildTx prices indexing one transaction into a block's
+	// delta at ingestion time — the one-time work that amortizes the
+	// per-request block scans away.
+	CostPerDeltaBuildTx = 60_000
+	// CostBalanceCacheHit prices serving get_balance from the per-address
+	// balance cache the overlay keeps coherent.
+	CostBalanceCacheHit = 40_000
 	// CostThresholdSignature prices one threshold signing round.
 	CostThresholdSignature = 26_000_000_000 / 1000 // per-canister share
 	// CostInterCanisterCall prices call setup/teardown.

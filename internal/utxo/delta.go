@@ -1,0 +1,188 @@
+package utxo
+
+import (
+	"icbtc/internal/btc"
+)
+
+// Incremental unstable-state overlay (read-path optimization). The naive
+// get_utxos/get_balance implementation replays every unstable block for
+// every request, so query cost grows linearly with δ (§III-C notes exactly
+// this complexity). A BlockDelta is the address-indexed net effect of one
+// unstable block, computed once when the block is attached to the header
+// tree; the read path then merges the stable set with the chain of per-block
+// deltas for just the queried address instead of rescanning full blocks.
+
+// BlockDelta is the address-indexed delta of one block: the outputs it
+// created (net of outputs it created and spent itself), the pre-existing
+// outpoints it spent attributed to their owning addresses, and the implied
+// per-address balance deltas. A delta is immutable once built.
+type BlockDelta struct {
+	height int64
+
+	// createdByAddr holds surviving created outputs per address key, in
+	// block order (the canonical order the naive replay would add them).
+	createdByAddr map[string][]UTXO
+	// spentByAddr holds spent pre-existing outpoints per owning address.
+	// The same outpoint may appear more than once (redundant double spends
+	// inside one block); merge deletion is idempotent, matching replay.
+	spentByAddr map[string][]SpentOutPoint
+	// createdByOp indexes the surviving created outputs by outpoint so
+	// descendant blocks can resolve the owner of an outpoint they spend.
+	createdByOp map[btc.OutPoint]UTXO
+	// balanceByAddr is the per-address balance delta: created value minus
+	// spent value. Exact on conflict-free chains; the canister's
+	// get_balance sums the merged view instead, so conflicting spends
+	// (which the canister does not validate away) can never skew results.
+	balanceByAddr map[string]int64
+
+	entries int
+}
+
+// SpentOutPoint is one spent pre-existing outpoint with its value, kept so
+// balance deltas can be derived without a second lookup.
+type SpentOutPoint struct {
+	OutPoint btc.OutPoint
+	Value    int64
+}
+
+// Height returns the block height the delta was computed at.
+func (d *BlockDelta) Height() int64 { return d.height }
+
+// Entries returns the total number of created + spent entries, the size
+// metric the execution layer's metering charges per applied entry.
+func (d *BlockDelta) Entries() int { return d.entries }
+
+// Addresses returns how many distinct address keys the delta touches.
+func (d *BlockDelta) Addresses() int {
+	seen := make(map[string]struct{}, len(d.createdByAddr)+len(d.spentByAddr))
+	for a := range d.createdByAddr {
+		seen[a] = struct{}{}
+	}
+	for a := range d.spentByAddr {
+		seen[a] = struct{}{}
+	}
+	return len(seen)
+}
+
+// CreatedFor returns the surviving outputs the block created for an address
+// key, in block order. The returned slice is shared; callers must not
+// mutate it.
+func (d *BlockDelta) CreatedFor(addressKey string) []UTXO { return d.createdByAddr[addressKey] }
+
+// SpentFor returns the pre-existing outpoints the block spent that are
+// attributed to an address key. The returned slice is shared.
+func (d *BlockDelta) SpentFor(addressKey string) []SpentOutPoint { return d.spentByAddr[addressKey] }
+
+// CreatedOutput resolves an outpoint this block created (and did not itself
+// spend), for descendant-delta owner attribution.
+func (d *BlockDelta) CreatedOutput(op btc.OutPoint) (UTXO, bool) {
+	u, ok := d.createdByOp[op]
+	return u, ok
+}
+
+// BalanceDelta returns the per-address balance delta (created minus spent
+// value). See the field comment for the exactness caveat.
+func (d *BlockDelta) BalanceDelta(addressKey string) int64 { return d.balanceByAddr[addressKey] }
+
+// OwnerResolver attributes a spent outpoint to the address keys whose views
+// may contain it at the time the delta's block is processed: the stable
+// set's owner and/or an unstable ancestor block that created it. Returning
+// no owners means the spend is a no-op for every address view (an alien or
+// already-folded input), exactly as the naive replay's unconditional map
+// delete would be.
+type OwnerResolver func(op btc.OutPoint) []OwnedOutput
+
+// OwnedOutput is one resolution result: the address key owning the outpoint
+// and the output's value (for balance deltas).
+type OwnedOutput struct {
+	AddressKey string
+	Value      int64
+}
+
+// BuildBlockDelta computes the address-indexed delta of one block. It
+// replays the block's transactions in order — exactly the order the naive
+// read path would — netting out outputs created and spent within the block,
+// and attributes external spends through resolve.
+func BuildBlockDelta(block *btc.Block, height int64, network btc.Network, resolve OwnerResolver) *BlockDelta {
+	d := &BlockDelta{
+		height:        height,
+		createdByAddr: make(map[string][]UTXO),
+		spentByAddr:   make(map[string][]SpentOutPoint),
+		createdByOp:   make(map[btc.OutPoint]UTXO),
+		balanceByAddr: make(map[string]int64),
+	}
+	// createdOrder preserves block order for the per-address created lists.
+	var createdOrder []btc.OutPoint
+	for _, tx := range block.Transactions {
+		if !tx.IsCoinbase() {
+			for i := range tx.Inputs {
+				op := tx.Inputs[i].PreviousOutPoint
+				if _, inBlock := d.createdByOp[op]; inBlock {
+					// Created earlier in this very block: net the pair out
+					// locally; it never becomes visible to any view.
+					delete(d.createdByOp, op)
+				}
+				// Attribute the spend to every owner whose merged view could
+				// currently contain the outpoint. Deletion is idempotent at
+				// merge time, so over-attribution cannot skew the view.
+				for _, owner := range resolve(op) {
+					d.spentByAddr[owner.AddressKey] = append(d.spentByAddr[owner.AddressKey],
+						SpentOutPoint{OutPoint: op, Value: owner.Value})
+					d.balanceByAddr[owner.AddressKey] -= owner.Value
+				}
+			}
+		}
+		txid := tx.TxID()
+		for vout := range tx.Outputs {
+			op := btc.OutPoint{TxID: txid, Vout: uint32(vout)}
+			d.createdByOp[op] = UTXO{
+				OutPoint: op,
+				Value:    tx.Outputs[vout].Value,
+				PkScript: tx.Outputs[vout].PkScript,
+				Height:   height,
+			}
+			createdOrder = append(createdOrder, op)
+		}
+	}
+	// Index the surviving creations by address, in block order. A repeated
+	// outpoint (a transaction duplicated inside the block) is emitted once.
+	emitted := make(map[btc.OutPoint]bool, len(d.createdByOp))
+	for _, op := range createdOrder {
+		u, ok := d.createdByOp[op]
+		if !ok || emitted[op] {
+			continue // netted out by an in-block spend, or already emitted
+		}
+		emitted[op] = true
+		key := btc.ScriptID(u.PkScript, network)
+		d.createdByAddr[key] = append(d.createdByAddr[key], u)
+		d.balanceByAddr[key] += u.Value
+	}
+	for _, c := range d.createdByAddr {
+		d.entries += len(c)
+	}
+	for _, s := range d.spentByAddr {
+		d.entries += len(s)
+	}
+	return d
+}
+
+// ApplyForAddress merges one delta into an address's present-set view:
+// spends are deleted first, then creations inserted — the exact order the
+// naive per-transaction replay settles to for a whole block. Created
+// outpoints are recorded in unstable so the canister can price them as
+// unstable-block fetches (the Fig 7 bifurcation).
+func (d *BlockDelta) ApplyForAddress(addressKey string, present map[btc.OutPoint]UTXO, unstable map[btc.OutPoint]bool) {
+	for _, s := range d.spentByAddr[addressKey] {
+		delete(present, s.OutPoint)
+	}
+	for _, u := range d.createdByAddr[addressKey] {
+		present[u.OutPoint] = u
+		unstable[u.OutPoint] = true
+	}
+}
+
+// EntriesFor returns how many created + spent entries the delta holds for
+// one address key — the per-delta work a merged read performs.
+func (d *BlockDelta) EntriesFor(addressKey string) int {
+	return len(d.createdByAddr[addressKey]) + len(d.spentByAddr[addressKey])
+}
