@@ -1,0 +1,74 @@
+package icbtc_test
+
+import (
+	"testing"
+
+	"icbtc/internal/btc"
+	"icbtc/internal/canister"
+	"icbtc/internal/experiments"
+	"icbtc/internal/ic"
+)
+
+// TestGetUTXOsPageAllocations pins the allocation budget of a full
+// get_utxos page served from the ordered stable index: one context, one
+// page slice, one result — the indexed read path must stay sort-free and
+// bucket-copy-free. The pre-index implementation spent 36 allocations per
+// request on this workload; a regression past the pinned budget means the
+// streaming path degraded.
+func TestGetUTXOsPageAllocations(t *testing.T) {
+	f := experiments.NewFeeder(btc.Regtest, 6, 9)
+	var h [20]byte
+	h[0] = 0x42
+	addr := btc.NewP2PKHAddress(h, btc.Regtest)
+	script := btc.PayToAddrScript(addr)
+	if _, err := f.FeedBlock([]experiments.TxSpec{{Outputs: experiments.PayN(script, 1000, 546)}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.FeedEmpty(8); err != nil {
+		t.Fatal(err)
+	}
+	args := canister.GetUTXOsArgs{Address: addr.String()}
+	avg := testing.AllocsPerRun(200, func() {
+		ctx := f.QueryCtx()
+		res, err := f.Canister.GetUTXOs(ctx, args)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.UTXOs) != 1000 {
+			t.Fatalf("got %d UTXOs", len(res.UTXOs))
+		}
+	})
+	// Budget: context (with embedded meter), page slice, result struct,
+	// plus one of slack for runtime noise.
+	if avg > 4 {
+		t.Fatalf("get_utxos page allocates %.1f times per request, budget is 4", avg)
+	}
+}
+
+// TestBalanceAllocations pins the indexed get_balance path: the stable part
+// is an O(1) running total, so a cold query against a deep stable bucket
+// must stay within a handful of allocations.
+func TestBalanceAllocations(t *testing.T) {
+	f := experiments.NewFeeder(btc.Regtest, 6, 11)
+	var h [20]byte
+	h[0] = 0x43
+	addr := btc.NewP2PKHAddress(h, btc.Regtest)
+	script := btc.PayToAddrScript(addr)
+	if _, err := f.FeedBlock([]experiments.TxSpec{{Outputs: experiments.PayN(script, 500, 546)}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.FeedEmpty(8); err != nil {
+		t.Fatal(err)
+	}
+	args := canister.GetBalanceArgs{Address: addr.String()}
+	avg := testing.AllocsPerRun(200, func() {
+		ctx := f.QueryCtx()
+		ctx.Kind = ic.KindUpdate // bypass the balance cache, measure the merge
+		if _, err := f.Canister.GetBalance(ctx, args); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg > 4 {
+		t.Fatalf("get_balance allocates %.1f times per request, budget is 4", avg)
+	}
+}

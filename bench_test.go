@@ -366,6 +366,48 @@ func BenchmarkGetUTXOs1000(b *testing.B) {
 	}
 }
 
+func BenchmarkGetUTXOsDeepPagination(b *testing.B) {
+	// Walk an entire 1000-UTXO address in pages of 50: every resume seeks
+	// the cursor by binary search in the ordered index, so a full walk is
+	// O(pages · (log n + page)) — the pre-index implementation re-sorted
+	// the bucket per page and linear-scanned the cursor, making deep walks
+	// quadratic.
+	f := experiments.NewFeeder(btc.Regtest, 6, 9)
+	var h [20]byte
+	h[0] = 0x43
+	addr := btc.NewP2PKHAddress(h, btc.Regtest)
+	script := btc.PayToAddrScript(addr)
+	if _, err := f.FeedBlock([]experiments.TxSpec{{Outputs: experiments.PayN(script, 1000, 546)}}); err != nil {
+		b.Fatal(err)
+	}
+	if err := f.FeedEmpty(8); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var token []byte
+		pages, total := 0, 0
+		for {
+			res, err := f.Canister.GetUTXOs(f.QueryCtx(), canister.GetUTXOsArgs{
+				Address: addr.String(), Page: token, Limit: 50,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			pages++
+			total += len(res.UTXOs)
+			if res.NextPage == nil {
+				break
+			}
+			token = res.NextPage
+		}
+		if pages != 20 || total != 1000 {
+			b.Fatalf("walked %d pages / %d UTXOs", pages, total)
+		}
+	}
+}
+
 func BenchmarkConsensusRound(b *testing.B) {
 	sched := simnet.NewScheduler(10)
 	cfg := ic.DefaultConfig()

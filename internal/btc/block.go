@@ -92,6 +92,28 @@ func ParseBlockHeader(data []byte) (*BlockHeader, error) {
 type Block struct {
 	Header       BlockHeader
 	Transactions []*Transaction
+
+	// txids memoizes TxIDs. A block's transactions are immutable once the
+	// header (whose Merkle root commits to them) is assembled, so the IDs
+	// are computed at most once per block instead of once per consumer —
+	// Merkle validation, delta building, and stable ingestion all share one
+	// table. Not synchronized: the simulation executes blocks on a single
+	// goroutine.
+	txids []Hash
+}
+
+// TxIDs returns the memoized transaction IDs, in block order. The first
+// call serializes and double-hashes every transaction; later calls are
+// free. Callers must not mutate Transactions after using it.
+func (b *Block) TxIDs() []Hash {
+	if b.txids == nil && len(b.Transactions) > 0 {
+		ids := make([]Hash, len(b.Transactions))
+		for i, tx := range b.Transactions {
+			ids[i] = tx.TxID()
+		}
+		b.txids = ids
+	}
+	return b.txids
 }
 
 // BlockHash returns the hash of the block's header.
@@ -172,11 +194,7 @@ func ParseBlock(data []byte) (*Block, error) {
 // MerkleRoot computes the Merkle tree root over the block's transaction IDs
 // using Bitcoin's duplicate-last-node rule for odd levels.
 func (b *Block) MerkleRoot() Hash {
-	txids := make([]Hash, len(b.Transactions))
-	for i, tx := range b.Transactions {
-		txids[i] = tx.TxID()
-	}
-	return MerkleRootFromHashes(txids)
+	return MerkleRootFromHashes(b.TxIDs())
 }
 
 // MerkleRootFromHashes computes the Merkle root of a hash list.

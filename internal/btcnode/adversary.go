@@ -69,7 +69,13 @@ func (a *Adversary) MinePrivateFork(from btc.Hash, length int, inject []*btc.Tra
 			return err
 		}
 		if i == 0 && len(inject) > 0 {
-			blk.Transactions = append(blk.Transactions, inject...)
+			// Re-assemble rather than mutate: a sealed block's TxIDs are
+			// memoized, so amending its transaction list requires a fresh
+			// Block value before resealing the header.
+			blk = &btc.Block{
+				Header:       blk.Header,
+				Transactions: append(blk.Transactions[:len(blk.Transactions):len(blk.Transactions)], inject...),
+			}
 			blk.Header.MerkleRoot = blk.MerkleRoot()
 			if err := regrind(&blk.Header); err != nil {
 				return err

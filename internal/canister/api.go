@@ -80,8 +80,7 @@ func (c *BitcoinCanister) Update(ctx *ic.CallContext, method string, arg any) (a
 		}
 		return c.GetBlockHeaders(ctx, args)
 	case "get_tip":
-		tip := c.tree.Tip()
-		return tip.Hash, nil
+		return c.tipNode().Hash, nil
 	default:
 		return nil, fmt.Errorf("canister: no update method %q", method)
 	}
@@ -111,12 +110,14 @@ func (c *BitcoinCanister) checkServable(network btc.Network) error {
 
 // consideredChain returns the unstable blocks (anchor excluded) along the
 // current chain — the d_w-maximal path — restricted, when minConf > 0, to
-// confirmation-based minConf-stable blocks.
+// confirmation-based minConf-stable blocks. The chain itself is cached
+// between tree mutations; the unfiltered return value is shared and must
+// not be mutated.
 func (c *BitcoinCanister) consideredChain(minConf int64) ([]*chain.Node, error) {
 	if minConf > c.cfg.StabilityThreshold {
 		return nil, fmt.Errorf("%w: %d > δ=%d", ErrTooManyConfirmations, minConf, c.cfg.StabilityThreshold)
 	}
-	full := c.tree.CurrentChain()
+	full := c.currentChain()
 	nodes := full[1:] // skip the anchor (already folded into U)
 	if minConf <= 0 {
 		return nodes, nil
@@ -133,27 +134,69 @@ func (c *BitcoinCanister) consideredChain(minConf int64) ([]*chain.Node, error) 
 
 // GetUTXOs serves the get_utxos endpoint: the union of the stable set and
 // the unstable blocks of the considered chain, height-descending, paginated.
+//
+// On the default (indexed) read path the page streams directly off the
+// ordered address index merged with the unstable deltas: the cursor is
+// located by binary search and only the page is copied — no per-request
+// sort, no full-bucket copy. The replay oracle retains the naive §III-C
+// materialize-and-sort flow; the differential harness asserts both produce
+// byte-identical responses.
 func (c *BitcoinCanister) GetUTXOs(ctx *ic.CallContext, args GetUTXOsArgs) (*GetUTXOsResult, error) {
 	ctx.Meter.Charge(ic.CostRequestBase, "request_base")
 	if err := c.checkServable(args.Network); err != nil {
-		return nil, err
-	}
-	view, tip, err := c.addressView(ctx, args.Address, args.MinConfirmations)
-	if err != nil {
 		return nil, err
 	}
 	limit := args.Limit
 	if limit <= 0 || limit > c.cfg.PageLimit {
 		limit = c.cfg.PageLimit
 	}
-	page, next, err := utxo.Page(view.utxos, args.Page, limit)
+	if c.cfg.ReadPath == ReadPathReplay {
+		return c.getUTXOsReplay(ctx, args, limit)
+	}
+
+	nodes, err := c.consideredChain(args.MinConfirmations)
+	if err != nil {
+		return nil, err
+	}
+	tip := c.consideredTip(nodes)
+	eff := c.unstableEffectFor(ctx, args.Address, nodes)
+	ctx.Meter.Charge(ic.CostPerIndexSeek, "page_seek")
+	page, unstable, next, err := c.stable.MergedPage(args.Address, eff.created, eff.suppress, args.Page, limit)
 	if err != nil {
 		return nil, err
 	}
 	// Metering is per returned UTXO: the pagination limit caps the cost of
 	// one request (the ceiling visible in Fig 7 right), and UTXOs served
-	// from unstable blocks are cheaper than ones fetched from the large
-	// stable set (the figure's bifurcation).
+	// from unstable blocks are cheaper than ones streamed off the stable
+	// index (the figure's bifurcation).
+	stable := len(page) - unstable
+	if stable > 0 {
+		ctx.Meter.Charge(uint64(stable)*ic.CostPerUTXOStableIndexed, "fetch_stable")
+	}
+	if unstable > 0 {
+		ctx.Meter.Charge(uint64(unstable)*ic.CostPerUTXOUnstable, "fetch_unstable")
+	}
+	return &GetUTXOsResult{
+		UTXOs:         page,
+		TipHash:       tip.Hash,
+		TipHeight:     tip.Height,
+		NextPage:      next,
+		StableCount:   stable,
+		UnstableCount: unstable,
+	}, nil
+}
+
+// getUTXOsReplay is the naive read path retained as the differential
+// oracle: materialize the full merged view, sort it, page into it.
+func (c *BitcoinCanister) getUTXOsReplay(ctx *ic.CallContext, args GetUTXOsArgs, limit int) (*GetUTXOsResult, error) {
+	view, tip, err := c.addressViewReplay(ctx, args.Address, args.MinConfirmations)
+	if err != nil {
+		return nil, err
+	}
+	page, next, err := utxo.Page(view.utxos, args.Page, limit)
+	if err != nil {
+		return nil, err
+	}
 	result := &GetUTXOsResult{
 		UTXOs:     page,
 		TipHash:   tip.Hash,
@@ -209,20 +252,27 @@ func (c *BitcoinCanister) GetBalance(ctx *ic.CallContext, args GetBalanceArgs) (
 	useCache := c.cfg.ReadPath == ReadPathOverlay && ctx.Kind == ic.KindQuery
 	var key balanceKey
 	if useCache {
-		key = balanceKey{address: args.Address, tip: c.tree.Tip().Hash, minConf: args.MinConfirmations}
+		key = balanceKey{address: args.Address, tip: c.tipNode().Hash, minConf: args.MinConfirmations}
 		if total, ok := c.balanceCache[key]; ok {
 			ctx.Meter.Charge(ic.CostBalanceCacheHit, "balance_cache_hit")
 			return total, nil
 		}
 	}
-	view, _, err := c.addressView(ctx, args.Address, args.MinConfirmations)
-	if err != nil {
-		return 0, err
-	}
 	var total int64
-	for _, u := range view.utxos {
-		ctx.Meter.Charge(ic.CostPerBalanceUTXO, "sum_balance")
-		total += u.Value
+	if c.cfg.ReadPath == ReadPathReplay {
+		view, _, err := c.addressViewReplay(ctx, args.Address, args.MinConfirmations)
+		if err != nil {
+			return 0, err
+		}
+		for _, u := range view.utxos {
+			ctx.Meter.Charge(ic.CostPerBalanceUTXO, "sum_balance")
+			total += u.Value
+		}
+	} else {
+		var err error
+		if total, err = c.balanceIndexed(ctx, args.Address, args.MinConfirmations); err != nil {
+			return 0, err
+		}
 	}
 	if useCache {
 		c.balanceCache[key] = total
@@ -230,43 +280,69 @@ func (c *BitcoinCanister) GetBalance(ctx *ic.CallContext, args GetBalanceArgs) (
 	return total, nil
 }
 
-// addressUTXOView is the merged stable+unstable view of one address.
-type addressUTXOView struct {
-	utxos []utxo.UTXO
-	// unstable marks outpoints that came from unstable blocks.
-	unstable map[btc.OutPoint]bool
-}
-
-// addressView builds the merged stable+unstable view of one address via the
-// configured read path: the incremental overlay (default) or the naive
-// per-request replay (the differential oracle).
-func (c *BitcoinCanister) addressView(ctx *ic.CallContext, address string, minConf int64) (*addressUTXOView, *chain.Node, error) {
-	if c.cfg.ReadPath == ReadPathReplay {
-		return c.addressViewReplay(ctx, address, minConf)
-	}
-	return c.addressViewOverlay(ctx, address, minConf)
-}
-
-// addressViewOverlay merges the stable UTXO set with the per-block
-// address-indexed deltas along the considered chain. Per unstable block the
-// work is two map lookups plus the handful of entries touching the queried
-// address — the linear-in-δ full-block rescans of §III-C are gone; metering
-// charges per delta lookup and entry accordingly.
-func (c *BitcoinCanister) addressViewOverlay(ctx *ic.CallContext, address string, minConf int64) (*addressUTXOView, *chain.Node, error) {
+// balanceIndexed computes a balance off the ordered index without
+// materializing the merged view: the bucket's O(1) running total, minus the
+// value of stable outpoints the unstable chain spent, plus the surviving
+// unstable creations. Charged per merged UTXO exactly like the replay sum,
+// so both paths meter identically whenever the unstable suffix is empty.
+func (c *BitcoinCanister) balanceIndexed(ctx *ic.CallContext, address string, minConf int64) (int64, error) {
 	nodes, err := c.consideredChain(minConf)
 	if err != nil {
-		return nil, nil, err
+		return 0, err
 	}
-	tip := c.tree.Root()
-	if len(nodes) > 0 {
-		tip = nodes[len(nodes)-1]
+	eff := c.unstableEffectFor(ctx, address, nodes)
+	total := c.stable.Balance(address)
+	count := c.stable.AddressUTXOCount(address)
+	for op := range eff.suppress {
+		// Only outpoints actually present in the stable set affect the
+		// merged view (the replay's map delete of an absent key is a no-op);
+		// a suppressed outpoint that is present always belongs to this
+		// address, since spends are attributed by script.
+		if u, ok := c.stable.Get(op); ok {
+			total -= u.Value
+			count--
+		}
 	}
+	for i := range eff.created {
+		total += eff.created[i].Value
+		count++
+	}
+	if count > 0 {
+		ctx.Meter.Charge(uint64(count)*ic.CostPerBalanceUTXO, "sum_balance")
+	}
+	return total, nil
+}
 
-	view := &addressUTXOView{unstable: make(map[btc.OutPoint]bool)}
-	present := make(map[btc.OutPoint]utxo.UTXO)
-	for _, u := range c.stable.UTXOsForAddress(address) {
-		present[u.OutPoint] = u
+// consideredTip returns the tip of a considered chain: its last unstable
+// node, or the anchor when the confirmations filter (or an empty suffix)
+// leaves no unstable blocks. Both read paths must report the same tip for
+// the differential oracle to stay byte-identical.
+func (c *BitcoinCanister) consideredTip(nodes []*chain.Node) *chain.Node {
+	if len(nodes) > 0 {
+		return nodes[len(nodes)-1]
 	}
+	return c.tree.Root()
+}
+
+// unstableEffect is the net effect of the considered chain's unstable
+// blocks on one address: the surviving creations in canonical order, and
+// the set of outpoints to suppress from the stable stream (everything the
+// chain spent, plus every created outpoint — a creation overrides a
+// same-outpoint stable entry exactly as the replay's map overwrite does).
+type unstableEffect struct {
+	created  []utxo.UTXO
+	suppress map[btc.OutPoint]bool
+}
+
+// unstableEffectFor folds the per-block deltas along the considered chain,
+// in chain order, into one address's unstable effect. Per block the work is
+// a delta lookup plus the handful of entries touching the queried address —
+// the linear-in-δ full-block rescans of §III-C are gone; metering charges
+// per delta lookup and entry accordingly. An address untouched by the
+// unstable suffix allocates nothing.
+func (c *BitcoinCanister) unstableEffectFor(ctx *ic.CallContext, address string, nodes []*chain.Node) unstableEffect {
+	var createdSet map[btc.OutPoint]utxo.UTXO
+	var suppress map[btc.OutPoint]bool
 	for _, node := range nodes {
 		ctx.Meter.Charge(ic.CostPerDeltaLookup, "delta_lookup")
 		delta, _ := node.Aux().(*utxo.BlockDelta)
@@ -276,14 +352,40 @@ func (c *BitcoinCanister) addressViewOverlay(ctx *ic.CallContext, address string
 		if n := delta.EntriesFor(address); n > 0 {
 			ctx.Meter.Charge(uint64(n)*ic.CostPerDeltaEntry, "delta_apply")
 		}
-		delta.ApplyForAddress(address, present, view.unstable)
+		for _, sp := range delta.SpentFor(address) {
+			delete(createdSet, sp.OutPoint)
+			if suppress == nil {
+				suppress = make(map[btc.OutPoint]bool, 8)
+			}
+			suppress[sp.OutPoint] = true
+		}
+		for _, u := range delta.CreatedFor(address) {
+			if createdSet == nil {
+				createdSet = make(map[btc.OutPoint]utxo.UTXO, 8)
+			}
+			createdSet[u.OutPoint] = u
+		}
 	}
-	view.utxos = make([]utxo.UTXO, 0, len(present))
-	for _, u := range present {
-		view.utxos = append(view.utxos, u)
+	if len(createdSet) == 0 {
+		return unstableEffect{suppress: suppress}
 	}
-	utxo.SortUTXOs(view.utxos)
-	return view, tip, nil
+	created := make([]utxo.UTXO, 0, len(createdSet))
+	if suppress == nil {
+		suppress = make(map[btc.OutPoint]bool, len(createdSet))
+	}
+	for _, u := range createdSet {
+		created = append(created, u)
+		suppress[u.OutPoint] = true
+	}
+	utxo.SortUTXOs(created)
+	return unstableEffect{created: created, suppress: suppress}
+}
+
+// addressUTXOView is the merged stable+unstable view of one address.
+type addressUTXOView struct {
+	utxos []utxo.UTXO
+	// unstable marks outpoints that came from unstable blocks.
+	unstable map[btc.OutPoint]bool
 }
 
 // addressViewReplay merges the stable UTXO set with the unstable chain's
@@ -297,10 +399,7 @@ func (c *BitcoinCanister) addressViewReplay(ctx *ic.CallContext, address string,
 	if err != nil {
 		return nil, nil, err
 	}
-	tip := c.tree.Root()
-	if len(nodes) > 0 {
-		tip = nodes[len(nodes)-1]
-	}
+	tip := c.consideredTip(nodes)
 
 	view := &addressUTXOView{unstable: make(map[btc.OutPoint]bool)}
 	present := make(map[btc.OutPoint]utxo.UTXO)
@@ -314,13 +413,14 @@ func (c *BitcoinCanister) addressViewReplay(ctx *ic.CallContext, address string,
 		if block == nil {
 			continue
 		}
-		for _, tx := range block.Transactions {
+		txids := block.TxIDs()
+		for ti, tx := range block.Transactions {
 			if !tx.IsCoinbase() {
 				for i := range tx.Inputs {
 					delete(present, tx.Inputs[i].PreviousOutPoint)
 				}
 			}
-			txid := tx.TxID()
+			txid := txids[ti]
 			for vout := range tx.Outputs {
 				out := tx.Outputs[vout]
 				if btc.ScriptID(out.PkScript, c.cfg.Network) != address {

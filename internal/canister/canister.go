@@ -17,8 +17,10 @@
 package canister
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
+	"sort"
 
 	"icbtc/internal/adapter"
 	"icbtc/internal/btc"
@@ -93,6 +95,14 @@ type outgoingTx struct {
 	rounds int
 }
 
+// haveEntry is one stored unstable block in the canister's incrementally
+// maintained Have list, kept sorted by (height, hash) so every replica
+// derives the identical adapter request without walking the header tree.
+type haveEntry struct {
+	height int64
+	hash   btc.Hash
+}
+
 // BitcoinCanister is the Bitcoin canister state machine. All methods are
 // deterministic; the subnet executes them identically on every replica.
 type BitcoinCanister struct {
@@ -105,20 +115,33 @@ type BitcoinCanister struct {
 	tree *chain.Tree
 	// blocks holds b(β) for headers above the anchor.
 	blocks map[btc.Hash]*btc.Block
+	// have mirrors blocks as a (height, hash)-sorted slice: the Have set of
+	// CurrentRequest and the source of availableHeight, both maintained
+	// incrementally as blocks are stored and pruned instead of BFS-walking
+	// the whole header tree every payload round.
+	have []haveEntry
 	// stableHeaders records every anchor in order ("block headers are kept
 	// forever").
 	stableHeaders []btc.BlockHeader
+
+	// scriptIDs memoizes script → address-key derivations shared by delta
+	// building and owner resolution.
+	scriptIDs *btc.ScriptIDCache
 
 	// balanceCache memoizes get_balance results for the overlay read path,
 	// keyed by (address, tip, minConfirmations). Any tree mutation — a new
 	// block or header, an anchor advance, a reorg — clears it; within one
 	// tree state the merged view is immutable, so entries stay coherent.
 	balanceCache map[balanceKey]int64
+	// curChain caches tree.CurrentChain(); any tree mutation clears it.
+	// Queries between payloads share one chain walk instead of re-deriving
+	// the tip per request.
+	curChain []*chain.Node
 
 	outgoing []outgoingTx
 	synced   bool
 	// availableHeight is the greatest height for which a block (not just a
-	// header) is present, maintained by updateSynced.
+	// header) is present, maintained by updateSynced from the have list.
 	availableHeight int64
 
 	// stats
@@ -138,6 +161,7 @@ func New(cfg Config) *BitcoinCanister {
 		stable:       utxo.New(cfg.Network),
 		tree:         chain.NewTree(params.GenesisHeader, 0),
 		blocks:       make(map[btc.Hash]*btc.Block),
+		scriptIDs:    btc.NewScriptIDCache(cfg.Network),
 		balanceCache: make(map[balanceKey]int64),
 	}
 	c.stableHeaders = append(c.stableHeaders, params.GenesisHeader)
@@ -172,28 +196,80 @@ func (c *BitcoinCanister) UnstableBlockCount() int { return len(c.blocks) }
 func (c *BitcoinCanister) IngestedBlocks() int { return c.ingestedBlocks }
 
 // TipHeight returns the height of the current chain tip (max d_w path).
-func (c *BitcoinCanister) TipHeight() int64 { return c.tree.Tip().Height }
+func (c *BitcoinCanister) TipHeight() int64 { return c.tipNode().Height }
 
 // CurrentRequest builds the canister's update request for the adapter: the
 // anchor, the header hashes above the anchor whose blocks are present (A),
-// and pending outbound transactions (T). It is a pure read so every replica
-// derives the identical request.
+// and pending outbound transactions (T). The Have set is the incrementally
+// maintained (height, hash)-sorted block list — a straight copy, no tree
+// walk — and deterministic, so every replica derives the identical request.
 func (c *BitcoinCanister) CurrentRequest() adapter.Request {
 	root := c.tree.Root()
 	req := adapter.Request{
 		Anchor:       root.Header,
 		AnchorHeight: root.Height,
 	}
-	c.tree.BFSFrom(root, func(n *chain.Node) bool {
-		if n != root && c.blocks[n.Hash] != nil {
-			req.Have = append(req.Have, n.Hash)
+	if len(c.have) > 0 {
+		req.Have = make([]btc.Hash, len(c.have))
+		for i := range c.have {
+			req.Have[i] = c.have[i].hash
 		}
-		return true
-	})
+	}
 	for _, tx := range c.outgoing {
 		req.Txs = append(req.Txs, tx.raw)
 	}
 	return req
+}
+
+// haveLess orders the have list by height, then hash bytes.
+func haveLess(a, b haveEntry) bool {
+	if a.height != b.height {
+		return a.height < b.height
+	}
+	return bytes.Compare(a.hash[:], b.hash[:]) < 0
+}
+
+// storeBlock records a validated block for a tree node: the blocks map and
+// the sorted have list stay in lockstep.
+func (c *BitcoinCanister) storeBlock(node *chain.Node, block *btc.Block) {
+	c.blocks[node.Hash] = block
+	e := haveEntry{height: node.Height, hash: node.Hash}
+	i := sort.Search(len(c.have), func(i int) bool { return haveLess(e, c.have[i]) })
+	c.have = append(c.have, haveEntry{})
+	copy(c.have[i+1:], c.have[i:])
+	c.have[i] = e
+}
+
+// dropBlock discards a stored block (anchor advance or branch pruning),
+// keeping the have list consistent.
+func (c *BitcoinCanister) dropBlock(node *chain.Node) {
+	if c.blocks[node.Hash] == nil {
+		return
+	}
+	delete(c.blocks, node.Hash)
+	e := haveEntry{height: node.Height, hash: node.Hash}
+	i := sort.Search(len(c.have), func(i int) bool { return !haveLess(c.have[i], e) })
+	if i < len(c.have) && c.have[i].hash == node.Hash {
+		c.have = append(c.have[:i], c.have[i+1:]...)
+	}
+}
+
+// invalidateChain drops the cached current chain after a tree mutation.
+func (c *BitcoinCanister) invalidateChain() { c.curChain = nil }
+
+// currentChain returns the cached root-to-tip path of the current chain,
+// recomputing it only after a tree mutation.
+func (c *BitcoinCanister) currentChain() []*chain.Node {
+	if c.curChain == nil {
+		c.curChain = c.tree.CurrentChain()
+	}
+	return c.curChain
+}
+
+// tipNode returns the current chain's tip from the cache.
+func (c *BitcoinCanister) tipNode() *chain.Node {
+	cc := c.currentChain()
+	return cc[len(cc)-1]
 }
 
 // ProcessPayload implements ic.PayloadProcessor: it applies Algorithm 2 to
@@ -247,8 +323,11 @@ func (c *BitcoinCanister) acceptHeader(ctx *ic.CallContext, h btc.BlockHeader) e
 	if err := chain.ValidateHeader(&h, parent, c.params, ctx.Time); err != nil {
 		return err
 	}
-	_, err := c.tree.Insert(h)
-	return err
+	if _, err := c.tree.Insert(h); err != nil {
+		return err
+	}
+	c.invalidateChain()
+	return nil
 }
 
 // acceptBlock validates a (block, header) pair per §III-C — header checks,
@@ -279,15 +358,15 @@ func (c *BitcoinCanister) acceptBlock(ctx *ic.CallContext, bw adapter.BlockWithH
 	if err := chain.ValidateBlock(bw.Block); err != nil {
 		return err
 	}
-	c.blocks[hash] = bw.Block
+	node := c.tree.Get(hash)
+	c.storeBlock(node, bw.Block)
 	c.ingestedBlocks++
 	// Compute the block's address-indexed delta once, now, and attach it to
 	// the tree node: the overlay read path merges these instead of
 	// rescanning blocks, and pruning (reorg, anchor advance) discards them
 	// together with their nodes.
-	node := c.tree.Get(hash)
 	ctx.Meter.Charge(uint64(len(bw.Block.Transactions))*ic.CostPerDeltaBuildTx, "build_delta")
-	delta := utxo.BuildBlockDelta(bw.Block, node.Height, c.cfg.Network, c.resolveOwner(node))
+	delta := utxo.BuildBlockDelta(bw.Block, node.Height, c.scriptIDs, c.resolveOwner(node))
 	node.SetAux(delta)
 	return nil
 }
@@ -308,7 +387,7 @@ func (c *BitcoinCanister) resolveOwner(node *chain.Node) utxo.OwnerResolver {
 				continue
 			}
 			if u, ok := d.CreatedOutput(op); ok {
-				key := btc.ScriptID(u.PkScript, c.cfg.Network)
+				key := c.scriptIDs.ID(u.PkScript)
 				if !seen[key] {
 					seen[key] = true
 					owners = append(owners, utxo.OwnedOutput{AddressKey: key, Value: u.Value})
@@ -316,8 +395,8 @@ func (c *BitcoinCanister) resolveOwner(node *chain.Node) utxo.OwnerResolver {
 			}
 		}
 		if u, ok := c.stable.Get(op); ok {
-			key := btc.ScriptID(u.PkScript, c.cfg.Network)
-			if !seen[key] {
+			// The stable set stores each entry's derived key; no re-derive.
+			if key, ok := c.stable.AddressKeyOf(op); ok && !seen[key] {
 				owners = append(owners, utxo.OwnedOutput{AddressKey: key, Value: u.Value})
 			}
 		}
@@ -350,7 +429,7 @@ func (c *BitcoinCanister) advanceAnchor(ctx *ic.CallContext) {
 		// Stable: ingest the block into U, discard it, advance the anchor.
 		block := c.blocks[next.Hash]
 		c.ingestStableBlock(ctx, block, next.Height)
-		delete(c.blocks, next.Hash)
+		c.dropBlock(next)
 		// Prune competing branches (and their stored blocks) below the new
 		// anchor; "all but the single stable block header are removed".
 		for _, other := range candidates {
@@ -368,6 +447,7 @@ func (c *BitcoinCanister) advanceAnchor(ctx *ic.CallContext) {
 		// be consulted again.
 		next.SetAux(nil)
 		c.invalidateBalanceCache()
+		c.invalidateChain()
 		c.stableHeaders = append(c.stableHeaders, next.Header)
 		c.anchorHeight = next.Height
 	}
@@ -375,7 +455,7 @@ func (c *BitcoinCanister) advanceAnchor(ctx *ic.CallContext) {
 
 // dropSubtreeBlocks removes stored blocks for an entire pruned branch.
 func (c *BitcoinCanister) dropSubtreeBlocks(n *chain.Node) {
-	delete(c.blocks, n.Hash)
+	c.dropBlock(n)
 	for _, child := range n.Children() {
 		c.dropSubtreeBlocks(child)
 	}
@@ -384,10 +464,14 @@ func (c *BitcoinCanister) dropSubtreeBlocks(n *chain.Node) {
 // ingestStableBlock applies a stable block's transactions to U, metering
 // the work (the Fig 6 cost breakdown: input removals and output
 // insertions). Missing inputs are tolerated — the canister trusts proof of
-// work, not transaction validity.
+// work, not transaction validity. Transaction IDs come from the block's
+// memoized table (already computed when the delta was built), removals
+// reuse the stored address key, and an insertion whose locking script is
+// already interned skips the address decode/hash — each priced accordingly.
 func (c *BitcoinCanister) ingestStableBlock(ctx *ic.CallContext, block *btc.Block, height int64) {
 	ctx.Meter.Charge(ic.CostBlockOverhead, "block_overhead")
-	for _, tx := range block.Transactions {
+	txids := block.TxIDs()
+	for ti, tx := range block.Transactions {
 		ctx.Meter.Charge(ic.CostPerTxOverhead, "block_overhead")
 		if !tx.IsCoinbase() {
 			for i := range tx.Inputs {
@@ -397,9 +481,13 @@ func (c *BitcoinCanister) ingestStableBlock(ctx *ic.CallContext, block *btc.Bloc
 				}
 			}
 		}
-		txid := tx.TxID()
+		txid := txids[ti]
 		for vout := range tx.Outputs {
-			ctx.Meter.Charge(ic.CostPerOutputInsert, "insert_outputs")
+			if c.stable.ScriptInterned(tx.Outputs[vout].PkScript) {
+				ctx.Meter.Charge(ic.CostPerOutputInsertInterned, "insert_outputs")
+			} else {
+				ctx.Meter.Charge(ic.CostPerOutputInsert, "insert_outputs")
+			}
 			op := btc.OutPoint{TxID: txid, Vout: uint32(vout)}
 			if err := c.stable.Add(op, tx.Outputs[vout], height); err != nil {
 				c.applyErrors++
@@ -421,15 +509,15 @@ func (c *BitcoinCanister) ageOutgoing() {
 }
 
 // updateSynced recomputes the τ condition of Algorithm 2 (lines 21-22).
+// The available height is read off the incrementally maintained have list
+// (sorted by height, so the maximum is its last entry) — the old BFS over
+// the whole header tree per payload round is gone.
 func (c *BitcoinCanister) updateSynced() {
 	maxT := c.tree.MaxHeight()
 	maxA := c.tree.Root().Height
-	c.tree.BFSFrom(c.tree.Root(), func(n *chain.Node) bool {
-		if c.blocks[n.Hash] != nil && n.Height > maxA {
-			maxA = n.Height
-		}
-		return true
-	})
+	if n := len(c.have); n > 0 && c.have[n-1].height > maxA {
+		maxA = c.have[n-1].height
+	}
 	c.availableHeight = maxA
 	c.synced = maxT-maxA <= c.cfg.SyncSlack
 }

@@ -26,7 +26,7 @@ func (c *BitcoinCanister) GetCurrentFeePercentiles(ctx *ic.CallContext) ([]int64
 	if !c.synced {
 		return nil, ErrNotSynced
 	}
-	full := c.tree.CurrentChain()
+	full := c.currentChain()
 	nodes := full[1:]
 
 	// Resolve input values from the stable set plus outputs created earlier
@@ -40,8 +40,9 @@ func (c *BitcoinCanister) GetCurrentFeePercentiles(ctx *ic.CallContext) ([]int64
 		if block == nil {
 			continue
 		}
-		for _, tx := range block.Transactions {
-			txid := tx.TxID()
+		txids := block.TxIDs()
+		for ti, tx := range block.Transactions {
+			txid := txids[ti]
 			for vout := range tx.Outputs {
 				created[btc.OutPoint{TxID: txid, Vout: uint32(vout)}] = outInfo{value: tx.Outputs[vout].Value}
 			}
@@ -117,7 +118,7 @@ func (c *BitcoinCanister) GetBlockHeaders(ctx *ic.CallContext, args GetBlockHead
 	if !c.synced {
 		return nil, ErrNotSynced
 	}
-	tip := c.tree.Tip()
+	tip := c.tipNode()
 	end := args.EndHeight
 	if end <= 0 || end > tip.Height {
 		end = tip.Height

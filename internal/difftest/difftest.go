@@ -237,8 +237,12 @@ func (h *Harness) tipHash() btc.Hash {
 // randomTxs builds 0..4 transactions: spends sampled (with replacement)
 // from every output ever created on any branch, occasional alien inputs the
 // canister never tracked, and 1..3 outputs paying population addresses.
+// One block in eight additionally carries a burst transaction paying tens
+// of outputs to a single address, so stable buckets grow deep enough that
+// paginated queries resume mid-bucket (exercising the ordered index's
+// cursor binary search, not just first pages).
 func (h *Harness) randomTxs() []*btc.Transaction {
-	txs := make([]*btc.Transaction, 0, 4)
+	txs := make([]*btc.Transaction, 0, 5)
 	for n := h.rng.Intn(5); n > 0; n-- {
 		tx := &btc.Transaction{Version: 2}
 		switch {
@@ -262,6 +266,20 @@ func (h *Harness) randomTxs() []*btc.Transaction {
 			})
 		}
 		txs = append(txs, tx)
+	}
+	if h.rng.Intn(8) == 0 {
+		burst := &btc.Transaction{Version: 2}
+		var fake btc.OutPoint
+		h.rng.Read(fake.TxID[:])
+		burst.Inputs = append(burst.Inputs, btc.TxIn{PreviousOutPoint: fake, Sequence: 0xffffffff})
+		addr := h.addrs[h.rng.Intn(len(h.addrs))]
+		for k := 20 + h.rng.Intn(21); k > 0; k-- {
+			burst.Outputs = append(burst.Outputs, btc.TxOut{
+				Value:    400 + int64(h.rng.Intn(5_000)),
+				PkScript: addr.script,
+			})
+		}
+		txs = append(txs, burst)
 	}
 	return txs
 }

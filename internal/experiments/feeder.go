@@ -36,7 +36,7 @@ func NewFeeder(network btc.Network, delta int64, seed int64) *Feeder {
 // ctx builds a fresh metered update context.
 func (f *Feeder) ctx() *ic.CallContext {
 	f.now = f.now.Add(time.Second)
-	return &ic.CallContext{Meter: ic.NewMeter(), Time: f.now, Kind: ic.KindUpdate}
+	return ic.NewCallContext(ic.KindUpdate, f.now)
 }
 
 // BlockCost is the metered cost of ingesting one block.
@@ -82,7 +82,9 @@ func (f *Feeder) FeedEmpty(n int) error {
 	return nil
 }
 
-// QueryCtx builds a query-kind context for read measurements.
+// QueryCtx builds a query-kind context for read measurements. The meter is
+// embedded in the context (ic.NewCallContext), so one measured request
+// costs a single context allocation.
 func (f *Feeder) QueryCtx() *ic.CallContext {
-	return &ic.CallContext{Meter: ic.NewMeter(), Time: f.now, Kind: ic.KindQuery}
+	return ic.NewCallContext(ic.KindQuery, f.now)
 }

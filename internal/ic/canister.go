@@ -43,6 +43,19 @@ type CallContext struct {
 	Kind CallKind
 	// subnet gives canisters access to subnet services (threshold signing).
 	subnet *Subnet
+	// ownMeter backs Meter for contexts built by NewCallContext, so a fresh
+	// metered context costs a single allocation.
+	ownMeter Meter
+}
+
+// NewCallContext returns a metered context in one allocation: the meter is
+// embedded in the context value rather than allocated separately. Intended
+// for hot measurement loops (benchmarks, experiments) that build a fresh
+// context per request.
+func NewCallContext(kind CallKind, t time.Time) *CallContext {
+	ctx := &CallContext{Time: t, Kind: kind}
+	ctx.Meter = &ctx.ownMeter
+	return ctx
 }
 
 // SignWithECDSA asks the subnet's threshold-ECDSA committee to sign a

@@ -13,9 +13,9 @@ import (
 // deltas for just the queried address instead of rescanning full blocks.
 
 // BlockDelta is the address-indexed delta of one block: the outputs it
-// created (net of outputs it created and spent itself), the pre-existing
-// outpoints it spent attributed to their owning addresses, and the implied
-// per-address balance deltas. A delta is immutable once built.
+// created (net of outputs it created and spent itself) and the pre-existing
+// outpoints it spent attributed to their owning addresses. A delta is
+// immutable once built.
 type BlockDelta struct {
 	height int64
 
@@ -29,11 +29,6 @@ type BlockDelta struct {
 	// createdByOp indexes the surviving created outputs by outpoint so
 	// descendant blocks can resolve the owner of an outpoint they spend.
 	createdByOp map[btc.OutPoint]UTXO
-	// balanceByAddr is the per-address balance delta: created value minus
-	// spent value. Exact on conflict-free chains; the canister's
-	// get_balance sums the merged view instead, so conflicting spends
-	// (which the canister does not validate away) can never skew results.
-	balanceByAddr map[string]int64
 
 	entries int
 }
@@ -80,10 +75,6 @@ func (d *BlockDelta) CreatedOutput(op btc.OutPoint) (UTXO, bool) {
 	return u, ok
 }
 
-// BalanceDelta returns the per-address balance delta (created minus spent
-// value). See the field comment for the exactness caveat.
-func (d *BlockDelta) BalanceDelta(addressKey string) int64 { return d.balanceByAddr[addressKey] }
-
 // OwnerResolver attributes a spent outpoint to the address keys whose views
 // may contain it at the time the delta's block is processed: the stable
 // set's owner and/or an unstable ancestor block that created it. Returning
@@ -102,18 +93,20 @@ type OwnedOutput struct {
 // BuildBlockDelta computes the address-indexed delta of one block. It
 // replays the block's transactions in order — exactly the order the naive
 // read path would — netting out outputs created and spent within the block,
-// and attributes external spends through resolve.
-func BuildBlockDelta(block *btc.Block, height int64, network btc.Network, resolve OwnerResolver) *BlockDelta {
+// and attributes external spends through resolve. Transaction IDs come from
+// the block's memoized table and address keys from the shared ScriptID
+// cache, so neither is re-derived per output.
+func BuildBlockDelta(block *btc.Block, height int64, ids *btc.ScriptIDCache, resolve OwnerResolver) *BlockDelta {
 	d := &BlockDelta{
 		height:        height,
 		createdByAddr: make(map[string][]UTXO),
 		spentByAddr:   make(map[string][]SpentOutPoint),
 		createdByOp:   make(map[btc.OutPoint]UTXO),
-		balanceByAddr: make(map[string]int64),
 	}
 	// createdOrder preserves block order for the per-address created lists.
 	var createdOrder []btc.OutPoint
-	for _, tx := range block.Transactions {
+	txids := block.TxIDs()
+	for ti, tx := range block.Transactions {
 		if !tx.IsCoinbase() {
 			for i := range tx.Inputs {
 				op := tx.Inputs[i].PreviousOutPoint
@@ -128,11 +121,10 @@ func BuildBlockDelta(block *btc.Block, height int64, network btc.Network, resolv
 				for _, owner := range resolve(op) {
 					d.spentByAddr[owner.AddressKey] = append(d.spentByAddr[owner.AddressKey],
 						SpentOutPoint{OutPoint: op, Value: owner.Value})
-					d.balanceByAddr[owner.AddressKey] -= owner.Value
 				}
 			}
 		}
-		txid := tx.TxID()
+		txid := txids[ti]
 		for vout := range tx.Outputs {
 			op := btc.OutPoint{TxID: txid, Vout: uint32(vout)}
 			d.createdByOp[op] = UTXO{
@@ -153,9 +145,8 @@ func BuildBlockDelta(block *btc.Block, height int64, network btc.Network, resolv
 			continue // netted out by an in-block spend, or already emitted
 		}
 		emitted[op] = true
-		key := btc.ScriptID(u.PkScript, network)
+		key := ids.ID(u.PkScript)
 		d.createdByAddr[key] = append(d.createdByAddr[key], u)
-		d.balanceByAddr[key] += u.Value
 	}
 	for _, c := range d.createdByAddr {
 		d.entries += len(c)
@@ -164,21 +155,6 @@ func BuildBlockDelta(block *btc.Block, height int64, network btc.Network, resolv
 		d.entries += len(s)
 	}
 	return d
-}
-
-// ApplyForAddress merges one delta into an address's present-set view:
-// spends are deleted first, then creations inserted — the exact order the
-// naive per-transaction replay settles to for a whole block. Created
-// outpoints are recorded in unstable so the canister can price them as
-// unstable-block fetches (the Fig 7 bifurcation).
-func (d *BlockDelta) ApplyForAddress(addressKey string, present map[btc.OutPoint]UTXO, unstable map[btc.OutPoint]bool) {
-	for _, s := range d.spentByAddr[addressKey] {
-		delete(present, s.OutPoint)
-	}
-	for _, u := range d.createdByAddr[addressKey] {
-		present[u.OutPoint] = u
-		unstable[u.OutPoint] = true
-	}
 }
 
 // EntriesFor returns how many created + spent entries the delta holds for

@@ -1,0 +1,393 @@
+package utxo
+
+import (
+	"math/rand"
+	"testing"
+
+	"icbtc/internal/btc"
+)
+
+// mapOracle is the naive reference implementation the ordered index is
+// checked against: a flat outpoint map with balances and views recomputed
+// from scratch on every probe.
+type mapOracle struct {
+	network btc.Network
+	utxos   map[btc.OutPoint]UTXO
+}
+
+func newMapOracle(network btc.Network) *mapOracle {
+	return &mapOracle{network: network, utxos: make(map[btc.OutPoint]UTXO)}
+}
+
+func (o *mapOracle) add(op btc.OutPoint, out btc.TxOut, height int64) bool {
+	if _, dup := o.utxos[op]; dup {
+		return false
+	}
+	script := append([]byte(nil), out.PkScript...)
+	o.utxos[op] = UTXO{OutPoint: op, Value: out.Value, PkScript: script, Height: height}
+	return true
+}
+
+func (o *mapOracle) remove(op btc.OutPoint) bool {
+	if _, ok := o.utxos[op]; !ok {
+		return false
+	}
+	delete(o.utxos, op)
+	return true
+}
+
+func (o *mapOracle) balance(key string) int64 {
+	var total int64
+	for _, u := range o.utxos {
+		if btc.ScriptID(u.PkScript, o.network) == key {
+			total += u.Value
+		}
+	}
+	return total
+}
+
+func (o *mapOracle) forAddress(key string) []UTXO {
+	var out []UTXO
+	for _, u := range o.utxos {
+		if btc.ScriptID(u.PkScript, o.network) == key {
+			out = append(out, u)
+		}
+	}
+	SortUTXOs(out)
+	return out
+}
+
+// TestOrderedIndexAgainstMapOracle drives the ordered address index through
+// long random interleavings of ApplyBlock/UnapplyBlock (and direct
+// Add/Remove) and cross-checks every observable — balances, canonical
+// per-address views, pagination via both Page and MergedPage, counts, and
+// cursor-resumed iteration — against the map-based oracle.
+func TestOrderedIndexAgainstMapOracle(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3, 7, 42, 1337} {
+		seed := seed
+		rng := rand.New(rand.NewSource(seed))
+		set := New(btc.Regtest)
+		oracle := newMapOracle(btc.Regtest)
+
+		const nAddrs = 6
+		keys := make([]string, nAddrs)
+		scripts := make([][]byte, nAddrs)
+		for i := range keys {
+			keys[i], scripts[i] = addrKey(byte(0x40 + i))
+		}
+
+		type undoPair struct{ undo *BlockUndo }
+		var undos []undoPair
+		var live []btc.OutPoint // outpoints currently believed unspent
+		// stacked tracks outpoints created by blocks still on the undo
+		// stack: direct removes must not consume them, or a later LIFO
+		// unapply would try to delete an already-gone output (a sequence no
+		// real caller produces).
+		stacked := make(map[btc.OutPoint]bool)
+		height := int64(1)
+		opCounter := uint32(0)
+
+		newOp := func() btc.OutPoint {
+			opCounter++
+			var h btc.Hash
+			rng.Read(h[:8])
+			h[31] = byte(opCounter)
+			return btc.OutPoint{TxID: h, Vout: opCounter % 4}
+		}
+
+		check := func(step int) {
+			t.Helper()
+			if set.Len() != len(oracle.utxos) {
+				t.Fatalf("seed %d step %d: len %d != oracle %d", seed, step, set.Len(), len(oracle.utxos))
+			}
+			for i, key := range keys {
+				if got, want := set.Balance(key), oracle.balance(key); got != want {
+					t.Fatalf("seed %d step %d: balance[%d] %d != %d", seed, step, i, got, want)
+				}
+				if got, want := set.AddressUTXOCount(key), len(oracle.forAddress(key)); got != want {
+					t.Fatalf("seed %d step %d: count[%d] %d != %d", seed, step, i, got, want)
+				}
+				got, want := set.UTXOsForAddress(key), oracle.forAddress(key)
+				if len(got) != len(want) {
+					t.Fatalf("seed %d step %d: view[%d] len %d != %d", seed, step, i, len(got), len(want))
+				}
+				for j := range got {
+					if got[j].OutPoint != want[j].OutPoint || got[j].Value != want[j].Value ||
+						got[j].Height != want[j].Height || string(got[j].PkScript) != string(want[j].PkScript) {
+						t.Fatalf("seed %d step %d: view[%d][%d] %+v != %+v", seed, step, i, j, got[j], want[j])
+					}
+				}
+				// Iterator streams the same canonical sequence.
+				it := set.AddressIter(key)
+				for j := range want {
+					u, ok := it.Next()
+					if !ok || u.OutPoint != want[j].OutPoint {
+						t.Fatalf("seed %d step %d: iter[%d] diverged at %d", seed, step, i, j)
+					}
+				}
+				if _, ok := it.Next(); ok {
+					t.Fatalf("seed %d step %d: iter[%d] overran", seed, step, i)
+				}
+			}
+		}
+
+		for step := 0; step < 120; step++ {
+			switch r := rng.Intn(10); {
+			case r < 4: // apply a random block
+				var txs []*btc.Transaction
+				for n := 1 + rng.Intn(3); n > 0; n-- {
+					tx := &btc.Transaction{Version: 2}
+					if len(live) > 0 && rng.Intn(3) > 0 {
+						idx := rng.Intn(len(live))
+						tx.Inputs = append(tx.Inputs, btc.TxIn{PreviousOutPoint: live[idx]})
+						live = append(live[:idx], live[idx+1:]...)
+					} else {
+						tx.Inputs = append(tx.Inputs, btc.TxIn{
+							PreviousOutPoint: btc.OutPoint{TxID: btc.ZeroHash, Vout: 0xffffffff},
+							SignatureScript:  []byte{byte(step), byte(seed)},
+						})
+					}
+					for k := 1 + rng.Intn(3); k > 0; k-- {
+						a := rng.Intn(nAddrs)
+						tx.Outputs = append(tx.Outputs, btc.TxOut{Value: int64(1 + rng.Intn(5000)), PkScript: scripts[a]})
+					}
+					txs = append(txs, tx)
+				}
+				block := &btc.Block{Transactions: txs}
+				undo, _, err := set.ApplyBlock(block, height)
+				if err != nil {
+					t.Fatalf("seed %d step %d: apply: %v", seed, step, err)
+				}
+				for _, u := range undo.Spent {
+					if !oracle.remove(u.OutPoint) {
+						t.Fatalf("seed %d step %d: oracle missing spent %s", seed, step, u.OutPoint)
+					}
+				}
+				txids := block.TxIDs()
+				for ti, tx := range block.Transactions {
+					for vout := range tx.Outputs {
+						op := btc.OutPoint{TxID: txids[ti], Vout: uint32(vout)}
+						oracle.add(op, tx.Outputs[vout], height)
+						live = append(live, op)
+						stacked[op] = true
+					}
+				}
+				undos = append(undos, undoPair{undo: undo})
+				height++
+			case r < 6 && len(undos) > 0: // unapply the most recent block
+				last := undos[len(undos)-1]
+				undos = undos[:len(undos)-1]
+				if err := set.UnapplyBlock(last.undo); err != nil {
+					t.Fatalf("seed %d step %d: unapply: %v", seed, step, err)
+				}
+				for _, op := range last.undo.Created {
+					oracle.remove(op)
+					delete(stacked, op)
+					for i := range live {
+						if live[i] == op {
+							live = append(live[:i], live[i+1:]...)
+							break
+						}
+					}
+				}
+				for _, u := range last.undo.Spent {
+					oracle.add(u.OutPoint, btc.TxOut{Value: u.Value, PkScript: u.PkScript}, u.Height)
+					live = append(live, u.OutPoint)
+				}
+				height--
+			case r < 8: // direct add
+				op := newOp()
+				a := rng.Intn(nAddrs)
+				out := btc.TxOut{Value: int64(1 + rng.Intn(9000)), PkScript: scripts[a]}
+				h := int64(rng.Intn(40))
+				errSet := set.Add(op, out, h)
+				okOracle := oracle.add(op, out, h)
+				if (errSet == nil) != okOracle {
+					t.Fatalf("seed %d step %d: add divergence: %v vs %v", seed, step, errSet, okOracle)
+				}
+				if errSet == nil {
+					live = append(live, op)
+				}
+			default: // direct remove (sometimes of an absent outpoint)
+				op := newOp()
+				if len(live) > 0 && rng.Intn(4) > 0 {
+					// Pick a removable (non-stacked) live outpoint if a few
+					// random probes find one; otherwise keep the absent op.
+					for probe := 0; probe < 4; probe++ {
+						idx := rng.Intn(len(live))
+						if !stacked[live[idx]] {
+							op = live[idx]
+							live = append(live[:idx], live[idx+1:]...)
+							break
+						}
+					}
+				}
+				_, errSet := set.Remove(op)
+				okOracle := oracle.remove(op)
+				if (errSet == nil) != okOracle {
+					t.Fatalf("seed %d step %d: remove divergence: %v vs %v", seed, step, errSet, okOracle)
+				}
+			}
+			if step%10 == 0 || step == 119 {
+				check(step)
+			}
+		}
+		check(-1)
+	}
+}
+
+// TestMergedPageMatchesNaivePaging asserts that MergedPage — the streamed,
+// binary-searched page path — walks exactly the pages Page produces over
+// the materialized merged view, for random buckets, unstable creations,
+// suppressions, and page sizes.
+func TestMergedPageMatchesNaivePaging(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		set := New(btc.Regtest)
+		key, script := addrKey(0x99)
+
+		// Stable bucket.
+		nStable := rng.Intn(80)
+		for i := 0; i < nStable; i++ {
+			op := btc.OutPoint{Vout: uint32(i)}
+			rng.Read(op.TxID[:8])
+			if err := set.Add(op, btc.TxOut{Value: int64(i + 1), PkScript: script}, int64(rng.Intn(12))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		stable := set.UTXOsForAddress(key)
+
+		// Unstable effect: suppress some stable entries, create some new.
+		suppress := make(map[btc.OutPoint]bool)
+		for _, u := range stable {
+			if rng.Intn(4) == 0 {
+				suppress[u.OutPoint] = true
+			}
+		}
+		var created []UTXO
+		for i := 0; i < rng.Intn(20); i++ {
+			op := btc.OutPoint{Vout: uint32(1000 + i)}
+			rng.Read(op.TxID[:8])
+			u := UTXO{OutPoint: op, Value: int64(10_000 + i), PkScript: script, Height: int64(8 + rng.Intn(8))}
+			created = append(created, u)
+			suppress[op] = true
+		}
+		SortUTXOs(created)
+
+		// Materialized merged view, the way the replay oracle builds it.
+		var merged []UTXO
+		for _, u := range stable {
+			if !suppress[u.OutPoint] {
+				merged = append(merged, u)
+			}
+		}
+		merged = append(merged, created...)
+		SortUTXOs(merged)
+
+		limit := 1 + rng.Intn(9)
+		var tokA, tokB PageToken
+		for page := 0; ; page++ {
+			if page > 500 {
+				t.Fatalf("seed %d: pagination did not terminate", seed)
+			}
+			wantPage, wantNext, err := Page(merged, tokA, limit)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotPage, unstable, gotNext, err := set.MergedPage(key, created, suppress, tokB, limit)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(gotPage) != len(wantPage) {
+				t.Fatalf("seed %d page %d: len %d != %d", seed, page, len(gotPage), len(wantPage))
+			}
+			wantUnstable := 0
+			for i := range wantPage {
+				if gotPage[i].OutPoint != wantPage[i].OutPoint || gotPage[i].Height != wantPage[i].Height {
+					t.Fatalf("seed %d page %d entry %d: %+v != %+v", seed, page, i, gotPage[i], wantPage[i])
+				}
+				if wantPage[i].Value >= 10_000 {
+					wantUnstable++
+				}
+			}
+			if unstable != wantUnstable {
+				t.Fatalf("seed %d page %d: unstable %d != %d", seed, page, unstable, wantUnstable)
+			}
+			if string(gotNext) != string(wantNext) {
+				t.Fatalf("seed %d page %d: token %x != %x", seed, page, gotNext, wantNext)
+			}
+			if gotNext == nil {
+				break
+			}
+			tokA, tokB = wantNext, gotNext
+		}
+	}
+}
+
+// TestBucketInsertRemoveOrder exercises the bucket's append fast path and
+// mid-bucket insertions/removals directly.
+func TestBucketInsertRemoveOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	set := New(btc.Regtest)
+	key, script := addrKey(0x77)
+	// Mixed ascending and random heights force both insert paths.
+	for i := 0; i < 200; i++ {
+		h := int64(i)
+		if i%3 == 0 {
+			h = int64(rng.Intn(200))
+		}
+		op := btc.OutPoint{Vout: uint32(i)}
+		op.TxID[0] = byte(i)
+		op.TxID[1] = byte(i >> 8)
+		if err := set.Add(op, btc.TxOut{Value: 1, PkScript: script}, h); err != nil {
+			t.Fatal(err)
+		}
+	}
+	view := set.UTXOsForAddress(key)
+	for i := 1; i < len(view); i++ {
+		if utxoBefore(&view[i], &view[i-1]) {
+			t.Fatalf("canonical order violated at %d", i)
+		}
+	}
+	// Remove a random half; order must survive.
+	for _, u := range view {
+		if rng.Intn(2) == 0 {
+			if _, err := set.Remove(u.OutPoint); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	view = set.UTXOsForAddress(key)
+	for i := 1; i < len(view); i++ {
+		if utxoBefore(&view[i], &view[i-1]) {
+			t.Fatalf("canonical order violated after removals at %d", i)
+		}
+	}
+}
+
+// TestScriptInterning pins the interning contract: one stored copy per
+// distinct script, reference-counted away when the last output is spent.
+func TestScriptInterning(t *testing.T) {
+	set := New(btc.Regtest)
+	_, script := addrKey(0x55)
+	if set.ScriptInterned(script) {
+		t.Fatal("script interned before any add")
+	}
+	for i := 0; i < 10; i++ {
+		op := btc.OutPoint{Vout: uint32(i)}
+		if err := set.Add(op, btc.TxOut{Value: 1, PkScript: script}, int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !set.ScriptInterned(script) || set.InternedScripts() != 1 {
+		t.Fatalf("want 1 interned script, got %d", set.InternedScripts())
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := set.Remove(btc.OutPoint{Vout: uint32(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if set.ScriptInterned(script) || set.InternedScripts() != 0 {
+		t.Fatalf("interned table leaked: %d entries", set.InternedScripts())
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sort"
 
 	"icbtc/internal/btc"
 )
@@ -65,9 +66,10 @@ func Page(sorted []UTXO, token PageToken, limit int) ([]UTXO, PageToken, error) 
 			return nil, nil, err
 		}
 		// Resume strictly after the cursor position in canonical order.
-		for start < len(sorted) && !cursorBefore(cur, sorted[start]) {
-			start++
-		}
+		// cursorBefore is monotone along the sorted input, so the resumption
+		// point is a binary search — deep pagination used to linear-scan from
+		// element 0 on every page, making a full walk quadratic.
+		start = sort.Search(len(sorted), func(i int) bool { return cursorBefore(cur, sorted[i]) })
 	}
 	end := start + limit
 	if end > len(sorted) {

@@ -3,6 +3,13 @@
 // Bitcoin addresses as the index for an efficient retrieval of all UTXOs
 // associated with an address."
 //
+// The address index is ordered (see index.go): every bucket maintains the
+// canonical height-descending get_utxos order incrementally, so reads
+// stream pages in O(log n + page) and balances are O(1) running totals. On
+// the write path locking scripts are interned — each distinct script is
+// address-decoded/hashed once and its bytes stored once — and every entry
+// remembers its derived address key, so Remove never recomputes a ScriptID.
+//
 // The set supports applying and unapplying whole blocks (the latter is used
 // by the simulated Bitcoin nodes during reorgs; the canister itself never
 // rolls back below the anchor), balance computation, and height-descending
@@ -12,7 +19,6 @@ package utxo
 import (
 	"errors"
 	"fmt"
-	"sort"
 
 	"icbtc/internal/btc"
 )
@@ -26,11 +32,22 @@ type UTXO struct {
 	Height   int64
 }
 
-// entry is the stored form; the address key is derived from PkScript.
+// internedScript is the single stored copy of one distinct locking script
+// together with its memoized address key. Interning makes the per-output
+// cost of repeated scripts (the common case: one address receiving many
+// outputs) a map probe instead of an address decode plus SHA-256.
+type internedScript struct {
+	bytes []byte
+	key   string
+	refs  int
+}
+
+// entry is the stored form; script carries both the script bytes and the
+// derived address key, so spends never re-derive either.
 type entry struct {
-	value    int64
-	pkScript []byte
-	height   int64
+	value  int64
+	height int64
+	script *internedScript
 }
 
 // Set is an address-indexed UTXO set. The zero value is not usable; use New.
@@ -38,8 +55,11 @@ type Set struct {
 	network btc.Network
 	// byOutPoint is the authoritative map of unspent outputs.
 	byOutPoint map[btc.OutPoint]entry
-	// byAddress indexes outpoints by the ScriptID of their locking script.
-	byAddress map[string]map[btc.OutPoint]struct{}
+	// byAddress indexes ordered buckets by the ScriptID of their locking
+	// script (see index.go).
+	byAddress map[string]*bucket
+	// interned deduplicates locking scripts, keyed by the script bytes.
+	interned map[string]*internedScript
 	// approxBytes tracks an estimate of resident memory, reported by Fig 5.
 	approxBytes int64
 }
@@ -49,7 +69,8 @@ func New(network btc.Network) *Set {
 	return &Set{
 		network:    network,
 		byOutPoint: make(map[btc.OutPoint]entry),
-		byAddress:  make(map[string]map[btc.OutPoint]struct{}),
+		byAddress:  make(map[string]*bucket),
+		interned:   make(map[string]*internedScript),
 	}
 }
 
@@ -70,23 +91,58 @@ func (s *Set) Network() btc.Network { return s.network }
 // script itself.
 const perUTXOOverhead = 580
 
+// intern returns the single stored copy of script, creating it (one copy,
+// one ScriptID derivation) on first sight.
+func (s *Set) intern(script []byte) *internedScript {
+	if sc, ok := s.interned[string(script)]; ok {
+		return sc
+	}
+	cp := make([]byte, len(script))
+	copy(cp, script)
+	sc := &internedScript{bytes: cp, key: btc.ScriptID(cp, s.network)}
+	s.interned[string(cp)] = sc
+	return sc
+}
+
+// release drops one reference to an interned script, un-interning it when
+// the last UTXO carrying it is spent so the table cannot grow unboundedly.
+func (s *Set) release(sc *internedScript) {
+	sc.refs--
+	if sc.refs == 0 {
+		delete(s.interned, string(sc.bytes))
+	}
+}
+
+// ScriptInterned reports whether the set already holds an interned copy of
+// script — i.e. whether inserting another output with it skips the address
+// decode and hash. The execution layer's metering uses this to price
+// insertions (Fig 6). The lookup itself allocates nothing.
+func (s *Set) ScriptInterned(script []byte) bool {
+	_, ok := s.interned[string(script)]
+	return ok
+}
+
+// InternedScripts returns the number of distinct locking scripts currently
+// interned (observability).
+func (s *Set) InternedScripts() int { return len(s.interned) }
+
 // Add inserts an unspent output. Adding a duplicate outpoint is an error
 // (it would indicate a consensus bug upstream).
 func (s *Set) Add(op btc.OutPoint, out btc.TxOut, height int64) error {
 	if _, dup := s.byOutPoint[op]; dup {
 		return fmt.Errorf("utxo: duplicate outpoint %s", op)
 	}
-	script := make([]byte, len(out.PkScript))
-	copy(script, out.PkScript)
-	s.byOutPoint[op] = entry{value: out.Value, pkScript: script, height: height}
-	key := btc.ScriptID(script, s.network)
-	bucket := s.byAddress[key]
-	if bucket == nil {
-		bucket = make(map[btc.OutPoint]struct{})
-		s.byAddress[key] = bucket
+	sc := s.intern(out.PkScript)
+	sc.refs++
+	s.byOutPoint[op] = entry{value: out.Value, height: height, script: sc}
+	b := s.byAddress[sc.key]
+	if b == nil {
+		b = &bucket{}
+		s.byAddress[sc.key] = b
 	}
-	bucket[op] = struct{}{}
-	s.approxBytes += int64(perUTXOOverhead + len(script))
+	b.insert(UTXO{OutPoint: op, Value: out.Value, PkScript: sc.bytes, Height: height})
+	b.balance += out.Value
+	s.approxBytes += int64(perUTXOOverhead + len(sc.bytes))
 	return nil
 }
 
@@ -94,22 +150,24 @@ func (s *Set) Add(op btc.OutPoint, out btc.TxOut, height int64) error {
 var ErrMissingOutput = errors.New("utxo: output not in set")
 
 // Remove spends an output, returning the removed UTXO so callers can build
-// undo data.
+// undo data. The stored address key is reused — no script decoding.
 func (s *Set) Remove(op btc.OutPoint) (UTXO, error) {
 	e, ok := s.byOutPoint[op]
 	if !ok {
 		return UTXO{}, fmt.Errorf("%w: %s", ErrMissingOutput, op)
 	}
 	delete(s.byOutPoint, op)
-	key := btc.ScriptID(e.pkScript, s.network)
-	if bucket := s.byAddress[key]; bucket != nil {
-		delete(bucket, op)
-		if len(bucket) == 0 {
-			delete(s.byAddress, key)
+	if b := s.byAddress[e.script.key]; b != nil {
+		b.remove(op, e.height)
+		b.balance -= e.value
+		if len(b.asc) == 0 {
+			delete(s.byAddress, e.script.key)
 		}
 	}
-	s.approxBytes -= int64(perUTXOOverhead + len(e.pkScript))
-	return UTXO{OutPoint: op, Value: e.value, PkScript: e.pkScript, Height: e.height}, nil
+	s.approxBytes -= int64(perUTXOOverhead + len(e.script.bytes))
+	u := UTXO{OutPoint: op, Value: e.value, PkScript: e.script.bytes, Height: e.height}
+	s.release(e.script)
+	return u, nil
 }
 
 // Get returns the UTXO for an outpoint if present.
@@ -118,7 +176,16 @@ func (s *Set) Get(op btc.OutPoint) (UTXO, bool) {
 	if !ok {
 		return UTXO{}, false
 	}
-	return UTXO{OutPoint: op, Value: e.value, PkScript: e.pkScript, Height: e.height}, true
+	return UTXO{OutPoint: op, Value: e.value, PkScript: e.script.bytes, Height: e.height}, true
+}
+
+// AddressKeyOf returns the memoized address key of an unspent outpoint.
+func (s *Set) AddressKeyOf(op btc.OutPoint) (string, bool) {
+	e, ok := s.byOutPoint[op]
+	if !ok {
+		return "", false
+	}
+	return e.script.key, true
 }
 
 // BlockUndo records everything needed to unapply a block.
@@ -139,8 +206,10 @@ type ApplyStats struct {
 
 // ApplyBlock applies all transactions of a block at the given height:
 // removes every spent input (except coinbase inputs) and inserts every
-// created output. It returns undo data and work statistics. On error the
-// set is left unchanged.
+// created output. Transaction IDs come from the block's memoized table —
+// they are computed once per block, not re-serialized per call site. It
+// returns undo data and work statistics. On error the set is left
+// unchanged.
 func (s *Set) ApplyBlock(block *btc.Block, height int64) (*BlockUndo, ApplyStats, error) {
 	undo := &BlockUndo{}
 	var stats ApplyStats
@@ -155,7 +224,8 @@ func (s *Set) ApplyBlock(block *btc.Block, height int64) (*BlockUndo, ApplyStats
 			_ = s.Add(u.OutPoint, btc.TxOut{Value: u.Value, PkScript: u.PkScript}, u.Height)
 		}
 	}
-	for _, tx := range block.Transactions {
+	txids := block.TxIDs()
+	for ti, tx := range block.Transactions {
 		if !tx.IsCoinbase() {
 			for i := range tx.Inputs {
 				spent, err := s.Remove(tx.Inputs[i].PreviousOutPoint)
@@ -167,7 +237,7 @@ func (s *Set) ApplyBlock(block *btc.Block, height int64) (*BlockUndo, ApplyStats
 				stats.InputsRemoved++
 			}
 		}
-		txid := tx.TxID()
+		txid := txids[ti]
 		for vout := range tx.Outputs {
 			op := btc.OutPoint{TxID: txid, Vout: uint32(vout)}
 			if err := s.Add(op, tx.Outputs[vout], height); err != nil {
@@ -198,45 +268,33 @@ func (s *Set) UnapplyBlock(undo *BlockUndo) error {
 	return nil
 }
 
-// Balance returns the total unspent value locked to an address key.
+// Balance returns the total unspent value locked to an address key: the
+// bucket's running total, maintained on Add/Remove — O(1), no bucket walk.
 func (s *Set) Balance(addressKey string) int64 {
-	var total int64
-	for op := range s.byAddress[addressKey] {
-		total += s.byOutPoint[op].value
+	b := s.byAddress[addressKey]
+	if b == nil {
+		return 0
 	}
-	return total
+	return b.balance
 }
 
 // UTXOsForAddress returns all UTXOs for an address key sorted by height in
 // descending order (the get_utxos contract: "sorted by block height in
 // descending order, ensuring the correctness of the pagination mechanism"),
-// with ties broken deterministically by outpoint.
+// with ties broken deterministically by outpoint. The bucket maintains its
+// height groups in order incrementally, so the call streams the canonical
+// order in one pass — no sort.
 func (s *Set) UTXOsForAddress(addressKey string) []UTXO {
-	bucket := s.byAddress[addressKey]
-	if len(bucket) == 0 {
+	b := s.byAddress[addressKey]
+	if b == nil || len(b.asc) == 0 {
 		return nil
 	}
-	out := make([]UTXO, 0, len(bucket))
-	for op := range bucket {
-		e := s.byOutPoint[op]
-		out = append(out, UTXO{OutPoint: op, Value: e.value, PkScript: e.pkScript, Height: e.height})
+	out := make([]UTXO, 0, len(b.asc))
+	it := s.AddressIter(addressKey)
+	for u, ok := it.Next(); ok; u, ok = it.Next() {
+		out = append(out, u)
 	}
-	SortUTXOs(out)
 	return out
-}
-
-// SortUTXOs orders UTXOs by height descending, then txid, then vout; the
-// canonical ordering every replica must agree on for pagination.
-func SortUTXOs(u []UTXO) {
-	sort.Slice(u, func(i, j int) bool {
-		if u[i].Height != u[j].Height {
-			return u[i].Height > u[j].Height
-		}
-		if u[i].OutPoint.TxID != u[j].OutPoint.TxID {
-			return lessHash(u[i].OutPoint.TxID, u[j].OutPoint.TxID)
-		}
-		return u[i].OutPoint.Vout < u[j].OutPoint.Vout
-	})
 }
 
 // AddressCount returns the number of distinct address keys with UTXOs.
@@ -246,17 +304,8 @@ func (s *Set) AddressCount() int { return len(s.byAddress) }
 // stops the walk.
 func (s *Set) ForEach(visit func(UTXO) bool) {
 	for op, e := range s.byOutPoint {
-		if !visit(UTXO{OutPoint: op, Value: e.value, PkScript: e.pkScript, Height: e.height}) {
+		if !visit(UTXO{OutPoint: op, Value: e.value, PkScript: e.script.bytes, Height: e.height}) {
 			return
 		}
 	}
-}
-
-func lessHash(a, b btc.Hash) bool {
-	for i := btc.HashSize - 1; i >= 0; i-- {
-		if a[i] != b[i] {
-			return a[i] < b[i]
-		}
-	}
-	return false
 }
