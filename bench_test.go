@@ -172,6 +172,64 @@ func BenchmarkReadPathDeepUnstable(b *testing.B) {
 	}
 }
 
+// BenchmarkSnapshotFastSync runs the snapshot scenario at reduced scale:
+// encode/decode wall time, snapshot size, and the fast-sync-vs-replay
+// speedup (the full ≥100k-UTXO run is `bench -fig snapshot`).
+func BenchmarkSnapshotFastSync(b *testing.B) {
+	cfg := experiments.SnapshotConfig{
+		Seed: 7, Blocks: 40, TxsPerBlock: 150, OutputsPerTx: 3,
+		SpendEvery: 6, Addresses: 32, Delta: 6,
+	}
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunSnapshot(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.FastSyncSpeedup, "fastsync-x")
+		b.ReportMetric(res.BytesPerUTXO, "B/utxo")
+		b.ReportMetric(float64(res.DecodeTime.Microseconds()), "decode-us")
+		b.ReportMetric(float64(res.EncodeTime.Microseconds()), "encode-us")
+	}
+}
+
+// BenchmarkSnapshotCodec microbenches the codec itself — one encode and one
+// decode of a canister holding a deep stable set — isolated from history
+// building and replay.
+func BenchmarkSnapshotCodec(b *testing.B) {
+	f := experiments.NewFeeder(btc.Regtest, 6, 9)
+	script := btc.PayToAddrScript(btc.NewP2PKHAddress([20]byte{0x51}, btc.Regtest))
+	for i := 0; i < 10; i++ {
+		if _, err := f.FeedBlock([]experiments.TxSpec{{Outputs: experiments.PayN(script, 1000, 546)}}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := f.FeedEmpty(8); err != nil {
+		b.Fatal(err)
+	}
+	snap, err := f.Canister.Snapshot()
+	if err != nil {
+		b.Fatal(err)
+	}
+	utxos := float64(f.Canister.StableUTXOCount())
+	b.Run("encode", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := f.Canister.Snapshot(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(len(snap))/utxos, "B/utxo")
+	})
+	b.Run("decode", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := canister.RestoreSnapshot(snap); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkGetBalanceOverlayVsReplay microbenches one get_balance against a
 // mainnet-deep unstable chain on each read path.
 func BenchmarkGetBalanceOverlayVsReplay(b *testing.B) {

@@ -12,6 +12,7 @@
 //	bench -fig eclipse      # Lemma IV.1 Monte Carlo
 //	bench -fig downtime     # Lemma IV.3 Monte Carlo
 //	bench -fig readpath     # overlay vs naive-replay read path at δ=144
+//	bench -fig snapshot     # snapshot codec: size, encode/decode, fast-sync
 //	bench -fig ablations    # δ / τ / sync-mode ablations
 package main
 
@@ -26,7 +27,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate (3, 5, 6, 7, latency, cost, eclipse, downtime, readpath, ablations, scaling, all)")
+	fig := flag.String("fig", "all", "figure to regenerate (3, 5, 6, 7, latency, cost, eclipse, downtime, readpath, snapshot, ablations, scaling, all)")
 	seed := flag.Int64("seed", 7, "simulation seed")
 	scale := flag.Int("scale", 10, "population scale divisor for Fig 7 / latency (1 = paper's full 1000 addresses)")
 	trials := flag.Int("trials", 50_000, "Monte Carlo trials for the security lemmas")
@@ -112,6 +113,16 @@ func run(fig string, seed int64, scale, trials int) error {
 			return err
 		}
 		sc.Print(out)
+	}
+	if all || fig == "snapshot" {
+		section("Snapshot: upgrade & fast-sync")
+		cfg := experiments.DefaultSnapshotConfig()
+		cfg.Seed = seed
+		res, err := experiments.RunSnapshot(cfg)
+		if err != nil {
+			return err
+		}
+		res.Print(out)
 	}
 	if all || fig == "readpath" {
 		section("Read path: overlay vs naive replay (δ=144)")

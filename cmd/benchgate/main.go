@@ -1,0 +1,160 @@
+// Command benchgate is the CI bench-regression gate: it parses `go test
+// -bench` output from stdin, takes the best (minimum) ns/op per benchmark
+// across repeated runs, and compares each against a checked-in baseline
+// with a generous multiplier. A hot path that silently regresses past the
+// threshold — the read-path and ingestion wins this repo's PRs measure —
+// fails the build instead of rotting unnoticed.
+//
+// Usage:
+//
+//	go test -run '^$' -bench 'GetUTXOs1000$|UTXOSetApplyBlock$' -count=3 . |
+//	    go run ./cmd/benchgate -baseline BENCH_BASELINE.json -threshold 2.0
+//
+// Every benchmark listed in the baseline must appear in the input (a
+// renamed or deleted benchmark fails the gate rather than skipping it).
+// Refreshing the baseline after an intentional change: run the benchmarks
+// on the reference machine, put the observed ns/op into
+// BENCH_BASELINE.json, and commit it together with the change.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Baseline is the checked-in reference file.
+type Baseline struct {
+	// Comment documents the refresh procedure inside the JSON itself.
+	Comment string `json:"comment"`
+	// NsPerOp maps benchmark name (no -cpu suffix) to reference ns/op.
+	NsPerOp map[string]float64 `json:"ns_per_op"`
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_BASELINE.json", "baseline JSON file")
+	threshold := flag.Float64("threshold", 2.0, "fail when measured ns/op exceeds baseline×threshold")
+	flag.Parse()
+
+	raw, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fatal("reading baseline: %v", err)
+	}
+	var base Baseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fatal("parsing baseline: %v", err)
+	}
+	if len(base.NsPerOp) == 0 {
+		fatal("baseline %s lists no benchmarks", *baselinePath)
+	}
+
+	results, err := parseBenchOutput(os.Stdin)
+	if err != nil {
+		fatal("parsing bench output: %v", err)
+	}
+	problems := gate(base.NsPerOp, results, *threshold)
+	names := make([]string, 0, len(base.NsPerOp))
+	for name := range base.NsPerOp {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if got, ok := results[name]; ok {
+			fmt.Printf("%-40s %12.0f ns/op  baseline %12.0f  (%.2fx)\n",
+				name, got, base.NsPerOp[name], got/base.NsPerOp[name])
+		}
+	}
+	if len(problems) > 0 {
+		for _, p := range problems {
+			fmt.Fprintln(os.Stderr, "benchgate: FAIL:", p)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("benchgate: all benchmarks within threshold")
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchgate: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+// parseBenchOutput extracts the minimum ns/op per benchmark from `go test
+// -bench` output. Lines look like
+//
+//	BenchmarkGetUTXOs1000-8   	   24688	     48694 ns/op	 255.6 Minstr ...
+//
+// The -8 GOMAXPROCS suffix is stripped; repeated lines (-count) keep the
+// fastest run, the standard way to suppress scheduler noise.
+func parseBenchOutput(r io.Reader) (map[string]float64, error) {
+	results := make(map[string]float64)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		// Find the "ns/op" unit and take the number before it.
+		nsPerOp := -1.0
+		for i := 2; i < len(fields); i++ {
+			if fields[i] == "ns/op" {
+				v, err := strconv.ParseFloat(fields[i-1], 64)
+				if err != nil {
+					return nil, fmt.Errorf("bad ns/op value in %q", sc.Text())
+				}
+				nsPerOp = v
+				break
+			}
+		}
+		if nsPerOp < 0 {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		if prev, ok := results[name]; !ok || nsPerOp < prev {
+			results[name] = nsPerOp
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// gate returns one problem string per baseline benchmark that is missing
+// from the results or regressed past baseline×threshold.
+func gate(baseline, results map[string]float64, threshold float64) []string {
+	var problems []string
+	names := make([]string, 0, len(baseline))
+	for name := range baseline {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		want := baseline[name]
+		got, ok := results[name]
+		switch {
+		case !ok:
+			problems = append(problems,
+				fmt.Sprintf("%s: not found in bench output (renamed or deleted?)", name))
+		case want <= 0:
+			problems = append(problems,
+				fmt.Sprintf("%s: baseline %v is not positive", name, want))
+		case got > want*threshold:
+			problems = append(problems,
+				fmt.Sprintf("%s: %.0f ns/op exceeds baseline %.0f × %.2g = %.0f",
+					name, got, want, threshold, want*threshold))
+		}
+	}
+	return problems
+}

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: icbtc
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkGetUTXOs1000-8   	   24688	     48694 ns/op	       255.6 Minstr	   82736 B/op	       3 allocs/op
+BenchmarkGetUTXOs1000-8   	   25000	     47102 ns/op	       255.6 Minstr	   82736 B/op	       3 allocs/op
+BenchmarkUTXOSetApplyBlock 	     300	    108163 ns/op	     30000 utxos-final
+BenchmarkSnapshotCodec/decode-8    	     700	   1590948 ns/op
+PASS
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	got, err := parseBenchOutput(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Minimum across repeats, -N suffix stripped, sub-benchmarks kept.
+	want := map[string]float64{
+		"BenchmarkGetUTXOs1000":         47102,
+		"BenchmarkUTXOSetApplyBlock":    108163,
+		"BenchmarkSnapshotCodec/decode": 1590948,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %d benchmarks, want %d: %v", len(got), len(want), got)
+	}
+	for name, ns := range want {
+		if got[name] != ns {
+			t.Errorf("%s = %v, want %v", name, got[name], ns)
+		}
+	}
+}
+
+func TestGate(t *testing.T) {
+	baseline := map[string]float64{
+		"BenchmarkFast": 100,
+		"BenchmarkSlow": 1000,
+	}
+	// Within threshold: no problems.
+	if p := gate(baseline, map[string]float64{"BenchmarkFast": 150, "BenchmarkSlow": 1900}, 2.0); len(p) != 0 {
+		t.Fatalf("unexpected problems: %v", p)
+	}
+	// Regression past the threshold.
+	p := gate(baseline, map[string]float64{"BenchmarkFast": 201, "BenchmarkSlow": 900}, 2.0)
+	if len(p) != 1 || !strings.Contains(p[0], "BenchmarkFast") {
+		t.Fatalf("want one BenchmarkFast problem, got %v", p)
+	}
+	// A baseline benchmark missing from the output fails the gate.
+	p = gate(baseline, map[string]float64{"BenchmarkFast": 100}, 2.0)
+	if len(p) != 1 || !strings.Contains(p[0], "BenchmarkSlow") {
+		t.Fatalf("want one missing-benchmark problem, got %v", p)
+	}
+}

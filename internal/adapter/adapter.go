@@ -160,9 +160,13 @@ func (a *Adapter) Start() {
 // Stop halts the sync loop (the adapter stays registered; Restart by
 // calling Start again). In-flight block requests are forgotten: their
 // replies will be discarded by the stopped Receive gate, so they must be
-// re-issued after a restart.
+// re-issued after a restart. The sync generation is bumped here as well as
+// in Start, so a tick scheduled before Stop is dead on both gates — the
+// running flag alone left a window where a stale tick could race a
+// not-yet-restarted loop's bookkeeping.
 func (a *Adapter) Stop() {
 	a.running = false
+	a.syncGen++
 	a.requestedBlocks = make(map[btc.Hash]bool)
 }
 
@@ -238,9 +242,14 @@ func (a *Adapter) removeAddress(addr string) {
 
 // DropConnection simulates a lost connection: the peer is disconnected and
 // a new random connection is established, replenishing addresses if the
-// book fell below t_l.
+// book fell below t_l. A stopped adapter only records the disconnect — the
+// torn-down process must not emit discovery traffic; Start re-runs
+// discovery and refills connections.
 func (a *Adapter) DropConnection(peer simnet.NodeID) {
 	delete(a.connected, peer)
+	if !a.running {
+		return
+	}
 	if len(a.addressBook) < a.cfg.AddrLowWater {
 		a.discover()
 		return
@@ -415,7 +424,18 @@ func (a *Adapter) maxBlocksAtHeight(anchorHeight int64) int {
 // (β*, A, T), cache and advertise the transactions, then BFS the header
 // tree from β* collecting blocks that extend the canister's state (set B)
 // and upcoming headers the canister lacks (set N).
+//
+// A stopped adapter returns an empty response: the sandboxed process is
+// down, so it can neither serve nor fetch. This gate closes the restart
+// stall the race audit found — a request arriving between Stop and Start
+// used to mark blocks as requested (getdata sent, reply discarded by the
+// stopped Receive gate), and since Start does not clear that bookkeeping,
+// the re-request logic would never re-issue the fetch: the block stayed
+// permanently unfetchable until an unrelated inv arrived.
 func (a *Adapter) HandleRequest(req Request) Response {
+	if !a.running {
+		return Response{}
+	}
 	// Lines 1-3: cache and advertise outbound transactions.
 	for _, raw := range req.Txs {
 		tx, err := btc.ParseTransaction(raw)

@@ -482,4 +482,5 @@ func (c *BitcoinCanister) PendingTransactions() int { return len(c.outgoing) }
 var (
 	_ ic.Canister         = (*BitcoinCanister)(nil)
 	_ ic.PayloadProcessor = (*BitcoinCanister)(nil)
+	_ ic.Snapshotter      = (*BitcoinCanister)(nil)
 )

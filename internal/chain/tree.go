@@ -53,6 +53,17 @@ func (n *Node) Aux() any { return n.aux }
 // Parent returns the node's parent, or nil for the root.
 func (n *Node) Parent() *Node { return n.parent }
 
+// TimestampWindow returns a copy of the node's median-time-past window: the
+// timestamps of the up-to-11 chain blocks ending at this node, including
+// timestamps of ancestors a Reroot may since have pruned. Snapshots persist
+// the root's window so a restored tree validates header timestamps exactly
+// like the original (see NewTreeWithWindow).
+func (n *Node) TimestampWindow() []uint32 {
+	out := make([]uint32, len(n.tsWindow))
+	copy(out, n.tsWindow)
+	return out
+}
+
 // Children returns the successors succ(b). The returned slice is shared;
 // callers must not mutate it.
 func (n *Node) Children() []*Node { return n.children }
@@ -75,14 +86,31 @@ var (
 
 // NewTree creates a tree rooted at the given header with the given height.
 func NewTree(root btc.BlockHeader, height int64) *Tree {
+	return NewTreeWithWindow(root, height, nil)
+}
+
+// NewTreeWithWindow creates a tree rooted at the given header with an
+// explicit median-time-past window (the up-to-11 timestamps of the chain
+// ending at the root). A rerooted tree's root carries timestamps of
+// ancestors that have been pruned; restoring a tree from a snapshot must
+// reinstate that window or MTP validation of future headers would diverge
+// from a never-restarted replica. An empty window falls back to the root's
+// own timestamp (a genesis root).
+func NewTreeWithWindow(root btc.BlockHeader, height int64, window []uint32) *Tree {
 	work := btc.WorkForBits(root.Bits)
+	ts := make([]uint32, 0, 11)
+	if len(window) == 0 {
+		ts = append(ts, root.Timestamp)
+	} else {
+		ts = append(ts, window...)
+	}
 	rn := &Node{
 		Header:         root,
 		Hash:           root.BlockHash(),
 		Height:         height,
 		Work:           work,
 		CumulativeWork: new(big.Int).Set(work),
-		tsWindow:       []uint32{root.Timestamp},
+		tsWindow:       ts,
 	}
 	t := &Tree{
 		root:     rn,

@@ -186,3 +186,48 @@ func TestDeterministicReplay(t *testing.T) {
 	_ = p1
 	_ = p2 // peer sets are maps; ordering may differ, values compared above
 }
+
+func TestCanisterUpgradeMidPipeline(t *testing.T) {
+	// The canister-upgrade lifecycle event on the full stack: mid-run the
+	// Bitcoin canister is reinstalled from its own snapshot; the payload
+	// builders resolve the canister through the subnet per round, so the
+	// upgraded instance keeps syncing and serving without a stall.
+	in, err := New(fastOptionsNoKeys(44))
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.Start()
+	in.RunFor(5 * time.Second)
+	if _, err := in.MineBlocks(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := in.AwaitCanisterHeight(3, 5*time.Minute); err != nil {
+		t.Fatalf("pre-upgrade sync: %v", err)
+	}
+
+	old := in.Canister
+	if err := in.UpgradeBitcoinCanister(); err != nil {
+		t.Fatal(err)
+	}
+	if in.Canister == old {
+		t.Fatal("upgrade did not install a fresh canister instance")
+	}
+	if in.Canister.AvailableHeight() != 3 {
+		t.Fatalf("upgraded canister lost state: height %d", in.Canister.AvailableHeight())
+	}
+
+	// The pipeline must keep advancing through the upgraded instance.
+	if _, err := in.MineBlocks(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := in.AwaitCanisterHeight(6, 5*time.Minute); err != nil {
+		t.Fatalf("post-upgrade sync stalled: %v", err)
+	}
+	bal, _, err := in.GetBalance(in.MinerAddress().String(), 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bal != 6*in.Params.BlockSubsidy {
+		t.Fatalf("post-upgrade balance %d", bal)
+	}
+}

@@ -137,13 +137,20 @@ func New(opts Options) (*Integration, error) {
 
 	// One adapter per replica, each with its own random peer connections;
 	// the replica's payload builder runs Algorithm 1 against the canister's
-	// current (deterministic) request.
+	// current (deterministic) request. The canister is resolved through the
+	// subnet per round — never captured — so an UpgradeCanister swap (which
+	// replaces the installed instance) is picked up immediately instead of
+	// building payloads against the frozen pre-upgrade state forever.
 	for i, replica := range subnet.Replicas() {
 		ad := adapter.New(simnet.NodeID(fmt.Sprintf("adapter/%d", i)), net, params, sim.Directory, adCfg)
 		integ.Adapters = append(integ.Adapters, ad)
 		replica.SetPayloadBuilder(BitcoinCanisterID, ic.PayloadBuilderFunc(func() any {
-			resp := ad.HandleRequest(btcCan.CurrentRequest())
-			if len(resp.Blocks) == 0 && len(resp.Next) == 0 && btcCan.PendingTransactions() == 0 {
+			can, ok := subnet.Canister(BitcoinCanisterID).(*canister.BitcoinCanister)
+			if !ok {
+				return nil
+			}
+			resp := ad.HandleRequest(can.CurrentRequest())
+			if len(resp.Blocks) == 0 && len(resp.Next) == 0 && can.PendingTransactions() == 0 {
 				return nil
 			}
 			return resp
@@ -200,6 +207,22 @@ func (in *Integration) MineBlocks(n int) (int64, error) {
 		in.RunFor(2 * time.Second)
 	}
 	return in.Bitcoin.Nodes[0].Height(), nil
+}
+
+// UpgradeBitcoinCanister performs a canister upgrade round on the running
+// integration: the Bitcoin canister is snapshotted, reinstalled from its
+// own stable-state bytes, and the new instance takes over under the same
+// ID. The payload builders resolve the canister through the subnet each
+// round, so the pipeline continues seamlessly; the convenience handle
+// (in.Canister) is refreshed here.
+func (in *Integration) UpgradeBitcoinCanister() error {
+	if err := in.Subnet.UpgradeCanister(BitcoinCanisterID, func(snapshot []byte) (ic.Canister, error) {
+		return canister.RestoreSnapshot(snapshot)
+	}); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	in.Canister = in.Subnet.Canister(BitcoinCanisterID).(*canister.BitcoinCanister)
+	return nil
 }
 
 // ErrTimeout is returned by Await helpers when the condition does not hold

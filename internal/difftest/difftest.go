@@ -7,6 +7,13 @@
 // varying minConfirmations — through two canisters fed byte-identical
 // payloads: one on ReadPathOverlay, one on ReadPathReplay (the oracle). All
 // request results must be byte-identical.
+//
+// The harness additionally exercises the snapshot subsystem: at random
+// points mid-run the overlay canister is serialized, decoded into a fresh
+// instance, and replaced (Config.SnapshotEvery). The oracle is never
+// restarted, so the restored canister's answers are checked against a
+// replica that lived through the entire history in process memory — the
+// upgrade and crash-recovery scenarios, differentially verified.
 package difftest
 
 import (
@@ -32,22 +39,34 @@ type Config struct {
 	Delta int64
 	// Addresses is the size of the synthetic address population.
 	Addresses int
+	// SnapshotEvery, when > 0, snapshot/restores the overlay canister with
+	// probability 1/SnapshotEvery per step: the canister is serialized,
+	// decoded into a fresh instance that replaces it mid-run, and
+	// re-encoding the restored instance must reproduce the snapshot bytes.
+	// The replay oracle is never restarted, so every later query also
+	// cross-checks the restore against a canister that lived through the
+	// whole history in memory.
+	SnapshotEvery int
 }
 
 // DefaultConfig returns a workload mix that exercises forks, conflicting
-// spends, pagination, and confirmation filters within a small δ.
+// spends, pagination, confirmation filters, and mid-run snapshot/restores
+// within a small δ.
 func DefaultConfig(seed int64) Config {
-	return Config{Seed: seed, Steps: 100, Delta: 6, Addresses: 10}
+	return Config{Seed: seed, Steps: 100, Delta: 6, Addresses: 10, SnapshotEvery: 5}
 }
 
 // Stats summarizes a completed run.
 type Stats struct {
-	Steps        int
-	BlocksMined  int
-	Reorgs       int
-	Queries      int
-	PagesWalked  int
-	HeaderDelays int
+	Steps            int
+	BlocksMined      int
+	Reorgs           int
+	Queries          int
+	PagesWalked      int
+	HeaderDelays     int
+	SnapshotRestores int
+	// SnapshotBytes is the size of the last snapshot taken.
+	SnapshotBytes int
 }
 
 // Harness drives the two canisters.
@@ -159,10 +178,45 @@ func (h *Harness) Step() error {
 		}
 	}
 
+	// Occasionally tear the overlay canister down to bytes and bring it
+	// back mid-run — an upgrade/crash-recovery at a random point in the
+	// workload. All later checks run against the restored instance.
+	if h.cfg.SnapshotEvery > 0 && h.rng.Intn(h.cfg.SnapshotEvery) == 0 {
+		if err := h.snapshotRestart(); err != nil {
+			return err
+		}
+	}
+
 	if err := h.checkStateAgreement(); err != nil {
 		return err
 	}
 	return h.checkQueries()
+}
+
+// snapshotRestart replaces the overlay canister with one restored from its
+// own snapshot, first asserting the codec's determinism: re-encoding the
+// restored canister must reproduce the snapshot byte for byte.
+func (h *Harness) snapshotRestart() error {
+	snap, err := h.overlay.Snapshot()
+	if err != nil {
+		return fmt.Errorf("snapshot: %w", err)
+	}
+	restored, err := canister.RestoreSnapshot(snap)
+	if err != nil {
+		return fmt.Errorf("restore: %w", err)
+	}
+	again, err := restored.Snapshot()
+	if err != nil {
+		return fmt.Errorf("re-snapshot: %w", err)
+	}
+	if !bytes.Equal(snap, again) {
+		return fmt.Errorf("snapshot non-deterministic: re-encoding a restored canister changed %d -> %d bytes",
+			len(snap), len(again))
+	}
+	h.overlay = restored
+	h.stats.SnapshotRestores++
+	h.stats.SnapshotBytes = len(snap)
+	return nil
 }
 
 // deliverPending ships blocks whose headers went out last step.

@@ -7,10 +7,11 @@ import (
 // TestDifferentialOverlayVsReplay runs the randomized differential workload
 // across a battery of fixed seeds: ≥ 1000 workload iterations in total,
 // every get_utxos page and get_balance answer byte-identical between the
-// overlay read path and the naive-replay oracle.
+// overlay read path and the naive-replay oracle — with the overlay canister
+// torn down to a snapshot and restored at random points along the way.
 func TestDifferentialOverlayVsReplay(t *testing.T) {
 	seeds := []int64{1, 2, 3, 5, 8, 13, 21, 34, 55, 89, 144, 233}
-	totalSteps := 0
+	totalSteps, totalRestores := 0, 0
 	for _, seed := range seeds {
 		cfg := DefaultConfig(seed)
 		h := New(cfg)
@@ -19,6 +20,7 @@ func TestDifferentialOverlayVsReplay(t *testing.T) {
 			t.Fatal(err)
 		}
 		totalSteps += stats.Steps
+		totalRestores += stats.SnapshotRestores
 		if stats.Reorgs == 0 {
 			t.Errorf("seed %d: workload produced no reorgs", seed)
 		}
@@ -28,6 +30,28 @@ func TestDifferentialOverlayVsReplay(t *testing.T) {
 	}
 	if totalSteps < 1000 {
 		t.Fatalf("only %d workload iterations, want >= 1000", totalSteps)
+	}
+	if totalRestores < 100 {
+		t.Fatalf("only %d snapshot/restores across the battery, want >= 100", totalRestores)
+	}
+}
+
+// TestDifferentialSnapshotEveryStep restarts the overlay canister from its
+// snapshot on every single step — the most hostile restore cadence — and
+// still requires byte-identical answers against the never-restarted oracle.
+func TestDifferentialSnapshotEveryStep(t *testing.T) {
+	for _, seed := range []int64{4, 9, 25} {
+		cfg := DefaultConfig(seed)
+		cfg.SnapshotEvery = 1
+		cfg.Steps = 60
+		h := New(cfg)
+		stats, err := h.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.SnapshotRestores != stats.Steps {
+			t.Fatalf("seed %d: %d restores over %d steps, want one per step", seed, stats.SnapshotRestores, stats.Steps)
+		}
 	}
 }
 

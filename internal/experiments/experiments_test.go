@@ -555,3 +555,40 @@ func TestScalingLinear(t *testing.T) {
 		t.Fatal("no output")
 	}
 }
+
+func TestSnapshotScenario(t *testing.T) {
+	// Scaled-down state; the bench runs the full ≥100k-UTXO configuration.
+	cfg := SnapshotConfig{
+		Seed:         3,
+		Blocks:       20,
+		TxsPerBlock:  40,
+		OutputsPerTx: 3,
+		SpendEvery:   5,
+		Addresses:    16,
+		Delta:        6,
+	}
+	res, err := RunSnapshot(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Deterministic {
+		t.Fatal("round trip not deterministic")
+	}
+	if res.StableUTXOs == 0 || res.UnstableBlocks != int(cfg.Delta)-1 {
+		t.Fatalf("unexpected state shape: %d stable UTXOs, %d unstable blocks",
+			res.StableUTXOs, res.UnstableBlocks)
+	}
+	if res.SnapshotBytes == 0 || res.BytesPerUTXO <= 0 {
+		t.Fatalf("degenerate snapshot: %d bytes", res.SnapshotBytes)
+	}
+	// Restore must beat replay even at this small scale; the ≥10× criterion
+	// is asserted by the full-scale bench, not here (CI wall clocks vary).
+	if res.FastSyncSpeedup < 1 {
+		t.Fatalf("fast-sync slower than replay: %.2fx", res.FastSyncSpeedup)
+	}
+	var buf bytes.Buffer
+	res.Print(&buf)
+	if buf.Len() == 0 {
+		t.Fatal("no output")
+	}
+}

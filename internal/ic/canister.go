@@ -131,6 +131,18 @@ type Canister interface {
 	Query(ctx *CallContext, method string, arg any) (any, error)
 }
 
+// Snapshotter is implemented by canisters whose complete state can be
+// captured as one deterministic byte string (the stable-memory image the
+// real IC persists across canister upgrades). Snapshots feed two scenarios:
+// an upgrade reinstalls the same canister from its own snapshot
+// (Subnet.UpgradeCanister), and fast-sync bootstraps a fresh replica from a
+// peer's snapshot instead of replaying the chain.
+type Snapshotter interface {
+	// Snapshot serializes the canister's full state deterministically:
+	// equal states yield equal bytes.
+	Snapshot() ([]byte, error)
+}
+
 // PayloadProcessor is implemented by canisters that consume consensus
 // payloads (the Bitcoin canister consumes Bitcoin adapter responses that
 // block makers put into IC blocks).

@@ -196,6 +196,42 @@ func (s *Subnet) InstallCanister(id CanisterID, c Canister) {
 // Canister returns an installed canister.
 func (s *Subnet) Canister(id CanisterID) Canister { return s.canisters[id] }
 
+// UpgradeCanister performs a canister upgrade round: the running canister
+// is stopped, its stable state is captured with Snapshot, reinstall builds
+// the upgraded instance from those bytes, and the result replaces the old
+// instance under the same ID. The upgrade is atomic with respect to rounds
+// — it must be invoked between block executions (e.g. from an OnRound
+// observer or from the driving test), mirroring how the real IC drains a
+// canister's queues before swapping its Wasm while stable memory carries
+// the state across.
+//
+// Payload builders and callers that captured the old canister pointer must
+// resolve the canister through Canister(id) per round instead; the old
+// instance is frozen at the snapshot point and no longer installed.
+func (s *Subnet) UpgradeCanister(id CanisterID, reinstall func(snapshot []byte) (Canister, error)) error {
+	can := s.canisters[id]
+	if can == nil {
+		return fmt.Errorf("ic: upgrade: canister %s not found", id)
+	}
+	sn, ok := can.(Snapshotter)
+	if !ok {
+		return fmt.Errorf("ic: upgrade: canister %s has no stable state (does not implement Snapshotter)", id)
+	}
+	snapshot, err := sn.Snapshot()
+	if err != nil {
+		return fmt.Errorf("ic: upgrade: snapshot of %s: %w", id, err)
+	}
+	next, err := reinstall(snapshot)
+	if err != nil {
+		return fmt.Errorf("ic: upgrade: reinstall of %s: %w", id, err)
+	}
+	if next == nil {
+		return fmt.Errorf("ic: upgrade: reinstall of %s returned no canister", id)
+	}
+	s.canisters[id] = next
+	return nil
+}
+
 // OnRound registers an observer invoked at each round start with the round
 // number and the selected block maker.
 func (s *Subnet) OnRound(fn func(round int64, maker *Replica)) {

@@ -1,0 +1,317 @@
+package utxo
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"icbtc/internal/btc"
+	"icbtc/internal/statecodec"
+)
+
+// Snapshot codec for the UTXO set and the per-block deltas (the stable-
+// memory serialization of §III-C's state). Two properties matter beyond
+// plain round-tripping:
+//
+//   - Determinism: map-backed containers are written in canonical order —
+//     the interned-script table sorted by script bytes, address buckets
+//     sorted by key, bucket entries in their maintained storage order — so
+//     two replicas holding identical state produce identical snapshots, and
+//     encode→decode→encode is byte-stable.
+//   - O(bytes) restore: every entry is written with its interned-script
+//     reference and every script with its memoized address key, so decoding
+//     performs no address decoding, no ScriptID hashing, and no sorting.
+//     Bucket slices are rebuilt by appending in stored (already canonical)
+//     order; running balances and the byte estimate are accumulated in the
+//     same pass.
+//
+// Snapshots carry a checksum (see statecodec), so a decoder failure means a
+// framing bug or version skew, not silent corruption. Ordering invariants
+// are still verified during decode — the check is a linear comparison pass,
+// not a sort — because a restored set with a misordered bucket would serve
+// wrong pages long after the restore.
+
+// Decode guards: upper bounds on element counts and lengths so a hostile
+// length prefix cannot drive allocation (fast-sync restores a snapshot
+// received from a peer).
+const (
+	maxSnapshotEntries   = 1 << 28
+	maxSnapshotScriptLen = 1 << 16
+	maxSnapshotKeyLen    = 1 << 12
+
+	// Minimum encoded sizes per repeated element, used to bound declared
+	// counts against the bytes actually present (Decoder.CountFor): a set
+	// entry is txid+vout+value+height plus a one-byte script index; a delta
+	// creation drops height but adds a script length prefix; a delta spend
+	// is outpoint+value; scripts and buckets are at least two length
+	// prefixes.
+	setEntryBytes      = btc.HashSize + 4 + 8 + 8 + 1
+	deltaCreatedBytes  = btc.HashSize + 4 + 8 + 1
+	deltaSpentBytes    = btc.HashSize + 4 + 8
+	lengthPrefixedMin2 = 2
+)
+
+// EncodeTo appends the set's deterministic encoding to e.
+func (s *Set) EncodeTo(e *statecodec.Encoder) {
+	e.U8(uint8(s.network))
+	// Total entry count up front so decode can pre-size the outpoint map:
+	// growing a 100k-entry map incrementally re-hashes every entry several
+	// times and dominated restore time before this hint existed.
+	e.Uvarint(uint64(len(s.byOutPoint)))
+
+	// Interned-script table, sorted by script bytes. Each script carries its
+	// memoized address key so restore never re-derives a ScriptID.
+	scripts := make([]*internedScript, 0, len(s.interned))
+	for _, sc := range s.interned {
+		scripts = append(scripts, sc)
+	}
+	sort.Slice(scripts, func(i, j int) bool {
+		return bytes.Compare(scripts[i].bytes, scripts[j].bytes) < 0
+	})
+	index := make(map[*internedScript]uint64, len(scripts))
+	e.Uvarint(uint64(len(scripts)))
+	for i, sc := range scripts {
+		index[sc] = uint64(i)
+		e.Bytes(sc.bytes)
+		e.String(sc.key)
+	}
+
+	// Address buckets, sorted by key; entries in maintained storage order
+	// (height ascending with the canonical tie-break), which restore can
+	// append verbatim.
+	keys := make([]string, 0, len(s.byAddress))
+	for k := range s.byAddress {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	e.Uvarint(uint64(len(keys)))
+	for _, k := range keys {
+		b := s.byAddress[k]
+		e.String(k)
+		e.Uvarint(uint64(len(b.asc)))
+		for i := range b.asc {
+			u := &b.asc[i]
+			e.Raw(u.OutPoint.TxID[:])
+			e.U32(u.OutPoint.Vout)
+			e.I64(u.Value)
+			e.I64(u.Height)
+			e.Uvarint(index[s.byOutPoint[u.OutPoint].script])
+		}
+	}
+}
+
+// DecodeSet reads a set encoded by EncodeTo. Restore cost is linear in the
+// snapshot bytes: scripts are interned straight from the stored table (keys
+// included), bucket slices are appended in stored order, and the outpoint
+// map, reference counts, running balances, and byte estimate are rebuilt in
+// the same single pass.
+func DecodeSet(d *statecodec.Decoder) (*Set, error) {
+	network := btc.Network(d.U8())
+	total := d.CountFor(maxSnapshotEntries, setEntryBytes)
+
+	nScripts := d.CountFor(maxSnapshotEntries, lengthPrefixedMin2)
+	// Pre-size every map from the stored counts — incremental growth would
+	// re-hash the whole table log(n) times and dominate restore.
+	s := &Set{
+		network:    network,
+		byOutPoint: make(map[btc.OutPoint]entry, total),
+		byAddress:  make(map[string]*bucket, nScripts),
+		interned:   make(map[string]*internedScript, nScripts),
+	}
+	scripts := make([]*internedScript, 0, nScripts)
+	for i := 0; i < nScripts; i++ {
+		raw := d.Bytes(maxSnapshotScriptLen)
+		key := d.String(maxSnapshotKeyLen)
+		if d.Err() != nil {
+			return nil, d.Err()
+		}
+		cp := make([]byte, len(raw))
+		copy(cp, raw)
+		sc := &internedScript{bytes: cp, key: key}
+		before := len(s.interned)
+		s.interned[string(cp)] = sc
+		if len(s.interned) == before {
+			return nil, fmt.Errorf("utxo: snapshot script %d duplicated", i)
+		}
+		scripts = append(scripts, sc)
+	}
+
+	nBuckets := d.CountFor(maxSnapshotEntries, lengthPrefixedMin2)
+	// One arena backs every bucket's entry slice: a single allocation and
+	// one contiguous zeroing instead of per-bucket garbage. Buckets take
+	// capacity-limited sub-slices, so a post-restore insert that outgrows
+	// its bucket reallocates that bucket normally.
+	arena := make([]UTXO, 0, total)
+	decoded := 0
+	for i := 0; i < nBuckets; i++ {
+		key := d.String(maxSnapshotKeyLen)
+		n := d.CountFor(maxSnapshotEntries, setEntryBytes)
+		if d.Err() != nil {
+			return nil, d.Err()
+		}
+		if _, dup := s.byAddress[key]; dup {
+			return nil, fmt.Errorf("utxo: snapshot bucket %q duplicated", key)
+		}
+		if decoded+n > total {
+			return nil, fmt.Errorf("utxo: snapshot bucket %q overflows declared entry count %d", key, total)
+		}
+		b := &bucket{asc: arena[decoded : decoded : decoded+n]}
+		for j := 0; j < n; j++ {
+			// One bounds-checked read covers the entry's fixed-width fields
+			// (txid, vout, value, height); only the script index varints.
+			fields := d.Raw(btc.HashSize + 4 + 8 + 8)
+			si := d.Uvarint()
+			if d.Err() != nil {
+				return nil, d.Err()
+			}
+			var op btc.OutPoint
+			copy(op.TxID[:], fields[:btc.HashSize])
+			op.Vout = binary.LittleEndian.Uint32(fields[btc.HashSize:])
+			value := int64(binary.LittleEndian.Uint64(fields[btc.HashSize+4:]))
+			height := int64(binary.LittleEndian.Uint64(fields[btc.HashSize+12:]))
+			if si >= uint64(len(scripts)) {
+				return nil, fmt.Errorf("utxo: snapshot script index %d out of range", si)
+			}
+			sc := scripts[si]
+			u := UTXO{OutPoint: op, Value: value, PkScript: sc.bytes, Height: height}
+			if j > 0 && !storageLess(&b.asc[j-1], &u) {
+				return nil, fmt.Errorf("utxo: snapshot bucket %q not in storage order at entry %d", key, j)
+			}
+			before := len(s.byOutPoint)
+			s.byOutPoint[op] = entry{value: value, height: height, script: sc}
+			if len(s.byOutPoint) == before {
+				return nil, fmt.Errorf("utxo: snapshot outpoint %s duplicated", op)
+			}
+			sc.refs++
+			b.asc = append(b.asc, u)
+			b.balance += value
+			s.approxBytes += int64(perUTXOOverhead + len(sc.bytes))
+		}
+		decoded += len(b.asc)
+		if len(b.asc) > 0 {
+			s.byAddress[key] = b
+		}
+	}
+	if decoded != total {
+		return nil, fmt.Errorf("utxo: snapshot declared %d entries, decoded %d", total, decoded)
+	}
+	for i, sc := range scripts {
+		if sc.refs == 0 {
+			return nil, fmt.Errorf("utxo: snapshot script %d referenced by no entry", i)
+		}
+	}
+	return s, d.Err()
+}
+
+// EncodeBlockDelta appends a block delta's deterministic encoding: created
+// outputs per address (sorted by key, lists in block order) followed by
+// spent outpoints per address. Created outputs all sit at the delta's own
+// height, so only the outpoint, value, and script are stored per entry; the
+// outpoint index and entry counts are rebuilt on decode.
+func EncodeBlockDelta(e *statecodec.Encoder, bd *BlockDelta) {
+	e.I64(bd.height)
+
+	created := make([]string, 0, len(bd.createdByAddr))
+	for k := range bd.createdByAddr {
+		created = append(created, k)
+	}
+	sort.Strings(created)
+	e.Uvarint(uint64(len(created)))
+	for _, k := range created {
+		list := bd.createdByAddr[k]
+		e.String(k)
+		e.Uvarint(uint64(len(list)))
+		for i := range list {
+			e.Raw(list[i].OutPoint.TxID[:])
+			e.U32(list[i].OutPoint.Vout)
+			e.I64(list[i].Value)
+			e.Bytes(list[i].PkScript)
+		}
+	}
+
+	spent := make([]string, 0, len(bd.spentByAddr))
+	for k := range bd.spentByAddr {
+		spent = append(spent, k)
+	}
+	sort.Strings(spent)
+	e.Uvarint(uint64(len(spent)))
+	for _, k := range spent {
+		list := bd.spentByAddr[k]
+		e.String(k)
+		e.Uvarint(uint64(len(list)))
+		for i := range list {
+			e.Raw(list[i].OutPoint.TxID[:])
+			e.U32(list[i].OutPoint.Vout)
+			e.I64(list[i].Value)
+		}
+	}
+}
+
+// DecodeBlockDelta reads a delta encoded by EncodeBlockDelta, rebuilding
+// the by-outpoint index and the entry count without re-deriving any address
+// key (keys were stored alongside the lists).
+func DecodeBlockDelta(d *statecodec.Decoder) (*BlockDelta, error) {
+	bd := &BlockDelta{
+		height:        d.I64(),
+		createdByAddr: make(map[string][]UTXO),
+		spentByAddr:   make(map[string][]SpentOutPoint),
+		createdByOp:   make(map[btc.OutPoint]UTXO),
+	}
+
+	nCreated := d.CountFor(maxSnapshotEntries, lengthPrefixedMin2)
+	for i := 0; i < nCreated; i++ {
+		key := d.String(maxSnapshotKeyLen)
+		n := d.CountFor(maxSnapshotEntries, deltaCreatedBytes)
+		if d.Err() != nil {
+			return nil, d.Err()
+		}
+		if _, dup := bd.createdByAddr[key]; dup {
+			return nil, fmt.Errorf("utxo: delta snapshot created key %q duplicated", key)
+		}
+		list := make([]UTXO, 0, n)
+		for j := 0; j < n; j++ {
+			var op btc.OutPoint
+			copy(op.TxID[:], d.Raw(btc.HashSize))
+			op.Vout = d.U32()
+			value := d.I64()
+			raw := d.Bytes(maxSnapshotScriptLen)
+			if d.Err() != nil {
+				return nil, d.Err()
+			}
+			script := make([]byte, len(raw))
+			copy(script, raw)
+			u := UTXO{OutPoint: op, Value: value, PkScript: script, Height: bd.height}
+			list = append(list, u)
+			if _, dup := bd.createdByOp[op]; dup {
+				return nil, fmt.Errorf("utxo: delta snapshot created outpoint %s duplicated", op)
+			}
+			bd.createdByOp[op] = u
+		}
+		bd.createdByAddr[key] = list
+		bd.entries += len(list)
+	}
+
+	nSpent := d.CountFor(maxSnapshotEntries, lengthPrefixedMin2)
+	for i := 0; i < nSpent; i++ {
+		key := d.String(maxSnapshotKeyLen)
+		n := d.CountFor(maxSnapshotEntries, deltaSpentBytes)
+		if d.Err() != nil {
+			return nil, d.Err()
+		}
+		if _, dup := bd.spentByAddr[key]; dup {
+			return nil, fmt.Errorf("utxo: delta snapshot spent key %q duplicated", key)
+		}
+		list := make([]SpentOutPoint, 0, n)
+		for j := 0; j < n; j++ {
+			var sp SpentOutPoint
+			copy(sp.OutPoint.TxID[:], d.Raw(btc.HashSize))
+			sp.OutPoint.Vout = d.U32()
+			sp.Value = d.I64()
+			list = append(list, sp)
+		}
+		bd.spentByAddr[key] = list
+		bd.entries += len(list)
+	}
+	return bd, d.Err()
+}

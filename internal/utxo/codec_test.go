@@ -1,0 +1,408 @@
+package utxo
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"icbtc/internal/btc"
+	"icbtc/internal/statecodec"
+)
+
+const (
+	codecTestMagic   = "utxo-codec-test\n"
+	codecTestVersion = uint16(1)
+)
+
+func encodeSet(s *Set) []byte {
+	e := statecodec.NewEncoder(codecTestMagic, codecTestVersion, 0)
+	s.EncodeTo(e)
+	return e.Finish()
+}
+
+func decodeSet(t *testing.T, snap []byte) *Set {
+	t.Helper()
+	d, err := statecodec.NewDecoder(snap, codecTestMagic, codecTestVersion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := DecodeSet(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// buildRandomSet assembles a set through the normal Add/Remove flow: many
+// outputs over a small script population (deep buckets, shared interned
+// scripts) with a share of them spent again.
+func buildRandomSet(seed int64, outputs int) *Set {
+	rng := rand.New(rand.NewSource(seed))
+	s := New(btc.Regtest)
+	scripts := make([][]byte, 12)
+	for i := range scripts {
+		var h [20]byte
+		rng.Read(h[:])
+		scripts[i] = btc.PayToPubKeyHashScript(h)
+	}
+	var added []btc.OutPoint
+	for i := 0; i < outputs; i++ {
+		var op btc.OutPoint
+		rng.Read(op.TxID[:])
+		op.Vout = uint32(rng.Intn(4))
+		out := btc.TxOut{Value: 500 + int64(rng.Intn(100_000)), PkScript: scripts[rng.Intn(len(scripts))]}
+		if err := s.Add(op, out, int64(1+rng.Intn(300))); err != nil {
+			continue // rare duplicate outpoint draw
+		}
+		added = append(added, op)
+	}
+	for _, op := range added {
+		if rng.Intn(3) == 0 {
+			_, _ = s.Remove(op)
+		}
+	}
+	return s
+}
+
+func assertSetsEqual(t *testing.T, want, got *Set) {
+	t.Helper()
+	if got.Len() != want.Len() {
+		t.Fatalf("Len: got %d, want %d", got.Len(), want.Len())
+	}
+	if got.AddressCount() != want.AddressCount() {
+		t.Fatalf("AddressCount: got %d, want %d", got.AddressCount(), want.AddressCount())
+	}
+	if got.InternedScripts() != want.InternedScripts() {
+		t.Fatalf("InternedScripts: got %d, want %d", got.InternedScripts(), want.InternedScripts())
+	}
+	if got.ApproxBytes() != want.ApproxBytes() {
+		t.Fatalf("ApproxBytes: got %d, want %d", got.ApproxBytes(), want.ApproxBytes())
+	}
+	if got.Network() != want.Network() {
+		t.Fatalf("Network: got %v, want %v", got.Network(), want.Network())
+	}
+	for key, b := range want.byAddress {
+		if got.Balance(key) != b.balance {
+			t.Fatalf("balance[%s]: got %d, want %d", key, got.Balance(key), b.balance)
+		}
+		w, g := want.UTXOsForAddress(key), got.UTXOsForAddress(key)
+		if len(w) != len(g) {
+			t.Fatalf("bucket %s: got %d entries, want %d", key, len(g), len(w))
+		}
+		for i := range w {
+			if w[i].OutPoint != g[i].OutPoint || w[i].Value != g[i].Value ||
+				w[i].Height != g[i].Height || !bytes.Equal(w[i].PkScript, g[i].PkScript) {
+				t.Fatalf("bucket %s entry %d: got %+v, want %+v", key, i, g[i], w[i])
+			}
+		}
+	}
+	want.ForEach(func(u UTXO) bool {
+		g, ok := got.Get(u.OutPoint)
+		if !ok {
+			t.Fatalf("outpoint %s missing after decode", u.OutPoint)
+		}
+		if g.Value != u.Value || g.Height != u.Height || !bytes.Equal(g.PkScript, u.PkScript) {
+			t.Fatalf("outpoint %s: got %+v, want %+v", u.OutPoint, g, u)
+		}
+		wk, _ := want.AddressKeyOf(u.OutPoint)
+		gk, _ := got.AddressKeyOf(u.OutPoint)
+		if wk != gk {
+			t.Fatalf("outpoint %s: key %q, want %q", u.OutPoint, gk, wk)
+		}
+		return true
+	})
+}
+
+func TestSetCodecRoundTrip(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		s := buildRandomSet(seed, 400)
+		snap := encodeSet(s)
+		restored := decodeSet(t, snap)
+		assertSetsEqual(t, s, restored)
+		// Determinism both ways: the same state encodes identically, and the
+		// restored set reproduces the snapshot byte for byte.
+		if !bytes.Equal(snap, encodeSet(s)) {
+			t.Fatalf("seed %d: re-encoding the original changed bytes", seed)
+		}
+		if !bytes.Equal(snap, encodeSet(restored)) {
+			t.Fatalf("seed %d: re-encoding the restored set changed bytes", seed)
+		}
+	}
+}
+
+func TestSetCodecEmpty(t *testing.T) {
+	s := New(btc.Mainnet)
+	restored := decodeSet(t, encodeSet(s))
+	if restored.Len() != 0 || restored.AddressCount() != 0 || restored.Network() != btc.Mainnet {
+		t.Fatalf("empty set did not round-trip: %d UTXOs, %d addresses", restored.Len(), restored.AddressCount())
+	}
+}
+
+// TestSetDecodeUsesStoredKeys proves the O(bytes) restore property: the
+// address key under which an entry is indexed comes from the snapshot, not
+// from a ScriptID re-derivation. A handcrafted snapshot with a key that no
+// derivation would produce must decode under exactly that key.
+func TestSetDecodeUsesStoredKeys(t *testing.T) {
+	script := btc.PayToPubKeyHashScript([20]byte{1, 2, 3})
+	const storedKey = "stored-key-no-derivation-produces"
+	if btc.ScriptID(script, btc.Regtest) == storedKey {
+		t.Fatal("test key collides with the derived key")
+	}
+	var op btc.OutPoint
+	op.TxID[0] = 9
+
+	e := statecodec.NewEncoder(codecTestMagic, codecTestVersion, 0)
+	e.U8(uint8(btc.Regtest))
+	e.Uvarint(1) // total entries
+	e.Uvarint(1) // one interned script
+	e.Bytes(script)
+	e.String(storedKey)
+	e.Uvarint(1) // one bucket
+	e.String(storedKey)
+	e.Uvarint(1) // one entry
+	e.Raw(op.TxID[:])
+	e.U32(op.Vout)
+	e.I64(777)
+	e.I64(10)
+	e.Uvarint(0)
+
+	s := decodeSet(t, e.Finish())
+	if got := s.Balance(storedKey); got != 777 {
+		t.Fatalf("balance under stored key = %d, want 777", got)
+	}
+	if key, _ := s.AddressKeyOf(op); key != storedKey {
+		t.Fatalf("entry key = %q, want the stored key", key)
+	}
+	if got := s.Balance(btc.ScriptID(script, btc.Regtest)); got != 0 {
+		t.Fatal("decode re-derived the ScriptID instead of using the stored key")
+	}
+}
+
+// TestSetDecodeRejectsMisorderedBucket: entries arrive in maintained storage
+// order; decode appends without sorting but verifies the order, because a
+// misordered bucket would serve wrong pages forever after.
+func TestSetDecodeRejectsMisorderedBucket(t *testing.T) {
+	script := btc.PayToPubKeyHashScript([20]byte{4})
+	key := btc.ScriptID(script, btc.Regtest)
+	e := statecodec.NewEncoder(codecTestMagic, codecTestVersion, 0)
+	e.U8(uint8(btc.Regtest))
+	e.Uvarint(2) // total entries
+	e.Uvarint(1)
+	e.Bytes(script)
+	e.String(key)
+	e.Uvarint(1)
+	e.String(key)
+	e.Uvarint(2)
+	for _, height := range []int64{20, 10} { // descending: violates storage order
+		var op btc.OutPoint
+		op.TxID[0] = byte(height)
+		e.Raw(op.TxID[:])
+		e.U32(0)
+		e.I64(1000)
+		e.I64(height)
+		e.Uvarint(0)
+	}
+	d, err := statecodec.NewDecoder(e.Finish(), codecTestMagic, codecTestVersion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeSet(d); err == nil {
+		t.Fatal("decode accepted a misordered bucket")
+	}
+}
+
+func TestSetDecodeRejectsBadScriptIndex(t *testing.T) {
+	e := statecodec.NewEncoder(codecTestMagic, codecTestVersion, 0)
+	e.U8(uint8(btc.Regtest))
+	e.Uvarint(1) // total entries
+	e.Uvarint(0) // no scripts
+	e.Uvarint(1) // one bucket referencing script 0 anyway
+	e.String("key")
+	e.Uvarint(1)
+	e.Raw(make([]byte, btc.HashSize))
+	e.U32(0)
+	e.I64(1)
+	e.I64(1)
+	e.Uvarint(0)
+	d, err := statecodec.NewDecoder(e.Finish(), codecTestMagic, codecTestVersion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeSet(d); err == nil {
+		t.Fatal("decode accepted an out-of-range script index")
+	}
+}
+
+// deltaTestBlock builds a block with in-block nets, external spends, and
+// repeated scripts, plus the resolver the canister would supply.
+func deltaTestBlock(t *testing.T) (*btc.Block, OwnerResolver, map[btc.OutPoint]OwnedOutput) {
+	t.Helper()
+	scriptA := btc.PayToPubKeyHashScript([20]byte{0xaa})
+	scriptB := btc.PayToPubKeyHashScript([20]byte{0xbb})
+	external := map[btc.OutPoint]OwnedOutput{}
+	var extOp btc.OutPoint
+	extOp.TxID[0] = 0xee
+	external[extOp] = OwnedOutput{AddressKey: btc.ScriptID(scriptA, btc.Regtest), Value: 5_000}
+
+	coinbase := &btc.Transaction{
+		Version: 2,
+		Inputs:  []btc.TxIn{{PreviousOutPoint: btc.OutPoint{Vout: 0xffffffff}, SignatureScript: []byte{1, 2}}},
+		Outputs: []btc.TxOut{{Value: 50_000, PkScript: scriptA}},
+	}
+	spendExt := &btc.Transaction{
+		Version: 2,
+		Inputs:  []btc.TxIn{{PreviousOutPoint: extOp}},
+		Outputs: []btc.TxOut{{Value: 4_000, PkScript: scriptB}, {Value: 900, PkScript: scriptA}},
+	}
+	// Spend an output created earlier in this very block (nets out locally).
+	inBlock := &btc.Transaction{
+		Version: 2,
+		Inputs:  []btc.TxIn{{PreviousOutPoint: btc.OutPoint{TxID: spendExt.TxID(), Vout: 0}}},
+		Outputs: []btc.TxOut{{Value: 3_500, PkScript: scriptB}},
+	}
+	block := &btc.Block{Transactions: []*btc.Transaction{coinbase, spendExt, inBlock}}
+	resolve := func(op btc.OutPoint) []OwnedOutput {
+		if o, ok := external[op]; ok {
+			return []OwnedOutput{o}
+		}
+		return nil
+	}
+	return block, resolve, external
+}
+
+func TestBlockDeltaCodecRoundTrip(t *testing.T) {
+	block, resolve, _ := deltaTestBlock(t)
+	delta := BuildBlockDelta(block, 42, btc.NewScriptIDCache(btc.Regtest), resolve)
+
+	e := statecodec.NewEncoder(codecTestMagic, codecTestVersion, 0)
+	EncodeBlockDelta(e, delta)
+	snap := e.Finish()
+
+	d, err := statecodec.NewDecoder(snap, codecTestMagic, codecTestVersion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := DecodeBlockDelta(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if restored.Height() != delta.Height() || restored.Entries() != delta.Entries() ||
+		restored.Addresses() != delta.Addresses() {
+		t.Fatalf("delta scalars diverged: got (%d,%d,%d), want (%d,%d,%d)",
+			restored.Height(), restored.Entries(), restored.Addresses(),
+			delta.Height(), delta.Entries(), delta.Addresses())
+	}
+	for key := range delta.createdByAddr {
+		w, g := delta.CreatedFor(key), restored.CreatedFor(key)
+		if fmt.Sprint(w) != fmt.Sprint(g) {
+			t.Fatalf("CreatedFor(%s): got %v, want %v", key, g, w)
+		}
+	}
+	for key := range delta.spentByAddr {
+		w, g := delta.SpentFor(key), restored.SpentFor(key)
+		if fmt.Sprint(w) != fmt.Sprint(g) {
+			t.Fatalf("SpentFor(%s): got %v, want %v", key, g, w)
+		}
+	}
+	for op := range delta.createdByOp {
+		if _, ok := restored.CreatedOutput(op); !ok {
+			t.Fatalf("CreatedOutput(%s) missing after decode", op)
+		}
+	}
+
+	// Re-encoding the restored delta reproduces the bytes.
+	e2 := statecodec.NewEncoder(codecTestMagic, codecTestVersion, 0)
+	EncodeBlockDelta(e2, restored)
+	if !bytes.Equal(snap, e2.Finish()) {
+		t.Fatal("re-encoding a restored delta changed bytes")
+	}
+}
+
+// TestSetDecodeAllocations pins the restore hot path: decoding must stay a
+// small constant number of allocations per UTXO (map inserts and bucket
+// appends) — a regression past the budget means the O(bytes) restore grew
+// re-derivation or re-sorting work.
+func TestSetDecodeAllocations(t *testing.T) {
+	s := buildRandomSet(7, 3000)
+	snap := encodeSet(s)
+	n := s.Len()
+	avg := testing.AllocsPerRun(10, func() {
+		d, err := statecodec.NewDecoder(snap, codecTestMagic, codecTestVersion)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := DecodeSet(d); err != nil {
+			t.Fatal(err)
+		}
+	})
+	perUTXO := avg / float64(n)
+	if perUTXO > 4 {
+		t.Fatalf("decode allocates %.2f per UTXO (%.0f total for %d), budget is 4", perUTXO, avg, n)
+	}
+}
+
+// TestSetEncodeAllocations pins the snapshot writer: encoding allocates the
+// sort scratch and the output buffer, not per-entry garbage.
+func TestSetEncodeAllocations(t *testing.T) {
+	s := buildRandomSet(8, 3000)
+	n := s.Len()
+	avg := testing.AllocsPerRun(10, func() {
+		_ = encodeSet(s)
+	})
+	if perUTXO := avg / float64(n); perUTXO > 0.5 {
+		t.Fatalf("encode allocates %.2f per UTXO (%.0f total for %d), budget is 0.5", perUTXO, avg, n)
+	}
+}
+
+// TestSetDecodeRejectsHostileCounts: a checksum-valid snapshot is still
+// untrusted input (fast-sync receives it from a peer, and the trailer is
+// integrity-only); a tiny payload declaring 2^27 entries must be rejected
+// at the count instead of driving a multi-GiB pre-allocation.
+func TestSetDecodeRejectsHostileCounts(t *testing.T) {
+	e := statecodec.NewEncoder(codecTestMagic, codecTestVersion, 0)
+	e.U8(uint8(btc.Regtest))
+	e.Uvarint(1 << 27) // declared total entries; payload holds none
+	e.Uvarint(0)
+	e.Uvarint(0)
+	d, err := statecodec.NewDecoder(e.Finish(), codecTestMagic, codecTestVersion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeSet(d); err == nil {
+		t.Fatal("decode accepted a count the payload cannot hold")
+	}
+}
+
+// TestBlockDeltaDecodeRejectsDuplicateKeys: a crafted delta repeating an
+// address key must fail loudly, not silently overwrite the first list
+// while double-counting entries.
+func TestBlockDeltaDecodeRejectsDuplicateKeys(t *testing.T) {
+	e := statecodec.NewEncoder(codecTestMagic, codecTestVersion, 0)
+	e.I64(9)     // height
+	e.Uvarint(0) // no created lists
+	e.Uvarint(2) // two spent lists under the same key
+	for i := 0; i < 2; i++ {
+		e.String("dup-key")
+		e.Uvarint(1)
+		var op btc.OutPoint
+		op.TxID[0] = byte(i)
+		e.Raw(op.TxID[:])
+		e.U32(0)
+		e.I64(5)
+	}
+	d, err := statecodec.NewDecoder(e.Finish(), codecTestMagic, codecTestVersion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeBlockDelta(d); err == nil {
+		t.Fatal("decode accepted a delta with a duplicated address key")
+	}
+}
