@@ -20,6 +20,7 @@ import (
 	"icbtc/internal/canister"
 	"icbtc/internal/experiments"
 	"icbtc/internal/ic"
+	"icbtc/internal/queryfleet"
 	"icbtc/internal/secp256k1"
 	"icbtc/internal/simnet"
 	"icbtc/internal/tecdsa"
@@ -421,6 +422,61 @@ func BenchmarkGetUTXOs1000(b *testing.B) {
 		if i == 0 {
 			b.ReportMetric(float64(ctx.Meter.Total())/1e6, "Minstr")
 		}
+	}
+}
+
+// BenchmarkQueryFleetQuery is the fleet serving path itself — routing, the
+// replica's read-locked execution, and the staleness check — on a hydrated
+// single-replica fleet with the execution-time model off, so the number is
+// pure serving overhead over the underlying canister query. Each op is a
+// batch of 100 routed queries (~65µs), so the CI gate's -benchtime=300x
+// measures a multi-millisecond window comparable to the other gated
+// benchmarks instead of a scheduler-noise-sized one. Gated by
+// cmd/benchgate against BENCH_BASELINE.json.
+func BenchmarkQueryFleetQuery(b *testing.B) {
+	f := experiments.NewFeeder(btc.Regtest, 6, 10)
+	var h [20]byte
+	h[0] = 0x47
+	addr := btc.NewP2PKHAddress(h, btc.Regtest)
+	script := btc.PayToAddrScript(addr)
+	for i := 0; i < 10; i++ {
+		if _, err := f.FeedBlock([]experiments.TxSpec{{Outputs: experiments.PayN(script, 20, 546)}}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	fleet, err := queryfleet.New(f.Canister, queryfleet.Config{Replicas: 1, MaxLagBlocks: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer fleet.Close()
+	args := canister.GetBalanceArgs{Address: addr.String()}
+	now := time.Unix(1_700_100_000, 0).UTC()
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for q := 0; q < 100; q++ {
+			rq := fleet.RouteQuery("get_balance", args, "bench", now)
+			if rq.Err != nil {
+				b.Fatal(rq.Err)
+			}
+		}
+	}
+}
+
+// BenchmarkQueryFleetScaling runs the full 1→8 replica sweep (the
+// `bench -fig queryfleet` table) once per iteration, reporting the
+// 8-replica speedup as a custom metric.
+func BenchmarkQueryFleetScaling(b *testing.B) {
+	cfg := experiments.DefaultQueryFleetConfig()
+	cfg.Window = 300 * time.Millisecond
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunQueryFleet(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := res.Rows[len(res.Rows)-1]
+		b.ReportMetric(last.Speedup, "speedup@8")
+		b.ReportMetric(last.QPS, "qps@8")
 	}
 }
 

@@ -13,6 +13,7 @@
 //	bench -fig downtime     # Lemma IV.3 Monte Carlo
 //	bench -fig readpath     # overlay vs naive-replay read path at δ=144
 //	bench -fig snapshot     # snapshot codec: size, encode/decode, fast-sync
+//	bench -fig queryfleet   # read-replica fleet QPS/latency scaling 1→8
 //	bench -fig ablations    # δ / τ / sync-mode ablations
 package main
 
@@ -27,7 +28,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate (3, 5, 6, 7, latency, cost, eclipse, downtime, readpath, snapshot, ablations, scaling, all)")
+	fig := flag.String("fig", "all", "figure to regenerate (3, 5, 6, 7, latency, cost, eclipse, downtime, readpath, snapshot, queryfleet, ablations, scaling, all)")
 	seed := flag.Int64("seed", 7, "simulation seed")
 	scale := flag.Int("scale", 10, "population scale divisor for Fig 7 / latency (1 = paper's full 1000 addresses)")
 	trials := flag.Int("trials", 50_000, "Monte Carlo trials for the security lemmas")
@@ -113,6 +114,16 @@ func run(fig string, seed int64, scale, trials int) error {
 			return err
 		}
 		sc.Print(out)
+	}
+	if all || fig == "queryfleet" {
+		section("Query fleet: certified read replicas")
+		cfg := experiments.DefaultQueryFleetConfig()
+		cfg.Seed = seed
+		res, err := experiments.RunQueryFleet(cfg)
+		if err != nil {
+			return err
+		}
+		res.Print(out)
 	}
 	if all || fig == "snapshot" {
 		section("Snapshot: upgrade & fast-sync")

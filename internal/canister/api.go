@@ -225,17 +225,24 @@ type balanceKey struct {
 	minConf int64
 }
 
-// invalidateBalanceCache drops all memoized balances. Called on every tree
-// mutation (new blocks or headers, anchor advance) — the overlay's cache
-// coherence rule.
-func (c *BitcoinCanister) invalidateBalanceCache() {
+// invalidateReadCaches drops all memoized balances and fee percentiles.
+// Called on every tree mutation (new blocks or headers, anchor advance) —
+// the overlay's cache coherence rule.
+func (c *BitcoinCanister) invalidateReadCaches() {
+	c.queryMu.Lock()
 	if len(c.balanceCache) > 0 {
 		c.balanceCache = make(map[balanceKey]int64)
 	}
+	c.feeCache = feeCacheEntry{}
+	c.queryMu.Unlock()
 }
 
 // BalanceCacheSize returns the number of memoized balances (observability).
-func (c *BitcoinCanister) BalanceCacheSize() int { return len(c.balanceCache) }
+func (c *BitcoinCanister) BalanceCacheSize() int {
+	c.queryMu.Lock()
+	defer c.queryMu.Unlock()
+	return len(c.balanceCache)
+}
 
 // GetBalance serves the get_balance convenience endpoint. On the overlay
 // read path results are memoized per (address, tip, minConfirmations); the
@@ -253,7 +260,10 @@ func (c *BitcoinCanister) GetBalance(ctx *ic.CallContext, args GetBalanceArgs) (
 	var key balanceKey
 	if useCache {
 		key = balanceKey{address: args.Address, tip: c.tipNode().Hash, minConf: args.MinConfirmations}
-		if total, ok := c.balanceCache[key]; ok {
+		c.queryMu.Lock()
+		total, ok := c.balanceCache[key]
+		c.queryMu.Unlock()
+		if ok {
 			ctx.Meter.Charge(ic.CostBalanceCacheHit, "balance_cache_hit")
 			return total, nil
 		}
@@ -275,7 +285,9 @@ func (c *BitcoinCanister) GetBalance(ctx *ic.CallContext, args GetBalanceArgs) (
 		}
 	}
 	if useCache {
+		c.queryMu.Lock()
 		c.balanceCache[key] = total
+		c.queryMu.Unlock()
 	}
 	return total, nil
 }

@@ -21,6 +21,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 
 	"icbtc/internal/adapter"
 	"icbtc/internal/btc"
@@ -128,11 +129,30 @@ type BitcoinCanister struct {
 	// building and owner resolution.
 	scriptIDs *btc.ScriptIDCache
 
+	// queryMu guards the per-replica read caches (balanceCache, feeCache).
+	// On the authoritative canister everything runs on the simulation
+	// goroutine and the mutex is uncontended; on a query-fleet replica many
+	// queries execute concurrently under the replica's read lock, and the
+	// caches are the only state they mutate.
+	queryMu sync.Mutex
 	// balanceCache memoizes get_balance results for the overlay read path,
 	// keyed by (address, tip, minConfirmations). Any tree mutation — a new
 	// block or header, an anchor advance, a reorg — clears it; within one
 	// tree state the merged view is immutable, so entries stay coherent.
 	balanceCache map[balanceKey]int64
+	// feeCache memoizes get_current_fee_percentiles for the overlay read
+	// path, keyed by (tip, anchor height): the percentiles are a function of
+	// the unstable suffix, which changes identity when either moves. Cleared
+	// together with the balance cache on every tree mutation.
+	feeCache feeCacheEntry
+
+	// stream, when set, receives one Frame per processed payload carrying
+	// the accepted mutations (blocks with their deltas, headers, anchor
+	// advances) — the feed the read-replica query fleet stays fresh from.
+	stream func(*Frame)
+	// events accumulates the current payload's stream events (only while a
+	// sink is installed).
+	events []StreamEvent
 	// curChain caches tree.CurrentChain(); any tree mutation clears it.
 	// Queries between payloads share one chain walk instead of re-deriving
 	// the tip per request.
@@ -282,9 +302,10 @@ func (c *BitcoinCanister) ProcessPayload(ctx *ic.CallContext, payload any) error
 	c.ageOutgoing()
 	// Anything in the payload can change the considered chain (new blocks,
 	// upcoming headers shifting the tip, an anchor advance), so drop the
-	// memoized balances up front; they are cheap to rebuild from deltas.
+	// memoized balances and fee percentiles up front; they are cheap to
+	// rebuild from deltas.
 	if len(resp.Blocks) > 0 || len(resp.Next) > 0 {
-		c.invalidateBalanceCache()
+		c.invalidateReadCaches()
 	}
 
 	// Lines 1-15: validate and attach each (b, β), then advance the anchor
@@ -305,6 +326,7 @@ func (c *BitcoinCanister) ProcessPayload(ctx *ic.CallContext, payload any) error
 	}
 	// Lines 21-22: recompute the synced flag.
 	c.updateSynced()
+	c.flushFrame()
 	return nil
 }
 
@@ -327,6 +349,7 @@ func (c *BitcoinCanister) acceptHeader(ctx *ic.CallContext, h btc.BlockHeader) e
 		return err
 	}
 	c.invalidateChain()
+	c.emit(StreamEvent{Kind: EventHeaderAttached, Header: h})
 	return nil
 }
 
@@ -368,6 +391,14 @@ func (c *BitcoinCanister) acceptBlock(ctx *ic.CallContext, bw adapter.BlockWithH
 	ctx.Meter.Charge(uint64(len(bw.Block.Transactions))*ic.CostPerDeltaBuildTx, "build_delta")
 	delta := utxo.BuildBlockDelta(bw.Block, node.Height, c.scriptIDs, c.resolveOwner(node))
 	node.SetAux(delta)
+	if c.stream != nil {
+		c.emit(StreamEvent{
+			Kind:     EventBlockAttached,
+			Header:   bw.Header,
+			RawBlock: bw.Block.Bytes(),
+			Delta:    delta,
+		})
+	}
 	return nil
 }
 
@@ -426,31 +457,44 @@ func (c *BitcoinCanister) advanceAnchor(ctx *ic.CallContext) {
 		if !c.tree.IsWorkStable(next, c.cfg.StabilityThreshold, root.Work) {
 			return
 		}
-		// Stable: ingest the block into U, discard it, advance the anchor.
-		block := c.blocks[next.Hash]
-		c.ingestStableBlock(ctx, block, next.Height)
-		c.dropBlock(next)
-		// Prune competing branches (and their stored blocks) below the new
-		// anchor; "all but the single stable block header are removed".
-		for _, other := range candidates {
-			if other != next {
-				c.dropSubtreeBlocks(other)
-			}
-		}
-		if err := c.tree.Reroot(next); err != nil {
-			// Cannot happen: next is in the tree. Record and stop.
-			c.applyErrors++
+		if err := c.stabilizeNode(ctx, next); err != nil {
 			return
 		}
-		// The new anchor's transactions now live in the stable set; its
-		// delta (and the balance cache derived from the old view) must not
-		// be consulted again.
-		next.SetAux(nil)
-		c.invalidateBalanceCache()
-		c.invalidateChain()
-		c.stableHeaders = append(c.stableHeaders, next.Header)
-		c.anchorHeight = next.Height
 	}
+}
+
+// stabilizeNode folds one δ-stable block into U and re-roots the tree at
+// it: ingest the block, discard its stored bytes, prune competing branches
+// at the stabilized height, and record the new anchor. Shared between
+// advanceAnchor (which decides *when* a block is stable) and ApplyFrame
+// (where a replica re-executes the authoritative canister's decision).
+func (c *BitcoinCanister) stabilizeNode(ctx *ic.CallContext, next *chain.Node) error {
+	root := c.tree.Root()
+	block := c.blocks[next.Hash]
+	c.ingestStableBlock(ctx, block, next.Height)
+	c.dropBlock(next)
+	// Prune competing branches (and their stored blocks) below the new
+	// anchor; "all but the single stable block header are removed".
+	for _, other := range c.tree.AtHeight(root.Height + 1) {
+		if other != next {
+			c.dropSubtreeBlocks(other)
+		}
+	}
+	if err := c.tree.Reroot(next); err != nil {
+		// Cannot happen: next is in the tree. Record and stop.
+		c.applyErrors++
+		return err
+	}
+	// The new anchor's transactions now live in the stable set; its delta
+	// (and the read caches derived from the old view) must not be consulted
+	// again.
+	next.SetAux(nil)
+	c.invalidateReadCaches()
+	c.invalidateChain()
+	c.stableHeaders = append(c.stableHeaders, next.Header)
+	c.anchorHeight = next.Height
+	c.emit(StreamEvent{Kind: EventAnchorAdvanced, Hash: next.Hash})
+	return nil
 }
 
 // dropSubtreeBlocks removes stored blocks for an entire pruned branch.

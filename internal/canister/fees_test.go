@@ -1,0 +1,389 @@
+package canister
+
+import (
+	"testing"
+	"time"
+
+	"icbtc/internal/adapter"
+	"icbtc/internal/btc"
+	"icbtc/internal/ic"
+)
+
+// feeMiner mines valid blocks (real PoW at regtest targets, correct Merkle
+// roots, MTP-respecting timestamps) containing arbitrary transactions — no
+// validation, so fee tests can include alien inputs and fork branches.
+type feeMiner struct {
+	params *btc.Params
+	byHash map[btc.Hash]*feeMinedHeader
+	extra  uint64
+}
+
+type feeMinedHeader struct {
+	height   int64
+	header   btc.BlockHeader
+	tsWindow []uint32
+}
+
+func newFeeMiner(params *btc.Params) *feeMiner {
+	g := params.GenesisHeader
+	m := &feeMiner{params: params, byHash: make(map[btc.Hash]*feeMinedHeader)}
+	m.byHash[g.BlockHash()] = &feeMinedHeader{header: g, tsWindow: []uint32{g.Timestamp}}
+	return m
+}
+
+func (m *feeMiner) mine(t *testing.T, parent btc.Hash, txs ...*btc.Transaction) *btc.Block {
+	t.Helper()
+	p := m.byHash[parent]
+	if p == nil {
+		t.Fatalf("mining on unknown parent %s", parent)
+	}
+	m.extra++
+	height := p.height + 1
+	coinbase := &btc.Transaction{
+		Version: 2,
+		Inputs: []btc.TxIn{{
+			PreviousOutPoint: btc.OutPoint{TxID: btc.ZeroHash, Vout: 0xffffffff},
+			SignatureScript: []byte{
+				byte(height), byte(height >> 8), byte(height >> 16), byte(height >> 24),
+				byte(m.extra), byte(m.extra >> 8), byte(m.extra >> 16), byte(m.extra >> 24),
+			},
+		}},
+		Outputs: []btc.TxOut{{Value: m.params.BlockSubsidy, PkScript: btc.PayToPubKeyHashScript([20]byte{0xFE, 0xE5})}},
+	}
+	block := &btc.Block{
+		Header: btc.BlockHeader{
+			Version:   1,
+			PrevBlock: parent,
+			Timestamp: btc.MedianTimePast(p.tsWindow) + 30,
+			Bits:      p.header.Bits,
+		},
+		Transactions: append([]*btc.Transaction{coinbase}, txs...),
+	}
+	block.Header.MerkleRoot = block.MerkleRoot()
+	for nonce := uint32(0); ; nonce++ {
+		block.Header.Nonce = nonce
+		if btc.HashMeetsTarget(block.BlockHash(), block.Header.Bits) {
+			break
+		}
+		if nonce == 1<<24 {
+			t.Fatal("proof-of-work search exhausted")
+		}
+	}
+	window := append([]uint32(nil), p.tsWindow...)
+	if len(window) >= 11 {
+		window = window[len(window)-10:]
+	}
+	window = append(window, block.Header.Timestamp)
+	m.byHash[block.BlockHash()] = &feeMinedHeader{height: height, header: block.Header, tsWindow: window}
+	return block
+}
+
+// feeRig pairs a canister with the permissive miner.
+type feeRig struct {
+	t     *testing.T
+	miner *feeMiner
+	can   *BitcoinCanister
+	now   time.Time
+	tip   btc.Hash
+}
+
+func newFeeRig(t *testing.T, readPath ReadPath) *feeRig {
+	params := btc.RegtestParams()
+	cfg := DefaultConfig(btc.Regtest)
+	cfg.ReadPath = readPath
+	return &feeRig{
+		t:     t,
+		miner: newFeeMiner(params),
+		can:   New(cfg),
+		now:   time.Unix(int64(params.GenesisHeader.Timestamp), 0).Add(time.Hour),
+		tip:   params.GenesisHeader.BlockHash(),
+	}
+}
+
+func (r *feeRig) ctx(kind ic.CallKind) *ic.CallContext {
+	r.now = r.now.Add(time.Minute)
+	return ic.NewCallContext(kind, r.now)
+}
+
+// extend mines one block of txs on the rig's tip and delivers it.
+func (r *feeRig) extend(txs ...*btc.Transaction) *btc.Block {
+	b := r.miner.mine(r.t, r.tip, txs...)
+	r.tip = b.BlockHash()
+	r.deliver(b)
+	return b
+}
+
+func (r *feeRig) deliver(blocks ...*btc.Block) {
+	resp := adapter.Response{}
+	for _, b := range blocks {
+		resp.Blocks = append(resp.Blocks, adapter.BlockWithHeader{Block: b, Header: b.Header})
+	}
+	if err := r.can.ProcessPayload(r.ctx(ic.KindUpdate), resp); err != nil {
+		r.t.Fatal(err)
+	}
+}
+
+func (r *feeRig) percentiles(kind ic.CallKind) ([]int64, *ic.CallContext) {
+	ctx := r.ctx(kind)
+	p, err := r.can.GetCurrentFeePercentiles(ctx)
+	if err != nil {
+		r.t.Fatal(err)
+	}
+	return p, ctx
+}
+
+// spendOf builds a transaction consuming one output of a previous tx with
+// the given output value; the difference is the fee.
+func spendOf(prev *btc.Transaction, vout uint32, outValue int64) *btc.Transaction {
+	return &btc.Transaction{
+		Version: 2,
+		Inputs:  []btc.TxIn{{PreviousOutPoint: btc.OutPoint{TxID: prev.TxID(), Vout: vout}, Sequence: 0xffffffff}},
+		Outputs: []btc.TxOut{{Value: outValue, PkScript: btc.PayToPubKeyHashScript([20]byte{0x77})}},
+	}
+}
+
+func rateOf(tx *btc.Transaction, fee int64) int64 {
+	return fee * 1000 / int64(tx.SerializedSize())
+}
+
+// TestFeePercentilesKnownRates pins the percentile arithmetic with
+// hand-built fees: one priced transaction yields a flat vector at its rate;
+// a second, cheaper one splits the distribution.
+func TestFeePercentilesKnownRates(t *testing.T) {
+	r := newFeeRig(t, ReadPathOverlay)
+	b1 := r.extend() // coinbase to spend
+	tx1 := spendOf(b1.Transactions[0], 0, r.miner.params.BlockSubsidy-9_000)
+	r.extend(tx1)
+	p, _ := r.percentiles(ic.KindQuery)
+	if len(p) != FeePercentilesCount {
+		t.Fatalf("got %d percentiles, want %d", len(p), FeePercentilesCount)
+	}
+	want1 := rateOf(tx1, 9_000)
+	for i, v := range p {
+		if v != want1 {
+			t.Fatalf("p%d = %d, want flat %d", i, v, want1)
+		}
+	}
+	// A second transaction at a lower rate becomes the low percentiles.
+	tx2 := spendOf(tx1, 0, tx1.Outputs[0].Value-1_000)
+	r.extend(tx2)
+	want2 := rateOf(tx2, 1_000)
+	if want2 >= want1 {
+		t.Fatalf("test fees not ordered: %d >= %d", want2, want1)
+	}
+	p, _ = r.percentiles(ic.KindQuery)
+	if p[0] != want2 || p[100] != want1 {
+		t.Fatalf("p0=%d p100=%d, want %d and %d", p[0], p[100], want2, want1)
+	}
+}
+
+// TestFeePercentilesAlienInputSkipped: a transaction spending an outpoint
+// the canister never tracked cannot be priced and must be skipped, leaving
+// the distribution to the resolvable traffic only.
+func TestFeePercentilesAlienInputSkipped(t *testing.T) {
+	r := newFeeRig(t, ReadPathOverlay)
+	b1 := r.extend()
+	alien := &btc.Transaction{
+		Version: 2,
+		Inputs: []btc.TxIn{{
+			PreviousOutPoint: btc.OutPoint{TxID: btc.DoubleSHA256([]byte("alien")), Vout: 3},
+			Sequence:         0xffffffff,
+		}},
+		Outputs: []btc.TxOut{{Value: 123, PkScript: btc.PayToPubKeyHashScript([20]byte{0x01})}},
+	}
+	// Only alien traffic: every transaction is skipped, percentiles all 0.
+	r.extend(alien)
+	p, _ := r.percentiles(ic.KindQuery)
+	for i, v := range p {
+		if v != 0 {
+			t.Fatalf("p%d = %d with only unpriceable traffic, want 0", i, v)
+		}
+	}
+	// Alien + priceable in one block: only the priceable one counts.
+	tx := spendOf(b1.Transactions[0], 0, r.miner.params.BlockSubsidy-7_000)
+	alien2 := *alien
+	alien2.Outputs = []btc.TxOut{{Value: 321, PkScript: btc.PayToPubKeyHashScript([20]byte{0x02})}}
+	r.extend(tx, &alien2)
+	p, _ = r.percentiles(ic.KindQuery)
+	want := rateOf(tx, 7_000)
+	for i, v := range p {
+		if v != want {
+			t.Fatalf("p%d = %d, want %d (alien tx must not contribute)", i, v, want)
+		}
+	}
+}
+
+// TestFeePercentilesAcrossReorg: after a heavier branch displaces the
+// chain, the distribution must reflect the new current chain's
+// transactions only.
+func TestFeePercentilesAcrossReorg(t *testing.T) {
+	r := newFeeRig(t, ReadPathOverlay)
+	b1 := r.extend()
+	forkPoint := r.tip
+	tx1 := spendOf(b1.Transactions[0], 0, r.miner.params.BlockSubsidy-9_000)
+	r.extend(tx1)
+	p, _ := r.percentiles(ic.KindQuery)
+	if want := rateOf(tx1, 9_000); p[50] != want {
+		t.Fatalf("pre-reorg p50 = %d, want %d", p[50], want)
+	}
+
+	// Heavier branch from the fork point carrying a different fee.
+	tx2 := spendOf(b1.Transactions[0], 0, r.miner.params.BlockSubsidy-2_000)
+	c2 := r.miner.mine(t, forkPoint, tx2)
+	c3 := r.miner.mine(t, c2.BlockHash())
+	r.deliver(c2, c3)
+	if r.can.TipHeight() != 3 {
+		t.Fatalf("tip height %d after reorg, want 3", r.can.TipHeight())
+	}
+	r.tip = c3.BlockHash()
+	p, _ = r.percentiles(ic.KindQuery)
+	want2 := rateOf(tx2, 2_000)
+	for i, v := range p {
+		if v != want2 {
+			t.Fatalf("post-reorg p%d = %d, want %d (losing branch must not contribute)", i, v, want2)
+		}
+	}
+}
+
+// TestFeePercentilesCacheCoherence: the overlay path must serve repeat fee
+// queries from the per-tip cache (cheaper, identical values), recompute
+// after every tree change, and stay equal to the uncached replay oracle
+// throughout. Update executions never touch the cache — replicated
+// execution stays deterministic regardless of query history.
+func TestFeePercentilesCacheCoherence(t *testing.T) {
+	overlay := newFeeRig(t, ReadPathOverlay)
+	replay := newFeeRig(t, ReadPathReplay)
+	// Drive both canisters with the identical chain: mine on the overlay
+	// rig and replicate delivery to the replay rig.
+	mirror := func(blocks ...*btc.Block) {
+		replay.deliver(blocks...)
+	}
+
+	b1 := overlay.extend()
+	mirror(b1)
+	tx := spendOf(b1.Transactions[0], 0, overlay.miner.params.BlockSubsidy-5_000)
+	b2 := overlay.extend(tx)
+	mirror(b2)
+
+	cold, coldCtx := overlay.percentiles(ic.KindQuery)
+	if coldCtx.Meter.Category("fee_cache_hit") != 0 {
+		t.Fatal("first query claimed a cache hit")
+	}
+	warm, warmCtx := overlay.percentiles(ic.KindQuery)
+	if warmCtx.Meter.Category("fee_cache_hit") == 0 {
+		t.Fatal("second query at the same tip missed the cache")
+	}
+	if warmCtx.Meter.Total() >= coldCtx.Meter.Total() {
+		t.Fatalf("cache hit cost %d >= cold cost %d", warmCtx.Meter.Total(), coldCtx.Meter.Total())
+	}
+	oracle, _ := replay.percentiles(ic.KindQuery)
+	for i := range cold {
+		if cold[i] != warm[i] || cold[i] != oracle[i] {
+			t.Fatalf("p%d: cold %d warm %d oracle %d", i, cold[i], warm[i], oracle[i])
+		}
+	}
+	// The cached slice must be insulated from caller mutation.
+	warm[13] = -1
+	again, _ := overlay.percentiles(ic.KindQuery)
+	if again[13] == -1 {
+		t.Fatal("cache returned a caller-mutable shared slice")
+	}
+
+	// A new block moves the tip: the cache must invalidate.
+	b3 := overlay.extend(spendOf(tx, 0, tx.Outputs[0].Value-1_500))
+	mirror(b3)
+	fresh, freshCtx := overlay.percentiles(ic.KindQuery)
+	if freshCtx.Meter.Category("fee_cache_hit") != 0 {
+		t.Fatal("query after a tree change was served from the stale cache")
+	}
+	oracle, _ = replay.percentiles(ic.KindQuery)
+	for i := range fresh {
+		if fresh[i] != oracle[i] {
+			t.Fatalf("post-invalidation p%d: overlay %d oracle %d", i, fresh[i], oracle[i])
+		}
+	}
+	// Update executions bypass the cache entirely.
+	_, updCtx := overlay.percentiles(ic.KindUpdate)
+	if updCtx.Meter.Category("fee_cache_hit") != 0 {
+		t.Fatal("update execution read the query cache")
+	}
+}
+
+// TestGetBlockHeadersRangeValidation covers the endpoint's range handling:
+// rejections for inverted and beyond-tip ranges, clamping, and the
+// stable/unstable join at the anchor boundary.
+func TestGetBlockHeadersRangeValidation(t *testing.T) {
+	r := newFeeRig(t, ReadPathOverlay)
+	headers := []btc.BlockHeader{r.miner.params.GenesisHeader}
+	for i := 0; i < 10; i++ {
+		headers = append(headers, r.extend().Header)
+	}
+	tip := r.can.TipHeight()       // 10
+	anchor := r.can.AnchorHeight() // 4 with δ=6
+	if anchor == 0 || anchor >= tip {
+		t.Fatalf("degenerate topology: anchor %d tip %d", anchor, tip)
+	}
+
+	q := func(start, end int64) (*GetBlockHeadersResult, error) {
+		return r.can.GetBlockHeaders(r.ctx(ic.KindQuery), GetBlockHeadersArgs{StartHeight: start, EndHeight: end})
+	}
+
+	// start beyond the tip (end defaulting to the tip) is rejected.
+	if _, err := q(tip+1, 0); err == nil {
+		t.Fatal("start > tip accepted")
+	}
+	// Inverted range is rejected.
+	if _, err := q(5, 3); err == nil {
+		t.Fatal("inverted range accepted")
+	}
+	// Negative start is rejected.
+	if _, err := q(-1, 3); err == nil {
+		t.Fatal("negative start accepted")
+	}
+	// end beyond the tip clamps to the tip.
+	res, err := q(tip-1, tip+100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Headers) != 2 || res.TipHeight != tip {
+		t.Fatalf("clamped range returned %d headers, tip %d", len(res.Headers), res.TipHeight)
+	}
+
+	// A range spanning the anchor boundary joins the stable history and the
+	// unstable tree seamlessly: heights start..end, no gap, no duplicate.
+	res, err = q(anchor-1, anchor+2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := int(4); len(res.Headers) != want {
+		t.Fatalf("anchor-spanning range returned %d headers, want %d", len(res.Headers), want)
+	}
+	for i, h := range res.Headers {
+		wantHeight := anchor - 1 + int64(i)
+		if h.BlockHash() != headers[wantHeight].BlockHash() {
+			t.Fatalf("header %d of the anchor-spanning range is not the chain header at height %d", i, wantHeight)
+		}
+	}
+
+	// The full range returns every header from genesis to the tip.
+	res, err = q(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Headers) != int(tip)+1 {
+		t.Fatalf("full range returned %d headers, want %d", len(res.Headers), tip+1)
+	}
+	for i, h := range res.Headers {
+		if h.BlockHash() != headers[i].BlockHash() {
+			t.Fatalf("full-range header %d mismatches chain height %d", i, i)
+		}
+	}
+	// Single-height range at the exact anchor.
+	res, err = q(anchor, anchor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Headers) != 1 || res.Headers[0].BlockHash() != headers[anchor].BlockHash() {
+		t.Fatalf("anchor-only range wrong: %d headers", len(res.Headers))
+	}
+}

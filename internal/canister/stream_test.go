@@ -1,0 +1,160 @@
+package canister
+
+import (
+	"bytes"
+	"testing"
+
+	"icbtc/internal/ic"
+)
+
+// collectFrames installs a sink that wire-encodes every frame (asserting
+// codec determinism on the way) and returns the decoded copies a consumer
+// would see.
+func collectFrames(t *testing.T, c *BitcoinCanister) *[]*Frame {
+	t.Helper()
+	frames := &[]*Frame{}
+	seq := uint64(0)
+	c.SetStreamSink(func(f *Frame) {
+		seq++
+		f.Seq = seq
+		raw := EncodeFrame(f)
+		decoded, err := DecodeFrame(raw)
+		if err != nil {
+			t.Fatalf("frame %d: decode: %v", seq, err)
+		}
+		if again := EncodeFrame(decoded); !bytes.Equal(raw, again) {
+			t.Fatalf("frame %d: encode→decode→encode changed %d -> %d bytes", seq, len(raw), len(again))
+		}
+		if decoded.Seq != f.Seq || decoded.TipHeight != f.TipHeight ||
+			decoded.AnchorHeight != f.AnchorHeight || len(decoded.Events) != len(f.Events) {
+			t.Fatalf("frame %d: decoded envelope mismatch: %+v vs %+v", seq, decoded, f)
+		}
+		*frames = append(*frames, decoded)
+	})
+	return frames
+}
+
+// queryProbeDigests summarizes the full read API of a canister for one
+// address as canonical digests, so two canisters can be compared exactly.
+func queryProbeDigests(t *testing.T, c *BitcoinCanister, address string) [][32]byte {
+	t.Helper()
+	ctx := func() *ic.CallContext { return ic.NewCallContext(ic.KindQuery, time0) }
+	var out [][32]byte
+	v, err := c.GetUTXOs(ctx(), GetUTXOsArgs{Address: address})
+	out = append(out, ic.ResponseDigest(v, err))
+	bal, err := c.GetBalance(ctx(), GetBalanceArgs{Address: address})
+	out = append(out, ic.ResponseDigest(bal, err))
+	fees, err := c.GetCurrentFeePercentiles(ctx())
+	out = append(out, ic.ResponseDigest(fees, err))
+	hdrs, err := c.GetBlockHeaders(ctx(), GetBlockHeadersArgs{})
+	out = append(out, ic.ResponseDigest(hdrs, err))
+	return out
+}
+
+// TestStreamReplicaFollowsAuthoritative hydrates a replica from a genesis
+// snapshot and feeds it the authoritative canister's delta frames payload
+// by payload: after every frame the replica must answer the whole read API
+// identically to the authoritative canister, through anchor advances
+// included.
+func TestStreamReplicaFollowsAuthoritative(t *testing.T) {
+	r := newRig(t, 71)
+	frames := collectFrames(t, r.can)
+
+	snap, err := r.can.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	replica, err := RestoreSnapshot(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replica.WarmQueryState()
+
+	addr := r.minerAddr().String()
+	applied := 0
+	// Mine in bursts so individual payloads carry multiple blocks and
+	// anchor advances interleave with block attachment.
+	for _, n := range []int{3, 5, 4, 8} {
+		if _, err := r.miner.MineChain(n, 0); err != nil {
+			t.Fatal(err)
+		}
+		r.feedChain()
+		for ; applied < len(*frames); applied++ {
+			f := (*frames)[applied]
+			if err := replica.ApplyFrame(f); err != nil {
+				t.Fatalf("apply frame %d: %v", f.Seq, err)
+			}
+			if got, want := replica.TipHeight(), r.can.TipHeight(); applied == len(*frames)-1 && got != want {
+				t.Fatalf("frame %d: replica tip %d, authoritative %d", f.Seq, got, want)
+			}
+		}
+		a := queryProbeDigests(t, r.can, addr)
+		b := queryProbeDigests(t, replica, addr)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("after %d blocks: probe %d diverged between authoritative and replica", n, i)
+			}
+		}
+		if replica.AnchorHeight() != r.can.AnchorHeight() {
+			t.Fatalf("anchor: replica %d, authoritative %d", replica.AnchorHeight(), r.can.AnchorHeight())
+		}
+		if replica.StableUTXOCount() != r.can.StableUTXOCount() {
+			t.Fatalf("stable set: replica %d, authoritative %d", replica.StableUTXOCount(), r.can.StableUTXOCount())
+		}
+		if replica.UnstableBlockCount() != r.can.UnstableBlockCount() {
+			t.Fatalf("unstable blocks: replica %d, authoritative %d", replica.UnstableBlockCount(), r.can.UnstableBlockCount())
+		}
+	}
+	if r.can.AnchorHeight() == 0 {
+		t.Fatal("workload never advanced the anchor; test is vacuous")
+	}
+	if applied == 0 {
+		t.Fatal("no frames were published")
+	}
+}
+
+// TestStreamFrameOutOfOrder asserts that a replica rejects a frame whose
+// events do not apply to its current state (a gap in the stream) instead of
+// silently corrupting itself.
+func TestStreamFrameOutOfOrder(t *testing.T) {
+	r := newRig(t, 72)
+	frames := collectFrames(t, r.can)
+	snap, err := r.can.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	replica, err := RestoreSnapshot(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.miner.MineChain(4, 0); err != nil {
+		t.Fatal(err)
+	}
+	r.feedChain()
+	if len(*frames) < 2 {
+		t.Fatalf("want >= 2 frames, got %d", len(*frames))
+	}
+	// Skipping frame 0 leaves frame 1's parent missing.
+	if err := replica.ApplyFrame((*frames)[1]); err == nil {
+		t.Fatal("gap in the stream applied without error")
+	}
+	// The in-order stream still applies.
+	for _, f := range *frames {
+		if err := replica.ApplyFrame(f); err != nil {
+			t.Fatalf("in-order apply of frame %d: %v", f.Seq, err)
+		}
+	}
+}
+
+// TestStreamNoSinkNoOverhead pins that a canister without a sink neither
+// buffers events nor publishes frames.
+func TestStreamNoSinkNoOverhead(t *testing.T) {
+	r := newRig(t, 73)
+	if _, err := r.miner.MineChain(3, 0); err != nil {
+		t.Fatal(err)
+	}
+	r.feedChain()
+	if len(r.can.events) != 0 {
+		t.Fatalf("events buffered without a sink: %d", len(r.can.events))
+	}
+}

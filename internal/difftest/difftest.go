@@ -14,6 +14,17 @@
 // restarted, so the restored canister's answers are checked against a
 // replica that lived through the entire history in process memory — the
 // upgrade and crash-recovery scenarios, differentially verified.
+//
+// With Config.FleetReplicas > 0 the harness also stands up a read-replica
+// query fleet fed by the overlay canister's delta stream, and verifies
+// bounded-staleness serving *exactly*: after every published frame it
+// records the authoritative canister's answers to a fixed probe set, then
+// holds each replica at a random lag (including mid-reorg, when a reorg's
+// blocks arrive as separate frames, and immediately after a snapshot
+// re-hydration) and requires the replica's answers to be byte-identical to
+// the authoritative canister's recorded answers at the replica's frame.
+// Certified responses must verify under the subnet key, and forwarded
+// (too-stale) responses must match the current authoritative state.
 package difftest
 
 import (
@@ -27,6 +38,8 @@ import (
 	"icbtc/internal/btc"
 	"icbtc/internal/canister"
 	"icbtc/internal/ic"
+	"icbtc/internal/queryfleet"
+	"icbtc/internal/simnet"
 )
 
 // Config parameterizes one differential run.
@@ -47,13 +60,29 @@ type Config struct {
 	// cross-checks the restore against a canister that lived through the
 	// whole history in memory.
 	SnapshotEvery int
+	// FleetReplicas, when > 0, runs a read-replica query fleet against the
+	// overlay canister's delta stream and differentially verifies replicas
+	// held at random lags against recorded authoritative responses.
+	FleetReplicas int
+	// FleetMaxLag is the fleet's bounded-staleness limit in blocks.
+	FleetMaxLag int64
+	// HydrateEvery, when > 0, re-hydrates a random fleet replica from a
+	// fresh snapshot with probability 1/HydrateEvery per step (fast-sync
+	// mid-workload).
+	HydrateEvery int
+	// CertifyEvery, when > 0, threshold-signs one routed query every
+	// CertifyEvery steps and verifies it via Subnet.VerifyCertified.
+	CertifyEvery int
 }
 
 // DefaultConfig returns a workload mix that exercises forks, conflicting
-// spends, pagination, confirmation filters, and mid-run snapshot/restores
-// within a small δ.
+// spends, pagination, confirmation filters, mid-run snapshot/restores, and
+// a lag-randomized query fleet within a small δ.
 func DefaultConfig(seed int64) Config {
-	return Config{Seed: seed, Steps: 100, Delta: 6, Addresses: 10, SnapshotEvery: 5}
+	return Config{
+		Seed: seed, Steps: 100, Delta: 6, Addresses: 10, SnapshotEvery: 5,
+		FleetReplicas: 3, FleetMaxLag: 3, HydrateEvery: 9, CertifyEvery: 20,
+	}
 }
 
 // Stats summarizes a completed run.
@@ -61,12 +90,20 @@ type Stats struct {
 	Steps            int
 	BlocksMined      int
 	Reorgs           int
+	SplitReorgs      int
 	Queries          int
 	PagesWalked      int
 	HeaderDelays     int
 	SnapshotRestores int
 	// SnapshotBytes is the size of the last snapshot taken.
 	SnapshotBytes int
+	// Fleet counters (zero when the fleet is disabled).
+	FleetFrames        uint64 // frames published by the overlay canister
+	FleetReplicaChecks int    // lagged-replica probe batches verified
+	FleetLagSum        int64  // total frames of lag across verified checks
+	FleetHydrations    int    // mid-run snapshot re-hydrations
+	FleetForwardChecks int    // too-stale forwards verified against the authority
+	FleetCertified     int    // certified responses verified under the subnet key
 }
 
 // Harness drives the two canisters.
@@ -91,8 +128,26 @@ type Harness struct {
 	// before their blocks are delivered, exercising header-only tree nodes.
 	pending []*btc.Block
 
+	// Query-fleet verification state (nil/empty when disabled).
+	fleet *queryfleet.Fleet
+	// probeHistory records, per stream frame seq, the authoritative
+	// canister's canonical probe digests right after publishing that frame;
+	// a replica whose state sits at frame s must reproduce history[s].
+	probeHistory map[uint64][]probeDigest
+	lastRecorded uint64
+	// subnet supplies the threshold committee certified responses are
+	// signed with and verified against; signer is its SignFunc, installed
+	// on the fleet only for the queries checkCertification exercises (a
+	// threshold signing round costs tens of milliseconds — signing every
+	// probe would dominate the run).
+	subnet *ic.Subnet
+	signer queryfleet.SignFunc
+
 	stats Stats
 }
+
+// probeDigest is one probe's canonical response digest.
+type probeDigest [32]byte
 
 type popAddr struct {
 	address string
@@ -129,8 +184,56 @@ func New(cfg Config) *Harness {
 		a := btc.NewP2PKHAddress(hash, params.Network)
 		h.addrs = append(h.addrs, popAddr{address: a.String(), script: btc.PayToAddrScript(a)})
 	}
+	if cfg.FleetReplicas > 0 {
+		h.setupFleet()
+	}
 	return h
 }
+
+// setupFleet hydrates the read-replica fleet from the (genesis) overlay
+// canister and installs its delta-stream sink. The fleet runs in manual
+// apply mode so the harness controls each replica's lag deterministically.
+func (h *Harness) setupFleet() {
+	fcfg := queryfleet.Config{
+		Replicas:     h.cfg.FleetReplicas,
+		MaxLagBlocks: h.cfg.FleetMaxLag,
+		StalePolicy:  queryfleet.StaleForward,
+	}
+	if h.cfg.CertifyEvery > 0 {
+		// A minimal committee-backed subnet supplies threshold signing and
+		// the client-side VerifyCertified check.
+		scfg := ic.DefaultConfig()
+		scfg.N = 4
+		scfg.Seed = h.cfg.Seed
+		subnet, err := ic.NewSubnet(simnet.NewScheduler(h.cfg.Seed), scfg)
+		if err != nil {
+			panic(fmt.Sprintf("difftest: subnet for certification: %v", err))
+		}
+		h.subnet = subnet
+		h.signer = queryfleet.CommitteeSigner(subnet.Committee())
+	}
+	fleet, err := queryfleet.New(authorityProxy{h}, fcfg)
+	if err != nil {
+		panic(fmt.Sprintf("difftest: fleet: %v", err))
+	}
+	h.fleet = fleet
+	h.probeHistory = make(map[uint64][]probeDigest)
+	h.overlay.SetStreamSink(fleet.Feed)
+	// Seed the history for the hydration state (frame 0 = genesis).
+	h.probeHistory[0] = h.probeDigests(h.overlay)
+}
+
+// authorityProxy routes the fleet's authority access through the harness,
+// so snapshot restarts that swap the overlay canister instance mid-run are
+// transparent to the fleet.
+type authorityProxy struct{ h *Harness }
+
+func (a authorityProxy) Snapshot() ([]byte, error) { return a.h.overlay.Snapshot() }
+func (a authorityProxy) Query(ctx *ic.CallContext, method string, arg any) (any, error) {
+	return a.h.overlay.Query(ctx, method, arg)
+}
+func (a authorityProxy) TipHeight() int64    { return a.h.overlay.TipHeight() }
+func (a authorityProxy) AnchorHeight() int64 { return a.h.overlay.AnchorHeight() }
 
 // Stats returns the run counters so far.
 func (h *Harness) Stats() Stats { return h.stats }
@@ -190,7 +293,13 @@ func (h *Harness) Step() error {
 	if err := h.checkStateAgreement(); err != nil {
 		return err
 	}
-	return h.checkQueries()
+	if err := h.checkQueries(); err != nil {
+		return err
+	}
+	if h.fleet != nil {
+		return h.fleetStep()
+	}
+	return nil
 }
 
 // snapshotRestart replaces the overlay canister with one restored from its
@@ -214,6 +323,12 @@ func (h *Harness) snapshotRestart() error {
 			len(snap), len(again))
 	}
 	h.overlay = restored
+	if h.fleet != nil {
+		// The restored instance must keep publishing the delta stream; its
+		// state is byte-identical, so replicas hydrated or fed from the old
+		// instance continue seamlessly.
+		h.overlay.SetStreamSink(h.fleet.Feed)
+	}
 	h.stats.SnapshotRestores++
 	h.stats.SnapshotBytes = len(snap)
 	return nil
@@ -262,6 +377,20 @@ func (h *Harness) reorg() error {
 		h.now = h.now.Add(time.Minute)
 	}
 	h.stats.BlocksMined += len(blocks)
+	// With a fleet attached, half the reorgs arrive one block per payload:
+	// each delivery publishes its own frame, so replicas can be held
+	// mid-reorg — on a state where the heavier branch is only partially
+	// known — and must still answer exactly as the authoritative canister
+	// did at that frame.
+	if h.fleet != nil && h.rng.Intn(2) == 0 {
+		h.stats.SplitReorgs++
+		for _, b := range blocks {
+			if err := h.deliverBlocks(b); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
 	return h.deliverBlocks(blocks...)
 }
 
@@ -363,13 +492,21 @@ func (h *Harness) deliverBlocks(blocks ...*btc.Block) error {
 	return h.deliver(resp)
 }
 
-// deliver processes one payload on both canisters with identical contexts.
+// deliver processes one payload on both canisters with identical contexts,
+// then records the authoritative probe answers for any frame the payload
+// published — the per-frame history lagged replicas are verified against.
 func (h *Harness) deliver(resp adapter.Response) error {
 	if err := h.overlay.ProcessPayload(h.ctx(ic.KindUpdate), resp); err != nil {
 		return fmt.Errorf("overlay payload: %w", err)
 	}
 	if err := h.replay.ProcessPayload(h.ctx(ic.KindUpdate), resp); err != nil {
 		return fmt.Errorf("replay payload: %w", err)
+	}
+	if h.fleet != nil {
+		if seq := h.fleet.LastSeq(); seq > h.lastRecorded {
+			h.probeHistory[seq] = h.probeDigests(h.overlay)
+			h.lastRecorded = seq
+		}
 	}
 	return nil
 }
@@ -413,6 +550,59 @@ func (h *Harness) checkQueries() error {
 		}
 		if err := h.compareUTXOPages(addr, minConf, 1+h.rng.Intn(7)); err != nil {
 			return err
+		}
+	}
+	if err := h.compareFeePercentiles(); err != nil {
+		return err
+	}
+	return h.compareHeaders()
+}
+
+// compareFeePercentiles cross-checks get_current_fee_percentiles: the
+// overlay's per-tip cached path against the replay oracle that rescans
+// every unstable block on every call — twice, so the second overlay answer
+// comes from the cache.
+func (h *Harness) compareFeePercentiles() error {
+	for round := 0; round < 2; round++ {
+		h.stats.Queries++
+		a, errA := h.overlay.GetCurrentFeePercentiles(h.ctx(ic.KindQuery))
+		b, errB := h.replay.GetCurrentFeePercentiles(h.ctx(ic.KindQuery))
+		if err := sameError(errA, errB); err != nil {
+			return fmt.Errorf("get_current_fee_percentiles round %d: %w", round, err)
+		}
+		if errA != nil {
+			return nil
+		}
+		if ic.ResponseDigest(a, nil) != ic.ResponseDigest(b, nil) {
+			return fmt.Errorf("get_current_fee_percentiles round %d: overlay %v != replay %v", round, a, b)
+		}
+	}
+	return nil
+}
+
+// compareHeaders cross-checks get_block_headers over the full range and a
+// random sub-range spanning the anchor boundary.
+func (h *Harness) compareHeaders() error {
+	ranges := []canister.GetBlockHeadersArgs{{}}
+	if tip := h.overlay.TipHeight(); tip > 1 {
+		start := h.rng.Int63n(tip)
+		ranges = append(ranges, canister.GetBlockHeadersArgs{
+			StartHeight: start,
+			EndHeight:   start + h.rng.Int63n(tip-start+1),
+		})
+	}
+	for _, args := range ranges {
+		h.stats.Queries++
+		a, errA := h.overlay.GetBlockHeaders(h.ctx(ic.KindQuery), args)
+		b, errB := h.replay.GetBlockHeaders(h.ctx(ic.KindQuery), args)
+		if err := sameError(errA, errB); err != nil {
+			return fmt.Errorf("get_block_headers(%+v): %w", args, err)
+		}
+		if errA != nil {
+			continue
+		}
+		if ic.ResponseDigest(a, nil) != ic.ResponseDigest(b, nil) {
+			return fmt.Errorf("get_block_headers(%+v): overlay and replay diverged", args)
 		}
 	}
 	return nil
@@ -477,6 +667,173 @@ func sameError(a, b error) error {
 	case a.Error() != b.Error():
 		return fmt.Errorf("error divergence: overlay=%q replay=%q", a, b)
 	}
+	return nil
+}
+
+// probeDigests answers the fixed probe set on one canister and returns the
+// canonical digest of every response (value and error alike). The set
+// covers every read endpoint: balances (filtered and unfiltered, known and
+// unknown addresses), a paginated UTXO page, the fee percentiles, and the
+// full header range.
+func (h *Harness) probeDigests(c *canister.BitcoinCanister) []probeDigest {
+	qctx := func() *ic.CallContext { return ic.NewCallContext(ic.KindQuery, h.now) }
+	out := make([]probeDigest, 0, 8)
+	record := func(v any, err error) {
+		out = append(out, probeDigest(ic.ResponseDigest(v, err)))
+	}
+	for _, addr := range []string{h.addrs[0].address, h.addrs[1%len(h.addrs)].address, "unknown-address"} {
+		v, err := c.GetBalance(qctx(), canister.GetBalanceArgs{Address: addr})
+		record(v, err)
+	}
+	v, err := c.GetBalance(qctx(), canister.GetBalanceArgs{Address: h.addrs[0].address, MinConfirmations: h.cfg.Delta})
+	record(v, err)
+	for _, addr := range []string{h.addrs[0].address, h.addrs[1%len(h.addrs)].address} {
+		u, err := c.GetUTXOs(qctx(), canister.GetUTXOsArgs{Address: addr, Limit: 5})
+		record(u, err)
+	}
+	fees, err := c.GetCurrentFeePercentiles(qctx())
+	record(fees, err)
+	hdrs, err := c.GetBlockHeaders(qctx(), canister.GetBlockHeadersArgs{})
+	record(hdrs, err)
+	return out
+}
+
+// fleetStep advances each replica by a random number of frames (sometimes
+// none, sometimes a snapshot re-hydration) and verifies its answers against
+// the recorded authoritative history at its exact frame; then spot-checks
+// the routing policies (forwarding beyond the staleness bound, response
+// certification).
+func (h *Harness) fleetStep() error {
+	// Frames a replica may fall behind before the harness force-applies;
+	// bounds the probe history the run retains.
+	const maxPendingFrames = 10
+	for i := 0; i < h.fleet.Replicas(); i++ {
+		r := h.fleet.Replica(i)
+		if h.cfg.HydrateEvery > 0 && h.rng.Intn(h.cfg.HydrateEvery) == 0 {
+			// Fast-sync mid-workload: the replica jumps to the newest state
+			// without replaying its queued frames.
+			if err := h.fleet.HydrateReplica(i); err != nil {
+				return err
+			}
+			h.stats.FleetHydrations++
+		} else {
+			pending := r.Pending()
+			apply := h.rng.Intn(pending + 1)
+			if keep := pending - apply; keep > maxPendingFrames {
+				apply = pending - maxPendingFrames
+			}
+			if _, err := r.ApplyPending(apply); err != nil {
+				return err
+			}
+		}
+		if err := h.checkReplicaAgainstHistory(i, r); err != nil {
+			return err
+		}
+	}
+	h.pruneHistory()
+	if err := h.checkStaleForwarding(); err != nil {
+		return err
+	}
+	if h.cfg.CertifyEvery > 0 && h.stats.Steps%h.cfg.CertifyEvery == 0 {
+		if err := h.checkCertification(); err != nil {
+			return err
+		}
+	}
+	h.stats.FleetFrames = h.fleet.Stats().Frames
+	return nil
+}
+
+// checkReplicaAgainstHistory requires the replica's probe answers to be
+// byte-identical to what the authoritative canister answered at the
+// replica's exact frame — whatever its lag, including mid-reorg states and
+// states reached by snapshot hydration.
+func (h *Harness) checkReplicaAgainstHistory(i int, r *queryfleet.Replica) error {
+	seq := r.Seq()
+	want, ok := h.probeHistory[seq]
+	if !ok {
+		return fmt.Errorf("fleet replica %d sits at frame %d with no recorded history", i, seq)
+	}
+	got := h.probeDigests(r.Canister())
+	if len(got) != len(want) {
+		return fmt.Errorf("fleet replica %d: %d probes, history has %d", i, len(got), len(want))
+	}
+	for p := range got {
+		if got[p] != want[p] {
+			return fmt.Errorf("fleet replica %d at frame %d (lag %d): probe %d diverged from the authoritative response",
+				i, seq, h.lastRecorded-seq, p)
+		}
+	}
+	h.stats.FleetReplicaChecks++
+	h.stats.FleetLagSum += int64(h.lastRecorded - seq)
+	return nil
+}
+
+// pruneHistory drops probe records no replica can reach anymore.
+func (h *Harness) pruneHistory() {
+	min := h.lastRecorded
+	for i := 0; i < h.fleet.Replicas(); i++ {
+		if s := h.fleet.Replica(i).Seq(); s < min {
+			min = s
+		}
+	}
+	for seq := range h.probeHistory {
+		if seq < min {
+			delete(h.probeHistory, seq)
+		}
+	}
+}
+
+// checkStaleForwarding routes one query through the fleet's policy layer:
+// when the round-robin replica exceeds the staleness bound the query must
+// come back marked Forwarded and carry the *current* authoritative answer.
+func (h *Harness) checkStaleForwarding() error {
+	addr := h.addrs[h.rng.Intn(len(h.addrs))].address
+	args := canister.GetBalanceArgs{Address: addr}
+	rq := h.fleet.RouteQuery("get_balance", args, "difftest", h.now)
+	if !rq.Forwarded {
+		return nil // served by a within-bound replica; covered by history checks
+	}
+	auth, err := h.overlay.GetBalance(h.ctx(ic.KindQuery), args)
+	if serr := sameError(rq.Err, err); serr != nil {
+		return fmt.Errorf("forwarded get_balance(%s): %w", addr, serr)
+	}
+	if rq.Err == nil && rq.Value.(int64) != auth {
+		return fmt.Errorf("forwarded get_balance(%s) = %d, authoritative %d", addr, rq.Value, auth)
+	}
+	if rq.TipHeight != h.overlay.TipHeight() {
+		return fmt.Errorf("forwarded response bound to tip %d, authoritative at %d", rq.TipHeight, h.overlay.TipHeight())
+	}
+	h.stats.FleetForwardChecks++
+	return nil
+}
+
+// checkCertification verifies one routed response's threshold signature the
+// way a client would — via Subnet.VerifyCertified over the rebuilt
+// CertifiedQuery envelope — and that tampering breaks it.
+func (h *Harness) checkCertification() error {
+	addr := h.addrs[h.rng.Intn(len(h.addrs))].address
+	args := canister.GetUTXOsArgs{Address: addr, Limit: 3}
+	h.fleet.SetSigner(h.signer)
+	rq := h.fleet.RouteQuery("get_utxos", args, "difftest", h.now)
+	h.fleet.SetSigner(nil)
+	if rq.Signature == nil {
+		return fmt.Errorf("fleet returned an uncertified response with signing enabled")
+	}
+	env := ic.CertifiedQuery{
+		Method:       "get_utxos",
+		Value:        rq.Value,
+		ErrText:      ic.ErrText(rq.Err),
+		AnchorHeight: rq.AnchorHeight,
+		TipHeight:    rq.TipHeight,
+	}
+	if !h.subnet.VerifyCertified(env, nil, rq.Signature) {
+		return fmt.Errorf("certified get_utxos(%s) did not verify under the subnet key", addr)
+	}
+	env.TipHeight++
+	if h.subnet.VerifyCertified(env, nil, rq.Signature) {
+		return fmt.Errorf("certification verified after tampering with the bound tip height")
+	}
+	h.stats.FleetCertified++
 	return nil
 }
 

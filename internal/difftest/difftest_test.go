@@ -11,7 +11,7 @@ import (
 // torn down to a snapshot and restored at random points along the way.
 func TestDifferentialOverlayVsReplay(t *testing.T) {
 	seeds := []int64{1, 2, 3, 5, 8, 13, 21, 34, 55, 89, 144, 233}
-	totalSteps, totalRestores := 0, 0
+	var agg Stats
 	for _, seed := range seeds {
 		cfg := DefaultConfig(seed)
 		h := New(cfg)
@@ -19,20 +19,48 @@ func TestDifferentialOverlayVsReplay(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		totalSteps += stats.Steps
-		totalRestores += stats.SnapshotRestores
+		agg.Steps += stats.Steps
+		agg.SnapshotRestores += stats.SnapshotRestores
+		agg.SplitReorgs += stats.SplitReorgs
+		agg.FleetReplicaChecks += stats.FleetReplicaChecks
+		agg.FleetLagSum += stats.FleetLagSum
+		agg.FleetHydrations += stats.FleetHydrations
+		agg.FleetForwardChecks += stats.FleetForwardChecks
+		agg.FleetCertified += stats.FleetCertified
 		if stats.Reorgs == 0 {
 			t.Errorf("seed %d: workload produced no reorgs", seed)
 		}
 		if stats.Queries == 0 || stats.BlocksMined == 0 {
 			t.Errorf("seed %d: degenerate workload: %+v", seed, stats)
 		}
+		if stats.FleetFrames == 0 || stats.FleetReplicaChecks == 0 {
+			t.Errorf("seed %d: fleet never exercised: %+v", seed, stats)
+		}
 	}
-	if totalSteps < 1000 {
-		t.Fatalf("only %d workload iterations, want >= 1000", totalSteps)
+	if agg.Steps < 1000 {
+		t.Fatalf("only %d workload iterations, want >= 1000", agg.Steps)
 	}
-	if totalRestores < 100 {
-		t.Fatalf("only %d snapshot/restores across the battery, want >= 100", totalRestores)
+	if agg.SnapshotRestores < 100 {
+		t.Fatalf("only %d snapshot/restores across the battery, want >= 100", agg.SnapshotRestores)
+	}
+	// The fleet dimension must have real coverage: replicas verified at
+	// nonzero lags (mid-reorg states included via split reorgs), snapshot
+	// re-hydrations mid-workload, stale queries forwarded, and certified
+	// responses verified under the subnet key.
+	if agg.FleetLagSum == 0 {
+		t.Fatal("every fleet replica check ran at zero lag; staleness never exercised")
+	}
+	if agg.SplitReorgs == 0 {
+		t.Fatal("no reorg was delivered frame by frame; mid-reorg replica states never exercised")
+	}
+	if agg.FleetHydrations < 10 {
+		t.Fatalf("only %d mid-run replica re-hydrations, want >= 10", agg.FleetHydrations)
+	}
+	if agg.FleetForwardChecks == 0 {
+		t.Fatal("no too-stale query was forwarded to the authoritative canister")
+	}
+	if agg.FleetCertified < 10 {
+		t.Fatalf("only %d certified responses verified, want >= 10", agg.FleetCertified)
 	}
 }
 

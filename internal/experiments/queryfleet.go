@@ -1,0 +1,252 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"icbtc/internal/btc"
+	"icbtc/internal/canister"
+	"icbtc/internal/queryfleet"
+)
+
+// Query-fleet throughput: the paper serves queries on "a single randomly
+// chosen replica" (§IV-B); the queryfleet subsystem horizontally scales
+// that read path with snapshot-hydrated, delta-fed replicas. This
+// experiment measures aggregate QPS and latency percentiles as the fleet
+// grows from 1 to N replicas under a fixed offered load with a mixed
+// hot/cold address workload.
+//
+// Replica execution is modeled, not host-parallel: each replica executes
+// queries sequentially (as IC canister execution does) and holds its
+// execution slot for the query's metered instruction count divided by
+// Config.ExecRate — so the measured scaling reflects fleet capacity, not
+// the benchmark machine's core count.
+
+// QueryFleetConfig parameterizes the sweep.
+type QueryFleetConfig struct {
+	Seed int64
+	// ReplicaCounts is the sweep of fleet sizes.
+	ReplicaCounts []int
+	// Clients is the fixed number of concurrent query clients (offered
+	// load), identical across fleet sizes.
+	Clients int
+	// Window is the measurement window per fleet size.
+	Window time.Duration
+	// HotAddresses hold deep UTXO buckets and draw 80% of the traffic;
+	// ColdAddresses hold a few UTXOs each and draw the rest.
+	HotAddresses, ColdAddresses int
+	// Blocks is the synthetic chain length the canister ingests.
+	Blocks int
+	// ExecRate is the modeled replica execution speed (instructions/s).
+	ExecRate float64
+	// PageLimit caps get_utxos pages in the workload.
+	PageLimit int
+}
+
+// DefaultQueryFleetConfig returns the reference sweep: 1→8 replicas, 16
+// clients, IC-flavored execution rate.
+func DefaultQueryFleetConfig() QueryFleetConfig {
+	return QueryFleetConfig{
+		Seed:          7,
+		ReplicaCounts: []int{1, 2, 4, 8},
+		Clients:       16,
+		Window:        1500 * time.Millisecond,
+		HotAddresses:  16,
+		ColdAddresses: 400,
+		Blocks:        40,
+		ExecRate:      2e9,
+		PageLimit:     25,
+	}
+}
+
+// QueryFleetRow is one fleet size's measurement.
+type QueryFleetRow struct {
+	Replicas int
+	Queries  int
+	QPS      float64
+	Speedup  float64 // QPS vs the 1-replica row
+	P50, P99 time.Duration
+}
+
+// QueryFleetResult is the completed sweep.
+type QueryFleetResult struct {
+	Rows          []QueryFleetRow
+	Clients       int
+	Window        time.Duration
+	SnapshotBytes int
+	// HydrateTime is the mean per-replica snapshot fast-sync time observed
+	// while building the largest fleet.
+	HydrateTime time.Duration
+	StableUTXOs int
+	TipHeight   int64
+}
+
+// RunQueryFleet builds a canister with a hot/cold address population and
+// sweeps fleet sizes under constant offered load.
+func RunQueryFleet(cfg QueryFleetConfig) (*QueryFleetResult, error) {
+	feeder := NewFeeder(btc.Regtest, 6, cfg.Seed)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	hot := make([]string, cfg.HotAddresses)
+	hotScripts := make([][]byte, cfg.HotAddresses)
+	for i := range hot {
+		var h [20]byte
+		rng.Read(h[:])
+		a := btc.NewP2PKHAddress(h, btc.Regtest)
+		hot[i], hotScripts[i] = a.String(), btc.PayToAddrScript(a)
+	}
+	cold := make([]string, cfg.ColdAddresses)
+	coldScripts := make([][]byte, cfg.ColdAddresses)
+	for i := range cold {
+		var h [20]byte
+		rng.Read(h[:])
+		a := btc.NewP2PKHAddress(h, btc.Regtest)
+		cold[i], coldScripts[i] = a.String(), btc.PayToAddrScript(a)
+	}
+
+	// Every block pays every hot address (deep buckets) and a rotating
+	// slice of cold addresses (shallow buckets), plus some spends so the
+	// unstable suffix carries nontrivial deltas.
+	coldAt := 0
+	for b := 0; b < cfg.Blocks; b++ {
+		var specs []TxSpec
+		for i := range hot {
+			specs = append(specs, TxSpec{Inputs: 0, Outputs: PayN(hotScripts[i], 8, 600+int64(rng.Intn(4000)))})
+		}
+		for k := 0; k < 10 && cfg.ColdAddresses > 0; k++ {
+			i := coldAt % cfg.ColdAddresses
+			coldAt++
+			specs = append(specs, TxSpec{Inputs: 0, Outputs: PayN(coldScripts[i], 1+rng.Intn(2), 500+int64(rng.Intn(2000)))})
+		}
+		specs = append(specs, TxSpec{Inputs: 2, Outputs: PayN(hotScripts[rng.Intn(len(hot))], 2, 550)})
+		if _, err := feeder.FeedBlock(specs); err != nil {
+			return nil, err
+		}
+	}
+	auth := feeder.Canister
+	snap, err := auth.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+
+	res := &QueryFleetResult{
+		Clients:       cfg.Clients,
+		Window:        cfg.Window,
+		SnapshotBytes: len(snap),
+		StableUTXOs:   auth.StableUTXOCount(),
+		TipHeight:     auth.TipHeight(),
+	}
+
+	for _, n := range cfg.ReplicaCounts {
+		hydrateStart := time.Now()
+		fleet, err := queryfleet.New(auth, queryfleet.Config{
+			Replicas:         n,
+			MaxLagBlocks:     -1, // static state during measurement
+			QueryConcurrency: 1,  // IC canisters execute queries sequentially
+			ExecRate:         cfg.ExecRate,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if n == cfg.ReplicaCounts[len(cfg.ReplicaCounts)-1] {
+			res.HydrateTime = time.Since(hydrateStart) / time.Duration(n)
+		}
+
+		row, err := measureFleet(fleet, cfg, hot, cold)
+		fleet.Close()
+		if err != nil {
+			return nil, err
+		}
+		row.Replicas = n
+		res.Rows = append(res.Rows, row)
+	}
+	for i := range res.Rows {
+		res.Rows[i].Speedup = res.Rows[i].QPS / res.Rows[0].QPS
+	}
+	return res, nil
+}
+
+// measureFleet drives cfg.Clients concurrent clients against the fleet for
+// the window and aggregates throughput and latency.
+func measureFleet(fleet *queryfleet.Fleet, cfg QueryFleetConfig, hot, cold []string) (QueryFleetRow, error) {
+	type clientResult struct {
+		lat []time.Duration
+		err error
+	}
+	results := make([]clientResult, cfg.Clients)
+	start := time.Now()
+	deadline := start.Add(cfg.Window)
+	now := time.Unix(1_700_100_000, 0).UTC()
+
+	var wg sync.WaitGroup
+	for c := 0; c < cfg.Clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed*1000 + int64(c)))
+			cr := &results[c]
+			for time.Now().Before(deadline) {
+				var addr string
+				if rng.Intn(10) < 8 || len(cold) == 0 {
+					addr = hot[rng.Intn(len(hot))]
+				} else {
+					addr = cold[rng.Intn(len(cold))]
+				}
+				var method string
+				var arg any
+				switch r := rng.Intn(20); {
+				case r < 13:
+					method, arg = "get_utxos", canister.GetUTXOsArgs{Address: addr, Limit: cfg.PageLimit}
+				case r < 19:
+					method, arg = "get_balance", canister.GetBalanceArgs{Address: addr}
+				default:
+					method, arg = "get_current_fee_percentiles", nil
+				}
+				t0 := time.Now()
+				rq := fleet.RouteQuery(method, arg, "bench", now)
+				if rq.Err != nil {
+					cr.err = rq.Err
+					return
+				}
+				cr.lat = append(cr.lat, time.Since(t0))
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var all []time.Duration
+	for c := range results {
+		if results[c].err != nil {
+			return QueryFleetRow{}, results[c].err
+		}
+		all = append(all, results[c].lat...)
+	}
+	if len(all) == 0 {
+		return QueryFleetRow{}, fmt.Errorf("experiments: queryfleet window completed zero queries")
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	return QueryFleetRow{
+		Queries: len(all),
+		QPS:     float64(len(all)) / elapsed.Seconds(),
+		P50:     all[len(all)/2],
+		P99:     all[len(all)*99/100],
+	}, nil
+}
+
+// Print renders the sweep.
+func (r *QueryFleetResult) Print(w io.Writer) {
+	fmt.Fprintf(w, "Query fleet: %d clients over %v against snapshot-hydrated read replicas\n", r.Clients, r.Window)
+	fmt.Fprintf(w, "state: %d stable UTXOs, tip height %d, snapshot %d KiB, fast-sync %v/replica\n",
+		r.StableUTXOs, r.TipHeight, r.SnapshotBytes/1024, r.HydrateTime.Round(10*time.Microsecond))
+	fmt.Fprintf(w, "%-9s %9s %10s %9s %12s %12s\n", "replicas", "queries", "QPS", "speedup", "p50", "p99")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-9d %9d %10.0f %8.2fx %12v %12v\n",
+			row.Replicas, row.Queries, row.QPS, row.Speedup,
+			row.P50.Round(10*time.Microsecond), row.P99.Round(10*time.Microsecond))
+	}
+}

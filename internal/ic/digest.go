@@ -1,0 +1,206 @@
+package ic
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"io"
+	"math"
+	"reflect"
+	"sort"
+)
+
+// Canonical response digests. Certified responses are hashed before the
+// subnet threshold-signs them, so the digest must be a pure function of the
+// response *value*: two replicas (or two runs) holding equal state must
+// produce the identical digest. The previous implementation hashed
+// fmt.Fprintf("%#v") output, which walks Go maps in randomized iteration
+// order — any map-valued result certified to a different digest per run,
+// breaking verification across processes. The encoder below walks values
+// with reflection and serializes every container canonically: struct fields
+// in declaration order, slices in element order, and map entries sorted by
+// their encoded key bytes.
+
+// responseDigestDomain separates response digests from any other use of
+// SHA-256 in the system (and versions the canonical encoding itself).
+const responseDigestDomain = "icbtc/response-digest/v1\n"
+
+// ResponseDigest computes the canonical digest of a canister response: the
+// returned value and the error (by message). Equal values — including
+// map-valued results regardless of insertion order — always produce equal
+// digests.
+func ResponseDigest(value any, err error) [32]byte {
+	h := sha256.New()
+	io.WriteString(h, responseDigestDomain)
+	writeCanonical(h, reflect.ValueOf(value))
+	if err != nil {
+		writeTag(h, 'E')
+		writeString(h, err.Error())
+	} else {
+		writeTag(h, '0')
+	}
+	var out [32]byte
+	h.Sum(out[:0])
+	return out
+}
+
+// CertifiedQuery is the envelope a read replica certifies: the response of
+// one query method bound to the chain position it was served at. The fleet
+// signs ResponseDigest(CertifiedQuery{...}, nil); any holder of the subnet
+// public key rebuilds the envelope from the response and verifies it with
+// Subnet.VerifyCertified — the certification the paper notes plain queries
+// lack ("cannot be fully trusted", §IV-B).
+type CertifiedQuery struct {
+	// Method is the query method name, so a valid signature over one
+	// endpoint's response cannot be replayed as another's.
+	Method string
+	// Value is the response value; ErrText the error message ("" if none).
+	Value   any
+	ErrText string
+	// AnchorHeight/TipHeight bind the response to the serving replica's
+	// chain position (its anchor β* and considered-chain tip).
+	AnchorHeight int64
+	TipHeight    int64
+}
+
+// ErrText renders an error for a CertifiedQuery envelope.
+func ErrText(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
+}
+
+func writeTag(w io.Writer, tag byte) { w.Write([]byte{tag}) }
+
+func writeU64(w io.Writer, v uint64) {
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], v)
+	w.Write(buf[:])
+}
+
+func writeString(w io.Writer, s string) {
+	writeU64(w, uint64(len(s)))
+	io.WriteString(w, s)
+}
+
+// writeCanonical serializes v into w deterministically. Every value is
+// prefixed with a one-byte kind tag (and structs with their type name) so
+// distinct shapes cannot collide by concatenation.
+func writeCanonical(w io.Writer, v reflect.Value) {
+	if !v.IsValid() {
+		writeTag(w, 'z') // nil interface
+		return
+	}
+	switch v.Kind() {
+	case reflect.Bool:
+		writeTag(w, 'b')
+		if v.Bool() {
+			writeTag(w, 1)
+		} else {
+			writeTag(w, 0)
+		}
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		writeTag(w, 'i')
+		writeU64(w, uint64(v.Int()))
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64, reflect.Uintptr:
+		writeTag(w, 'u')
+		writeU64(w, v.Uint())
+	case reflect.Float32, reflect.Float64:
+		writeTag(w, 'f')
+		writeU64(w, math.Float64bits(v.Float()))
+	case reflect.String:
+		writeTag(w, 's')
+		writeString(w, v.String())
+	case reflect.Slice:
+		if v.IsNil() {
+			writeTag(w, 'z')
+			return
+		}
+		writeSequence(w, v)
+	case reflect.Array:
+		writeSequence(w, v)
+	case reflect.Map:
+		if v.IsNil() {
+			writeTag(w, 'z')
+			return
+		}
+		writeCanonicalMap(w, v)
+	case reflect.Struct:
+		writeTag(w, 't')
+		writeString(w, v.Type().String())
+		n := v.NumField()
+		writeU64(w, uint64(n))
+		for i := 0; i < n; i++ {
+			writeString(w, v.Type().Field(i).Name)
+			writeCanonical(w, v.Field(i))
+		}
+	case reflect.Ptr, reflect.Interface:
+		if v.IsNil() {
+			writeTag(w, 'z')
+			return
+		}
+		writeTag(w, 'p')
+		writeCanonical(w, v.Elem())
+	default:
+		// Channels, funcs, unsafe pointers: identity is not value-like;
+		// hash the type name only so the digest stays total (a canister
+		// returning one of these is a bug the tests catch, not a panic).
+		writeTag(w, '?')
+		writeString(w, v.Type().String())
+	}
+}
+
+// writeSequence serializes a slice or array element by element, with a fast
+// path for byte slices/arrays.
+func writeSequence(w io.Writer, v reflect.Value) {
+	if v.Type().Elem().Kind() == reflect.Uint8 {
+		writeTag(w, 'y')
+		writeU64(w, uint64(v.Len()))
+		if v.Kind() == reflect.Slice {
+			w.Write(v.Bytes())
+			return
+		}
+		for i := 0; i < v.Len(); i++ {
+			writeTag(w, byte(v.Index(i).Uint()))
+		}
+		return
+	}
+	writeTag(w, 'l')
+	writeU64(w, uint64(v.Len()))
+	for i := 0; i < v.Len(); i++ {
+		writeCanonical(w, v.Index(i))
+	}
+}
+
+// writeCanonicalMap serializes map entries sorted by their encoded key
+// bytes — the step that makes map-valued results certify identically no
+// matter the iteration order of the underlying table.
+func writeCanonicalMap(w io.Writer, v reflect.Value) {
+	type entry struct{ key, val []byte }
+	entries := make([]entry, 0, v.Len())
+	it := v.MapRange()
+	for it.Next() {
+		var kb, vb digestBuf
+		writeCanonical(&kb, it.Key())
+		writeCanonical(&vb, it.Value())
+		entries = append(entries, entry{key: kb.b, val: vb.b})
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		return string(entries[i].key) < string(entries[j].key)
+	})
+	writeTag(w, 'm')
+	writeU64(w, uint64(len(entries)))
+	for _, e := range entries {
+		w.Write(e.key)
+		w.Write(e.val)
+	}
+}
+
+// digestBuf is a minimal io.Writer over a byte slice (bytes.Buffer without
+// the unused machinery).
+type digestBuf struct{ b []byte }
+
+func (d *digestBuf) Write(p []byte) (int, error) {
+	d.b = append(d.b, p...)
+	return len(p), nil
+}

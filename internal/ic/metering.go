@@ -71,6 +71,9 @@ const (
 	// CostBalanceCacheHit prices serving get_balance from the per-address
 	// balance cache the overlay keeps coherent.
 	CostBalanceCacheHit = 40_000
+	// CostFeeCacheHit prices serving get_current_fee_percentiles from the
+	// per-tip cache instead of rescanning every unstable block.
+	CostFeeCacheHit = 60_000
 	// CostThresholdSignature prices one threshold signing round.
 	CostThresholdSignature = 26_000_000_000 / 1000 // per-canister share
 	// CostInterCanisterCall prices call setup/teardown.

@@ -98,11 +98,44 @@ type Result struct {
 	// Latency is the end-to-end virtual time from submission to response.
 	Latency time.Duration
 	// Certified indicates the response carries a subnet threshold signature
-	// (replicated calls only).
+	// (replicated calls, and queries served by a certified read-replica
+	// fleet).
 	Certified bool
 	// Signature is the subnet's Schnorr certification over the response
 	// hash, when Certified.
 	Signature []byte
+	// CertAnchorHeight/CertTipHeight are the chain position a certified
+	// query response is bound to (see CertifiedQuery); zero for replicated
+	// calls, whose digest covers the value and error alone.
+	CertAnchorHeight, CertTipHeight int64
+	// Forwarded marks a query that exceeded the fleet's staleness bound and
+	// was served by the authoritative canister instead of a read replica.
+	Forwarded bool
+}
+
+// RoutedQuery is the outcome a QueryRouter returns for one query: the
+// response, the instructions the serving replica charged, and — when the
+// router certifies responses — the signature over the CertifiedQuery
+// envelope together with the chain position it binds.
+type RoutedQuery struct {
+	Value        any
+	Err          error
+	Instructions uint64
+	// Signature, when non-nil, certifies CertifiedQuery{Method, Value,
+	// ErrText, AnchorHeight, TipHeight} under the subnet key.
+	Signature    []byte
+	AnchorHeight int64
+	TipHeight    int64
+	// Forwarded reports that the staleness bound pushed the query to the
+	// authoritative canister.
+	Forwarded bool
+}
+
+// QueryRouter serves non-replicated queries for a canister in place of the
+// single-instance execution — the read-replica query fleet. Implementations
+// must be safe for concurrent use.
+type QueryRouter interface {
+	RouteQuery(method string, arg any, caller string, now time.Time) RoutedQuery
 }
 
 // BlockMetrics records the execution cost of one finalized block.
@@ -125,6 +158,7 @@ type Subnet struct {
 
 	replicas  []*Replica
 	canisters map[CanisterID]Canister
+	routers   map[CanisterID]QueryRouter
 	committee *tecdsa.Committee
 
 	round   int64
@@ -155,6 +189,7 @@ func NewSubnet(sched *simnet.Scheduler, cfg Config) (*Subnet, error) {
 		sched:     sched,
 		rng:       rand.New(rand.NewSource(cfg.Seed)),
 		canisters: make(map[CanisterID]Canister),
+		routers:   make(map[CanisterID]QueryRouter),
 	}
 	seed := sha256.Sum256([]byte(fmt.Sprintf("beacon-%d", cfg.Seed)))
 	s.beacon = seed[:]
@@ -195,6 +230,17 @@ func (s *Subnet) InstallCanister(id CanisterID, c Canister) {
 
 // Canister returns an installed canister.
 func (s *Subnet) Canister(id CanisterID) Canister { return s.canisters[id] }
+
+// SetQueryRouter installs a read-replica query router for a canister:
+// subsequent Query calls for that canister are served by the router (the
+// fleet) instead of the single canister instance. Passing nil uninstalls.
+func (s *Subnet) SetQueryRouter(id CanisterID, r QueryRouter) {
+	if r == nil {
+		delete(s.routers, id)
+		return
+	}
+	s.routers[id] = r
+}
 
 // UpgradeCanister performs a canister upgrade round: the running canister
 // is stopped, its stable state is captured with Snapshot, reinstall builds
@@ -439,17 +485,33 @@ func (s *Subnet) Query(canister CanisterID, method string, arg any, caller strin
 	}
 	// Request travels half the RTT, executes, then returns.
 	s.sched.After(rtt/2, func() {
-		can := s.canisters[canister]
-		meter := NewMeter()
 		res := Result{}
-		if can == nil {
-			res.Err = fmt.Errorf("ic: canister %s not found", canister)
+		if router := s.routers[canister]; router != nil {
+			// Read-replica fleet: the query is served (and certified) by a
+			// snapshot-hydrated, delta-fed replica instead of the single
+			// canister instance.
+			rq := router.RouteQuery(method, arg, caller, s.sched.Now())
+			res.Value, res.Err = rq.Value, rq.Err
+			res.Instructions = rq.Instructions
+			res.Forwarded = rq.Forwarded
+			if rq.Signature != nil {
+				res.Certified = true
+				res.Signature = rq.Signature
+				res.CertAnchorHeight = rq.AnchorHeight
+				res.CertTipHeight = rq.TipHeight
+			}
 		} else {
-			ctx := &CallContext{Meter: meter, Time: s.sched.Now(), Caller: caller, Kind: KindQuery, subnet: s}
-			res.Value, res.Err = can.Query(ctx, method, arg)
+			can := s.canisters[canister]
+			meter := NewMeter()
+			if can == nil {
+				res.Err = fmt.Errorf("ic: canister %s not found", canister)
+			} else {
+				ctx := &CallContext{Meter: meter, Time: s.sched.Now(), Caller: caller, Kind: KindQuery, subnet: s}
+				res.Value, res.Err = can.Query(ctx, method, arg)
+			}
+			res.Instructions = meter.Total()
 		}
-		res.Instructions = meter.Total()
-		execTime := time.Duration(float64(meter.Total()) / s.cfg.QueryRate * float64(time.Second))
+		execTime := time.Duration(float64(res.Instructions) / s.cfg.QueryRate * float64(time.Second))
 		s.sched.After(execTime+rtt/2, func() {
 			res.Latency = s.sched.Now().Sub(submitted)
 			if cb != nil {
@@ -464,6 +526,24 @@ func (s *Subnet) BlockMetricsLog() []BlockMetrics { return s.blockMetrics }
 
 // ResetBlockMetrics clears the metrics log (between experiment phases).
 func (s *Subnet) ResetBlockMetrics() { s.blockMetrics = nil }
+
+// VerifyCertifiedQuery rebuilds the CertifiedQuery envelope of a routed
+// query response and checks its fleet certification against the subnet's
+// public key — what a client holding only the response and the subnet key
+// does.
+func (s *Subnet) VerifyCertifiedQuery(method string, res Result) bool {
+	if !res.Certified {
+		return false
+	}
+	env := CertifiedQuery{
+		Method:       method,
+		Value:        res.Value,
+		ErrText:      ErrText(res.Err),
+		AnchorHeight: res.CertAnchorHeight,
+		TipHeight:    res.CertTipHeight,
+	}
+	return s.VerifyCertified(env, nil, res.Signature)
+}
 
 // VerifyCertified checks a certified response signature against the
 // subnet's public key.
@@ -480,10 +560,9 @@ func (s *Subnet) VerifyCertified(value any, errVal error, signature []byte) bool
 	return verifySchnorr(sig, digest[:], px)
 }
 
+// responseDigest is the canonical response digest (see digest.go): a pure
+// function of the response value and error, stable across runs and replicas
+// even for map-valued results.
 func responseDigest(value any, err error) [32]byte {
-	h := sha256.New()
-	fmt.Fprintf(h, "%#v|%v", value, err)
-	var out [32]byte
-	copy(out[:], h.Sum(nil))
-	return out
+	return ResponseDigest(value, err)
 }

@@ -1,0 +1,433 @@
+// Package queryfleet is the certified read-replica serving layer for the
+// Bitcoin canister. The paper's canister answers queries "on a single
+// randomly chosen replica" whose responses "cannot be fully trusted"
+// (§IV-B); this subsystem replaces that with a horizontally scaled fleet:
+//
+//   - Replicas hydrate from a canister snapshot (the statecodec fast-sync
+//     image) and stay fresh by consuming the framed per-block delta stream
+//     the canister publishes on every processed payload — they never
+//     re-validate blocks or rebuild deltas.
+//   - Each replica serves get_utxos / get_balance /
+//     get_current_fee_percentiles / get_block_headers concurrently under an
+//     epoch-counted RWMutex; execution capacity is modeled per replica, so
+//     aggregate throughput scales with the fleet size.
+//   - A bounded-staleness policy caps how far (in blocks) a serving replica
+//     may lag the authoritative canister; beyond the bound the query is
+//     rejected or forwarded to the authoritative canister, per
+//     configuration.
+//   - Responses are certified: the fleet threshold-signs the canonical
+//     digest of an ic.CertifiedQuery envelope — the response bound to the
+//     serving anchor and tip heights — so any client holding the subnet
+//     public key verifies it via ic.Subnet.VerifyCertified, closing the
+//     trust gap plain queries have.
+//
+// The fleet implements ic.QueryRouter, so ic.Subnet.Query routes through it
+// once installed with Subnet.SetQueryRouter.
+package queryfleet
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"icbtc/internal/canister"
+	"icbtc/internal/ic"
+	"icbtc/internal/tecdsa"
+)
+
+// StalePolicy selects what happens to a query whose chosen replica lags
+// beyond Config.MaxLagBlocks.
+type StalePolicy int
+
+const (
+	// StaleForward sends the query to the authoritative canister (default):
+	// the client pays authoritative-path latency instead of staleness.
+	StaleForward StalePolicy = iota
+	// StaleReject fails the query with ErrTooStale; the client retries.
+	StaleReject
+)
+
+// ErrTooStale reports a query rejected by the bounded-staleness policy.
+var ErrTooStale = errors.New("queryfleet: replica lags beyond the staleness bound")
+
+// SignFunc threshold-signs a 32-byte digest under the subnet key.
+type SignFunc func(digest []byte) ([]byte, error)
+
+// CommitteeSigner adapts a tecdsa committee to SignFunc. The committee's
+// signing protocol is not safe for concurrent use, so the adapter
+// serializes calls.
+func CommitteeSigner(c *tecdsa.Committee) SignFunc {
+	var mu sync.Mutex
+	return func(digest []byte) ([]byte, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		sig, err := c.SignSchnorr(digest)
+		if err != nil {
+			return nil, err
+		}
+		return sig.Serialize(), nil
+	}
+}
+
+// Authority is the fleet's view of the authoritative canister: the
+// snapshot source for hydration and the forward target for queries beyond
+// the staleness bound. *canister.BitcoinCanister satisfies it.
+//
+// The fleet serializes its own authority access (forwards, hydration
+// snapshots) internally, but it cannot see the producer that mutates the
+// authority between frames. A producer that runs on its own goroutine
+// while queries are being served concurrently (live deployments with
+// StaleForward or mid-run hydration) must wrap every authority mutation in
+// Fleet.GuardAuthority, so forwards never observe a half-applied payload.
+// Single-threaded drivers — the ic.Subnet scheduler, the differential
+// harness, the benchmarks — need no guard: there, queries and payloads
+// already execute on one goroutine.
+type Authority interface {
+	Snapshot() ([]byte, error)
+	Query(ctx *ic.CallContext, method string, arg any) (any, error)
+	TipHeight() int64
+	AnchorHeight() int64
+}
+
+// Config parameterizes a fleet.
+type Config struct {
+	// Replicas is the fleet size.
+	Replicas int
+	// MaxLagBlocks bounds how many blocks a serving replica may lag the
+	// authoritative tip; a negative value disables the bound.
+	MaxLagBlocks int64
+	// StalePolicy picks reject-or-forward beyond the bound.
+	StalePolicy StalePolicy
+	// QueryConcurrency is the number of concurrent query executions per
+	// replica; <= 0 means 1 (the IC executes canister queries sequentially
+	// per replica).
+	QueryConcurrency int
+	// ExecRate, when > 0, models each replica's execution speed in
+	// instructions per second: a query holds its execution slot for its
+	// metered instruction count divided by this rate. Zero disables the
+	// model (slots are held only for the native execution time).
+	ExecRate float64
+	// Sign, when set, certifies every response (replica-served and
+	// forwarded alike).
+	Sign SignFunc
+	// AutoApply starts one background worker per replica that applies
+	// frames as they arrive. Leave false to control application manually
+	// (ApplyPending / CatchUp) — the differential harness does.
+	AutoApply bool
+}
+
+// DefaultConfig returns a 4-replica fleet with a 2-block staleness bound
+// (the canister's own τ default) that forwards stale queries.
+func DefaultConfig() Config {
+	return Config{Replicas: 4, MaxLagBlocks: 2, StalePolicy: StaleForward}
+}
+
+// Stats is a point-in-time counter snapshot.
+type Stats struct {
+	Served    uint64 // queries answered by replicas
+	Forwarded uint64 // queries sent to the authoritative canister
+	Rejected  uint64 // queries failed with ErrTooStale
+	Certified uint64 // responses that carry a certification
+	Frames    uint64 // stream frames distributed
+}
+
+// Fleet distributes the canister's delta stream to its replicas and routes
+// queries across them.
+type Fleet struct {
+	cfg  Config
+	auth Authority
+	// authMu serializes fleet-initiated authority access (forwards and
+	// hydration snapshots) — the authoritative canister is single-threaded.
+	authMu sync.Mutex
+	// feedMu orders frame distribution against replica addition/hydration,
+	// so no replica ever misses a frame or sees one twice.
+	feedMu sync.Mutex
+	seq    uint64 // last distributed frame seq (under feedMu)
+
+	authTip atomic.Int64
+
+	replicas []*Replica
+	rr       atomic.Uint64
+	closed   chan struct{}
+	once     sync.Once
+
+	// sign is the active certification signer (swap with SetSigner; key
+	// rotation, or a harness certifying selectively).
+	signMu sync.RWMutex
+	sign   SignFunc
+
+	served    atomic.Uint64
+	forwarded atomic.Uint64
+	rejected  atomic.Uint64
+	certified atomic.Uint64
+	frames    atomic.Uint64
+
+	// lastApplyErr records the first background frame-application failure
+	// (auto mode); surfaced via Err.
+	applyErrMu sync.Mutex
+	applyErr   error
+}
+
+// StreamSource is implemented by authorities that can publish the delta
+// stream themselves (*canister.BitcoinCanister does). New installs the
+// fleet's Feed on such an authority before taking the hydration snapshot,
+// so no payload can slip between hydration and subscription — a frame
+// missed there would freeze the fleet's view of the authoritative tip and
+// let the staleness bound read stale replicas as fresh.
+type StreamSource interface {
+	SetStreamSink(func(*canister.Frame))
+}
+
+// New hydrates cfg.Replicas replicas from one snapshot of the authority
+// and returns the fleet. When the authority implements StreamSource (the
+// Bitcoin canister does), the fleet subscribes itself to the delta stream;
+// otherwise the caller must wire SetStreamSink(fleet.Feed) before the next
+// payload is processed. A caller that replaces the authority instance
+// (canister upgrade, snapshot restore) must re-install the sink on the new
+// instance. Install the fleet as the subnet's query router
+// (SetQueryRouter) to serve traffic.
+func New(auth Authority, cfg Config) (*Fleet, error) {
+	if cfg.Replicas <= 0 {
+		return nil, fmt.Errorf("queryfleet: fleet needs at least one replica, got %d", cfg.Replicas)
+	}
+	f := &Fleet{cfg: cfg, auth: auth, sign: cfg.Sign, closed: make(chan struct{})}
+	f.authMu.Lock()
+	if src, ok := auth.(StreamSource); ok {
+		src.SetStreamSink(f.Feed)
+	}
+	snapshot, err := auth.Snapshot()
+	tip := auth.TipHeight()
+	f.authMu.Unlock()
+	if err != nil {
+		return nil, fmt.Errorf("queryfleet: snapshot for hydration: %w", err)
+	}
+	f.authTip.Store(tip)
+	for i := 0; i < cfg.Replicas; i++ {
+		r, err := newReplica(i, f, snapshot, 0)
+		if err != nil {
+			return nil, err
+		}
+		f.replicas = append(f.replicas, r)
+		if cfg.AutoApply {
+			go r.runWorker(f.closed)
+		}
+	}
+	return f, nil
+}
+
+// Close stops the auto-apply workers. Queries already in flight complete.
+func (f *Fleet) Close() { f.once.Do(func() { close(f.closed) }) }
+
+// Replicas returns the fleet size.
+func (f *Fleet) Replicas() int { return len(f.replicas) }
+
+// Replica returns one replica by index (test and harness access).
+func (f *Fleet) Replica(i int) *Replica { return f.replicas[i] }
+
+// Stats returns the current counters.
+func (f *Fleet) Stats() Stats {
+	return Stats{
+		Served:    f.served.Load(),
+		Forwarded: f.forwarded.Load(),
+		Rejected:  f.rejected.Load(),
+		Certified: f.certified.Load(),
+		Frames:    f.frames.Load(),
+	}
+}
+
+// Err returns the first background frame-application error, if any.
+func (f *Fleet) Err() error {
+	f.applyErrMu.Lock()
+	defer f.applyErrMu.Unlock()
+	return f.applyErr
+}
+
+func (f *Fleet) noteApplyError(err error) {
+	f.applyErrMu.Lock()
+	if f.applyErr == nil {
+		f.applyErr = err
+	}
+	f.applyErrMu.Unlock()
+}
+
+// LastSeq returns the sequence number of the last distributed frame.
+func (f *Fleet) LastSeq() uint64 {
+	f.feedMu.Lock()
+	defer f.feedMu.Unlock()
+	return f.seq
+}
+
+// AuthTipHeight returns the authoritative tip height as of the last frame.
+func (f *Fleet) AuthTipHeight() int64 { return f.authTip.Load() }
+
+// Feed is the canister's stream sink: it stamps the frame with the next
+// sequence number, encodes it once, and enqueues the bytes on every
+// replica. Apply happens on the replicas' side (workers in auto mode,
+// ApplyPending otherwise), so a slow replica lags instead of stalling the
+// authoritative canister.
+func (f *Fleet) Feed(frame *canister.Frame) {
+	f.feedMu.Lock()
+	f.seq++
+	frame.Seq = f.seq
+	raw := canister.EncodeFrame(frame)
+	f.authTip.Store(frame.TipHeight)
+	for _, r := range f.replicas {
+		r.enqueue(raw, frame.Seq)
+	}
+	f.feedMu.Unlock()
+	f.frames.Add(1)
+}
+
+// GuardAuthority runs fn while holding the fleet's authority lock — the
+// lock stale-query forwarding and hydration snapshots take. A producer
+// that mutates the authority (ProcessPayload) from its own goroutine while
+// the fleet serves concurrently wraps each mutation in it:
+//
+//	fleet.GuardAuthority(func() error {
+//	    return can.ProcessPayload(ctx, payload) // Feed fires inside
+//	})
+//
+// The frame sink runs inside fn (the canister publishes synchronously), so
+// replicas receive the frame before any forwarded query can observe the
+// post-payload state without it.
+func (f *Fleet) GuardAuthority(fn func() error) error {
+	f.authMu.Lock()
+	defer f.authMu.Unlock()
+	return fn()
+}
+
+// HydrateReplica refreshes one replica from a fresh authority snapshot —
+// fast-sync for a replica that fell too far behind (or a new one), jumping
+// it to the current stream position without replaying frames.
+func (f *Fleet) HydrateReplica(i int) error {
+	// Lock order is authMu → feedMu, matching GuardAuthority(fn)'s
+	// authMu → Feed's feedMu; taking them in the opposite order here would
+	// deadlock against a guarded producer. feedMu makes the snapshot
+	// atomic with respect to the stream: every frame after seq reaches the
+	// replica's inbox, every earlier one is superseded by the snapshot.
+	f.authMu.Lock()
+	defer f.authMu.Unlock()
+	f.feedMu.Lock()
+	defer f.feedMu.Unlock()
+	snapshot, err := f.auth.Snapshot()
+	if err != nil {
+		return fmt.Errorf("queryfleet: snapshot for re-hydration: %w", err)
+	}
+	return f.replicas[i].Hydrate(snapshot, f.seq)
+}
+
+// CatchUpAll applies every queued frame on every replica (manual mode).
+func (f *Fleet) CatchUpAll() error {
+	for _, r := range f.replicas {
+		if err := r.CatchUp(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RouteQuery implements ic.QueryRouter: pick a healthy replica
+// round-robin, apply the bounded-staleness policy, execute, certify.
+// Quarantined replicas (failed frame application) are skipped; if every
+// replica is quarantined the query goes to the authoritative canister.
+func (f *Fleet) RouteQuery(method string, arg any, caller string, now time.Time) ic.RoutedQuery {
+	_ = caller // principals do not affect read-only routing
+	var r *Replica
+	for probe := 0; probe < len(f.replicas); probe++ {
+		// Modulo in uint64 space: a truncating int() conversion could go
+		// negative on 32-bit platforms once the counter wraps 2^31.
+		cand := f.replicas[int(f.rr.Add(1)%uint64(len(f.replicas)))]
+		if !cand.broken.Load() {
+			r = cand
+			break
+		}
+	}
+	if r == nil {
+		return f.forward(method, arg, now)
+	}
+
+	if f.cfg.MaxLagBlocks >= 0 {
+		if lag := f.authTip.Load() - r.TipHeight(); lag > f.cfg.MaxLagBlocks {
+			if f.cfg.StalePolicy == StaleReject {
+				f.rejected.Add(1)
+				return ic.RoutedQuery{Err: fmt.Errorf("%w: replica %d lags %d blocks (bound %d)",
+					ErrTooStale, r.index, lag, f.cfg.MaxLagBlocks)}
+			}
+			return f.forward(method, arg, now)
+		}
+	}
+
+	value, err, instructions, tip, anchor := r.serve(method, arg, now)
+	f.served.Add(1)
+	return f.certify(ic.RoutedQuery{
+		Value:        value,
+		Err:          err,
+		Instructions: instructions,
+		AnchorHeight: anchor,
+		TipHeight:    tip,
+	}, method)
+}
+
+// forward serves a query from the authoritative canister (the
+// reject-or-forward escape hatch of the staleness policy).
+func (f *Fleet) forward(method string, arg any, now time.Time) ic.RoutedQuery {
+	ctx := ic.NewCallContext(ic.KindQuery, now)
+	f.authMu.Lock()
+	value, err := f.auth.Query(ctx, method, arg)
+	tip, anchor := f.auth.TipHeight(), f.auth.AnchorHeight()
+	f.authMu.Unlock()
+	f.forwarded.Add(1)
+	return f.certify(ic.RoutedQuery{
+		Value:        value,
+		Err:          err,
+		Instructions: ctx.Meter.Total(),
+		AnchorHeight: anchor,
+		TipHeight:    tip,
+		Forwarded:    true,
+	}, method)
+}
+
+// SetSigner replaces the certification signer (nil disables
+// certification). Safe for concurrent use with serving.
+func (f *Fleet) SetSigner(sign SignFunc) {
+	f.signMu.Lock()
+	f.sign = sign
+	f.signMu.Unlock()
+}
+
+// certify threshold-signs the canonical digest of the response's
+// CertifiedQuery envelope, binding it to the anchor and tip heights it was
+// served at.
+func (f *Fleet) certify(rq ic.RoutedQuery, method string) ic.RoutedQuery {
+	f.signMu.RLock()
+	sign := f.sign
+	f.signMu.RUnlock()
+	if sign == nil {
+		return rq
+	}
+	env := ic.CertifiedQuery{
+		Method:       method,
+		Value:        rq.Value,
+		ErrText:      ic.ErrText(rq.Err),
+		AnchorHeight: rq.AnchorHeight,
+		TipHeight:    rq.TipHeight,
+	}
+	digest := ic.ResponseDigest(env, nil)
+	sig, err := sign(digest[:])
+	if err != nil {
+		// A failed signing round leaves the response uncertified rather
+		// than failing the query; the client sees the missing signature.
+		return rq
+	}
+	rq.Signature = sig
+	f.certified.Add(1)
+	return rq
+}
+
+// Compile-time interface checks.
+var (
+	_ ic.QueryRouter = (*Fleet)(nil)
+	_ Authority      = (*canister.BitcoinCanister)(nil)
+)

@@ -1,0 +1,64 @@
+package queryfleet
+
+import (
+	"testing"
+	"time"
+
+	"icbtc/internal/btc"
+	"icbtc/internal/canister"
+)
+
+// TestReplicaQuarantineOnBadFrame: a frame that fails to decode or apply
+// must quarantine the replica — routing skips it (falling back to the
+// authoritative canister) instead of certifying a possibly diverged state —
+// and a snapshot re-hydration heals it.
+func TestReplicaQuarantineOnBadFrame(t *testing.T) {
+	auth := canister.New(canister.DefaultConfig(btc.Regtest))
+	fleet, err := New(auth, Config{Replicas: 1, MaxLagBlocks: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fleet.Close()
+	now := time.Unix(1_700_000_000, 0).UTC()
+
+	// A healthy replica serves.
+	rq := fleet.RouteQuery("get_tip", nil, "c", now)
+	if rq.Err != nil || rq.Forwarded {
+		t.Fatalf("healthy replica: err=%v forwarded=%v", rq.Err, rq.Forwarded)
+	}
+
+	// Inject an undecodable frame: application fails and quarantines.
+	r := fleet.Replica(0)
+	r.enqueue([]byte("not a frame"), 1)
+	if _, err := r.ApplyPending(-1); err == nil {
+		t.Fatal("garbage frame applied without error")
+	}
+	if !r.Broken() {
+		t.Fatal("replica not quarantined after a failed frame")
+	}
+	// Further application attempts refuse until re-hydration.
+	if _, err := r.ApplyPending(-1); err == nil {
+		t.Fatal("quarantined replica kept applying frames")
+	}
+
+	// Routing skips the quarantined replica and forwards to the authority.
+	rq = fleet.RouteQuery("get_tip", nil, "c", now)
+	if rq.Err != nil {
+		t.Fatal(rq.Err)
+	}
+	if !rq.Forwarded {
+		t.Fatal("query was served by a quarantined replica")
+	}
+
+	// Re-hydration heals the replica; serving resumes locally.
+	if err := fleet.HydrateReplica(0); err != nil {
+		t.Fatal(err)
+	}
+	if r.Broken() {
+		t.Fatal("re-hydration did not clear the quarantine")
+	}
+	rq = fleet.RouteQuery("get_tip", nil, "c", now)
+	if rq.Err != nil || rq.Forwarded {
+		t.Fatalf("healed replica: err=%v forwarded=%v", rq.Err, rq.Forwarded)
+	}
+}

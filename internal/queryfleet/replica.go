@@ -1,0 +1,257 @@
+package queryfleet
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"icbtc/internal/canister"
+	"icbtc/internal/ic"
+)
+
+// Replica is one read replica: a full canister state hydrated from a
+// snapshot (statecodec fast-sync) and kept fresh by applying the framed
+// per-block delta stream. Queries execute concurrently under the state's
+// read lock; frame application and re-hydration take the write lock.
+//
+// Execution concurrency is modeled separately from state safety: on the IC
+// a canister executes queries sequentially per replica, so each Replica
+// owns a bounded set of execution slots (Config.QueryConcurrency, default
+// 1) and, when Config.ExecRate is set, holds a slot for the metered
+// execution time of each query — which is what makes aggregate fleet
+// throughput scale with the replica count rather than with the host's
+// cores.
+type Replica struct {
+	index int
+	fleet *Fleet
+
+	// mu guards the canister state: queries hold it for read, frame
+	// application and hydration for write. Certifications bind the chain
+	// position (anchor, tip) read under this lock together with the served
+	// value, so a response and its binding always come from one state.
+	mu  sync.RWMutex
+	can *canister.BitcoinCanister
+	// seq is the stream sequence number of the last applied frame (or the
+	// frame the hydration snapshot was taken after).
+	seq uint64
+
+	// tip mirrors the canister's tip height for lock-free staleness checks
+	// on the serving path.
+	tip atomic.Int64
+	// broken marks a replica whose frame application failed: its state may
+	// silently diverge from the stream (a later frame applied over a lost
+	// one), so routing skips it until a re-hydration resets it. Without the
+	// quarantine the replica's tip would keep advancing with later frames,
+	// the lag check would read 0, and the fleet would keep certifying
+	// responses from a diverged state.
+	broken atomic.Bool
+
+	// inbox holds encoded frames not yet applied, in stream order.
+	inboxMu sync.Mutex
+	inbox   []pendingFrame
+	// wake signals the auto-apply worker (capacity 1, best-effort).
+	wake chan struct{}
+
+	// execSlots bounds concurrent query executions on this replica.
+	execSlots chan struct{}
+
+	served atomic.Uint64
+}
+
+// pendingFrame is one enqueued stream frame in wire form. Replicas decode
+// their own copy so no mutable state is shared across the fleet.
+type pendingFrame struct {
+	raw []byte
+	seq uint64
+}
+
+func newReplica(index int, fleet *Fleet, snapshot []byte, seq uint64) (*Replica, error) {
+	slots := fleet.cfg.QueryConcurrency
+	if slots <= 0 {
+		slots = 1
+	}
+	r := &Replica{
+		index:     index,
+		fleet:     fleet,
+		wake:      make(chan struct{}, 1),
+		execSlots: make(chan struct{}, slots),
+	}
+	for i := 0; i < slots; i++ {
+		r.execSlots <- struct{}{}
+	}
+	if err := r.Hydrate(snapshot, seq); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// Hydrate (re)builds the replica's state from a canister snapshot taken
+// after stream frame seq: decode, warm every lazily derived structure the
+// read path touches, and drop queued frames the snapshot already covers.
+// Serving continues from the new state on return.
+func (r *Replica) Hydrate(snapshot []byte, seq uint64) error {
+	can, err := canister.RestoreSnapshot(snapshot)
+	if err != nil {
+		return fmt.Errorf("queryfleet: hydrate replica %d: %w", r.index, err)
+	}
+	can.WarmQueryState()
+	tip, _ := can.StreamPosition()
+
+	r.mu.Lock()
+	r.can = can
+	r.seq = seq
+	r.tip.Store(tip)
+	r.broken.Store(false) // a fresh snapshot supersedes any lost frame
+	r.mu.Unlock()
+
+	r.inboxMu.Lock()
+	kept := r.inbox[:0]
+	for _, f := range r.inbox {
+		if f.seq > seq {
+			kept = append(kept, f)
+		}
+	}
+	r.inbox = kept
+	r.inboxMu.Unlock()
+	return nil
+}
+
+// enqueue appends one encoded frame to the replica's inbox.
+func (r *Replica) enqueue(raw []byte, seq uint64) {
+	r.inboxMu.Lock()
+	r.inbox = append(r.inbox, pendingFrame{raw: raw, seq: seq})
+	r.inboxMu.Unlock()
+	select {
+	case r.wake <- struct{}{}:
+	default:
+	}
+}
+
+// Pending returns how many frames are queued but not yet applied.
+func (r *Replica) Pending() int {
+	r.inboxMu.Lock()
+	defer r.inboxMu.Unlock()
+	return len(r.inbox)
+}
+
+// Seq returns the stream position of the replica's state.
+func (r *Replica) Seq() uint64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.seq
+}
+
+// TipHeight returns the replica's current chain tip height.
+func (r *Replica) TipHeight() int64 { return r.tip.Load() }
+
+// ApplyPending applies up to max queued frames (all of them when max < 0),
+// returning how many were applied. A decode or apply failure quarantines
+// the replica (Broken reports it; routing skips it) until a re-hydration
+// replaces its state — continuing past a lost frame would let later frames
+// advance the tip over a silently diverged state.
+func (r *Replica) ApplyPending(max int) (int, error) {
+	applied := 0
+	for max < 0 || applied < max {
+		if r.broken.Load() {
+			return applied, fmt.Errorf("queryfleet: replica %d is quarantined after a failed frame; re-hydrate it", r.index)
+		}
+		r.inboxMu.Lock()
+		if len(r.inbox) == 0 {
+			r.inboxMu.Unlock()
+			return applied, nil
+		}
+		f := r.inbox[0]
+		r.inbox = r.inbox[1:]
+		r.inboxMu.Unlock()
+
+		frame, err := canister.DecodeFrame(f.raw)
+		if err != nil {
+			r.broken.Store(true)
+			return applied, fmt.Errorf("queryfleet: replica %d frame %d: %w", r.index, f.seq, err)
+		}
+		r.mu.Lock()
+		if f.seq <= r.seq {
+			// Covered by a concurrent re-hydration that raced the dequeue.
+			r.mu.Unlock()
+			continue
+		}
+		err = r.can.ApplyFrame(frame)
+		if err == nil {
+			r.seq = f.seq
+			tip, _ := r.can.StreamPosition()
+			r.tip.Store(tip)
+		}
+		r.mu.Unlock()
+		if err != nil {
+			r.broken.Store(true)
+			return applied, fmt.Errorf("queryfleet: replica %d frame %d: %w", r.index, f.seq, err)
+		}
+		applied++
+	}
+	return applied, nil
+}
+
+// Broken reports whether the replica is quarantined after a failed frame
+// application. HydrateReplica clears it.
+func (r *Replica) Broken() bool { return r.broken.Load() }
+
+// CatchUp applies every queued frame.
+func (r *Replica) CatchUp() error {
+	_, err := r.ApplyPending(-1)
+	return err
+}
+
+// runWorker is the auto-apply loop: drain the inbox whenever woken, until
+// the fleet closes.
+func (r *Replica) runWorker(closed <-chan struct{}) {
+	for {
+		select {
+		case <-closed:
+			return
+		case <-r.wake:
+			if err := r.CatchUp(); err != nil {
+				r.fleet.noteApplyError(err)
+			}
+		}
+	}
+}
+
+// serve executes one query on this replica: acquire an execution slot,
+// read-lock the state, execute, then hold the slot for the metered
+// execution time (ExecRate) before releasing it. The returned chain
+// position is the one the response was computed at — what its
+// certification binds.
+func (r *Replica) serve(method string, arg any, now time.Time) (value any, err error, instructions uint64, tip, anchor int64) {
+	<-r.execSlots
+	start := time.Now()
+
+	ctx := ic.NewCallContext(ic.KindQuery, now)
+	r.mu.RLock()
+	value, err = r.can.Query(ctx, method, arg)
+	tip, anchor = r.can.StreamPosition()
+	r.mu.RUnlock()
+	instructions = ctx.Meter.Total()
+	r.served.Add(1)
+
+	if rate := r.fleet.cfg.ExecRate; rate > 0 {
+		need := time.Duration(float64(instructions) / rate * float64(time.Second))
+		if elapsed := time.Since(start); need > elapsed {
+			time.Sleep(need - elapsed)
+		}
+	}
+	r.execSlots <- struct{}{}
+	return value, err, instructions, tip, anchor
+}
+
+// Served returns how many queries this replica has executed.
+func (r *Replica) Served() uint64 { return r.served.Load() }
+
+// Canister exposes the underlying state for test probes. The caller must
+// not run it concurrently with frame application; the differential harness
+// (single-threaded) is the intended user.
+func (r *Replica) Canister() *canister.BitcoinCanister {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.can
+}
