@@ -20,6 +20,7 @@ import (
 	"icbtc/internal/canister"
 	"icbtc/internal/experiments"
 	"icbtc/internal/ic"
+	"icbtc/internal/ingest"
 	"icbtc/internal/queryfleet"
 	"icbtc/internal/secp256k1"
 	"icbtc/internal/simnet"
@@ -231,6 +232,77 @@ func BenchmarkSnapshotCodec(b *testing.B) {
 	})
 }
 
+// ingestBenchWire builds a mainnet-shaped wire batch once per process.
+var ingestBenchWire = func() [][]byte {
+	rng := rand.New(rand.NewSource(7))
+	scripts := make([][]byte, 32)
+	for i := range scripts {
+		var h [20]byte
+		rng.Read(h[:])
+		scripts[i] = btc.PayToAddrScript(btc.NewP2PKHAddress(h, btc.Regtest))
+	}
+	builder := experiments.NewBlockBuilder(btc.RegtestParams(), 7)
+	wire := make([][]byte, 0, 30)
+	for i := 0; i < 30; i++ {
+		specs := make([]experiments.TxSpec, 0, 200)
+		for t := 0; t < 200; t++ {
+			spec := experiments.TxSpec{Outputs: experiments.PayN(scripts[rng.Intn(len(scripts))], 2, 546+int64(t%9))}
+			if t%6 == 5 {
+				spec.Inputs = 1
+			}
+			specs = append(specs, spec)
+		}
+		block, err := builder.NextBlock(specs)
+		if err != nil {
+			panic(err)
+		}
+		wire = append(wire, block.Bytes())
+	}
+	return wire
+}()
+
+// BenchmarkIngestSerial is the serial oracle leg: per-block ParseBlock +
+// ProcessPayload over a 30-block mainnet-shaped batch (~6k transactions).
+func BenchmarkIngestSerial(b *testing.B) {
+	cfg := canister.DefaultConfig(btc.Regtest)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c := canister.New(cfg)
+		now := time.Unix(1_700_000_000, 0).UTC()
+		for _, w := range ingestBenchWire {
+			blk, err := btc.ParseBlock(w)
+			if err != nil {
+				b.Fatal(err)
+			}
+			now = now.Add(time.Second)
+			if err := c.ProcessPayload(ic.NewCallContext(ic.KindUpdate, now), adapterResponse(blk)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(float64(len(ingestBenchWire))*float64(b.N)/b.Elapsed().Seconds(), "blocks/s")
+}
+
+// BenchmarkIngestPipeline ingests the identical batch through SyncWire at
+// GOMAXPROCS-bounded workers — the parallel deterministic pipeline. Gated
+// by cmd/benchgate against BENCH_BASELINE.json.
+func BenchmarkIngestPipeline(b *testing.B) {
+	cfg := canister.DefaultConfig(btc.Regtest)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c := canister.New(cfg)
+		now := time.Unix(1_700_000_000, 0).UTC()
+		stats, err := c.SyncWire(ic.NewCallContext(ic.KindUpdate, now), ingestBenchWire, ingest.Config{Workers: ingest.DefaultWorkers()})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if stats.Accepted != len(ingestBenchWire) {
+			b.Fatalf("accepted %d of %d", stats.Accepted, len(ingestBenchWire))
+		}
+	}
+	b.ReportMetric(float64(len(ingestBenchWire))*float64(b.N)/b.Elapsed().Seconds(), "blocks/s")
+}
+
 // BenchmarkGetBalanceOverlayVsReplay microbenches one get_balance against a
 // mainnet-deep unstable chain on each read path.
 func BenchmarkGetBalanceOverlayVsReplay(b *testing.B) {
@@ -373,6 +445,45 @@ func BenchmarkUTXOSetApplyBlock(b *testing.B) {
 			}},
 			Outputs: experimentsPayN(script, 100),
 		}}}
+		blocks = append(blocks, blk)
+	}
+	set := utxo.New(btc.Regtest)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := set.ApplyBlock(blocks[i], int64(i+1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(set.Len()), "utxos-final")
+}
+
+// BenchmarkUTXOSetApplyBlockBatched stresses the staged batched apply the
+// way real blocks do: many transactions paying a handful of addresses, so
+// each address bucket receives a batch of same-height entries with
+// scattered txids — one ordered merge per bucket instead of a binary
+// insert (plus memmove) per entry. Gated by cmd/benchgate.
+func BenchmarkUTXOSetApplyBlockBatched(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	scripts := make([][]byte, 4)
+	for i := range scripts {
+		var h [20]byte
+		rng.Read(h[:])
+		scripts[i] = btc.PayToPubKeyHashScript(h)
+	}
+	blocks := make([]*btc.Block, 0, b.N)
+	for i := 0; i < b.N; i++ {
+		blk := &btc.Block{}
+		for t := 0; t < 50; t++ {
+			tx := &btc.Transaction{Version: 2, Inputs: []btc.TxIn{{
+				PreviousOutPoint: btc.OutPoint{TxID: btc.ZeroHash, Vout: 0xffffffff},
+				SignatureScript:  []byte{byte(i), byte(i >> 8), byte(i >> 16), byte(t), byte(rng.Intn(256))},
+			}}}
+			for o := 0; o < 4; o++ {
+				tx.Outputs = append(tx.Outputs, btc.TxOut{Value: 546, PkScript: scripts[(t+o)%len(scripts)]})
+			}
+			blk.Transactions = append(blk.Transactions, tx)
+		}
 		blocks = append(blocks, blk)
 	}
 	set := utxo.New(btc.Regtest)

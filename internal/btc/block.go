@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"math/big"
+	"sync"
 	"time"
 )
 
@@ -97,23 +98,43 @@ type Block struct {
 	// header (whose Merkle root commits to them) is assembled, so the IDs
 	// are computed at most once per block instead of once per consumer —
 	// Merkle validation, delta building, and stable ingestion all share one
-	// table. Not synchronized: the simulation executes blocks on a single
-	// goroutine.
-	txids []Hash
+	// table. Sealed blocks flow to concurrent consumers (query-fleet
+	// replicas, the parallel ingest pipeline's workers), so the memo is
+	// guarded by a sync.Once; the value is identical no matter which
+	// goroutine wins.
+	txidsOnce sync.Once
+	txids     []Hash
+
+	// merkle memoizes MerkleRoot the same way: validation recomputes the
+	// root the pipeline's prepare stage already derived, and both must pay
+	// the tree hashing at most once per block.
+	merkleOnce sync.Once
+	merkle     Hash
 }
 
 // TxIDs returns the memoized transaction IDs, in block order. The first
 // call serializes and double-hashes every transaction; later calls are
-// free. Callers must not mutate Transactions after using it.
+// free. Safe for concurrent use on a sealed block; callers must not mutate
+// Transactions after the block is shared.
 func (b *Block) TxIDs() []Hash {
-	if b.txids == nil && len(b.Transactions) > 0 {
+	b.txidsOnce.Do(func() {
+		if len(b.Transactions) == 0 {
+			return
+		}
 		ids := make([]Hash, len(b.Transactions))
 		for i, tx := range b.Transactions {
 			ids[i] = tx.TxID()
 		}
 		b.txids = ids
-	}
+	})
 	return b.txids
+}
+
+// sealTxIDs installs precomputed transaction IDs (the zero-copy parser
+// hashes them straight off the wire spans). A racing TxIDs computation
+// yields the identical table, so whichever Do wins is correct.
+func (b *Block) sealTxIDs(ids []Hash) {
+	b.txidsOnce.Do(func() { b.txids = ids })
 }
 
 // BlockHash returns the hash of the block's header.
@@ -192,9 +213,11 @@ func ParseBlock(data []byte) (*Block, error) {
 }
 
 // MerkleRoot computes the Merkle tree root over the block's transaction IDs
-// using Bitcoin's duplicate-last-node rule for odd levels.
+// using Bitcoin's duplicate-last-node rule for odd levels. Memoized; safe
+// for concurrent use on a sealed block.
 func (b *Block) MerkleRoot() Hash {
-	return MerkleRootFromHashes(b.TxIDs())
+	b.merkleOnce.Do(func() { b.merkle = MerkleRootFromHashes(b.TxIDs()) })
+	return b.merkle
 }
 
 // MerkleRootFromHashes computes the Merkle root of a hash list.

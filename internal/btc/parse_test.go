@@ -1,0 +1,153 @@
+package btc
+
+import (
+	"bytes"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// randomTestBlock builds a block with a mix of coinbase-like and spending
+// transactions, random script lengths (including empty), and random counts.
+func randomTestBlock(rng *rand.Rand) *Block {
+	b := &Block{Header: BlockHeader{
+		Version:   uint32(rng.Int31()),
+		Timestamp: uint32(rng.Int31()),
+		Bits:      uint32(rng.Int31()),
+		Nonce:     uint32(rng.Int31()),
+	}}
+	rng.Read(b.Header.PrevBlock[:])
+	rng.Read(b.Header.MerkleRoot[:])
+	for t := rng.Intn(6); t >= 0; t-- {
+		tx := &Transaction{Version: uint32(rng.Intn(3)), LockTime: uint32(rng.Intn(1000))}
+		for i := rng.Intn(4); i >= 0; i-- {
+			var in TxIn
+			rng.Read(in.PreviousOutPoint.TxID[:])
+			in.PreviousOutPoint.Vout = uint32(rng.Intn(5))
+			in.SignatureScript = make([]byte, rng.Intn(120))
+			rng.Read(in.SignatureScript)
+			in.Sequence = uint32(rng.Int31())
+			tx.Inputs = append(tx.Inputs, in)
+		}
+		for i := rng.Intn(4); i >= 0; i-- {
+			script := make([]byte, rng.Intn(40))
+			rng.Read(script)
+			tx.Outputs = append(tx.Outputs, TxOut{Value: int64(rng.Intn(100_000)), PkScript: script})
+		}
+		b.Transactions = append(b.Transactions, tx)
+	}
+	return b
+}
+
+// TestParseBlockFastEquivalence pins the zero-copy parser to the reader
+// parser: identical blocks, identical txid tables (span hashes equal
+// re-serialization hashes), identical re-serialization, and identical
+// accept/reject decisions on truncations and trailing garbage.
+func TestParseBlockFastEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for iter := 0; iter < 200; iter++ {
+		blk := randomTestBlock(rng)
+		wire := blk.Bytes()
+
+		slow, errSlow := ParseBlock(wire)
+		fast, errFast := ParseBlockFast(wire)
+		if errSlow != nil || errFast != nil {
+			t.Fatalf("iter %d: parse errors slow=%v fast=%v", iter, errSlow, errFast)
+		}
+		if !bytes.Equal(slow.Bytes(), fast.Bytes()) {
+			t.Fatalf("iter %d: serializations differ", iter)
+		}
+		slowIDs, fastIDs := slow.TxIDs(), fast.TxIDs()
+		if len(slowIDs) != len(fastIDs) {
+			t.Fatalf("iter %d: txid count %d != %d", iter, len(slowIDs), len(fastIDs))
+		}
+		for i := range slowIDs {
+			if slowIDs[i] != fastIDs[i] {
+				t.Fatalf("iter %d: txid %d differs: %s != %s", iter, i, slowIDs[i], fastIDs[i])
+			}
+		}
+		if slow.MerkleRoot() != fast.MerkleRoot() {
+			t.Fatalf("iter %d: merkle roots differ", iter)
+		}
+
+		// Truncations and trailing bytes must be rejected by both.
+		if len(wire) > 0 {
+			cut := wire[:rng.Intn(len(wire))]
+			if _, err := ParseBlock(cut); err == nil {
+				t.Fatalf("iter %d: reader parser accepted a truncation", iter)
+			}
+			if _, err := ParseBlockFast(cut); err == nil {
+				t.Fatalf("iter %d: fast parser accepted a truncation", iter)
+			}
+		}
+		trailing := append(append([]byte(nil), wire...), 0x00)
+		if _, err := ParseBlock(trailing); err == nil {
+			t.Fatalf("iter %d: reader parser accepted trailing bytes", iter)
+		}
+		if _, err := ParseBlockFast(trailing); err == nil {
+			t.Fatalf("iter %d: fast parser accepted trailing bytes", iter)
+		}
+	}
+}
+
+// TestParseBlockFastRejectsNonCanonicalVarint mirrors ReadVarInt's
+// canonical-form enforcement: a 0xfd-prefixed count below 0xfd must be
+// rejected by both parsers (span hashes would otherwise diverge from
+// re-serialization hashes).
+func TestParseBlockFastRejectsNonCanonicalVarint(t *testing.T) {
+	blk := randomTestBlock(rand.New(rand.NewSource(7)))
+	wire := blk.Bytes()
+	// The tx count varint sits right after the 80-byte header and is a
+	// single byte for small blocks; widen it to a non-canonical 0xfd form.
+	n := wire[BlockHeaderSize]
+	mut := append([]byte(nil), wire[:BlockHeaderSize]...)
+	mut = append(mut, 0xfd, n, 0x00)
+	mut = append(mut, wire[BlockHeaderSize+1:]...)
+	if _, err := ParseBlock(mut); err == nil {
+		t.Fatal("reader parser accepted a non-canonical varint")
+	}
+	if _, err := ParseBlockFast(mut); err == nil {
+		t.Fatal("fast parser accepted a non-canonical varint")
+	}
+}
+
+// TestBlockMemoRaceSafety is the -race regression for the TxIDs/MerkleRoot
+// memoization: sealed blocks are read by concurrent query-fleet replicas
+// and pipeline workers, so first-use memoization from many goroutines must
+// be race-free and agree on the value.
+func TestBlockMemoRaceSafety(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for iter := 0; iter < 20; iter++ {
+		blk := randomTestBlock(rng)
+		want := blk.Bytes() // serialization does not touch the memos
+		ref, err := ParseBlock(want)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantIDs := ref.TxIDs()
+		wantRoot := ref.MerkleRoot()
+
+		var wg sync.WaitGroup
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				ids := blk.TxIDs()
+				if len(ids) != len(wantIDs) {
+					t.Errorf("txid count %d != %d", len(ids), len(wantIDs))
+					return
+				}
+				for i := range ids {
+					if ids[i] != wantIDs[i] {
+						t.Errorf("txid %d diverged under concurrency", i)
+						return
+					}
+				}
+				if blk.MerkleRoot() != wantRoot {
+					t.Error("merkle root diverged under concurrency")
+				}
+			}()
+		}
+		wg.Wait()
+	}
+}

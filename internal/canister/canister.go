@@ -311,7 +311,7 @@ func (c *BitcoinCanister) ProcessPayload(ctx *ic.CallContext, payload any) error
 	// Lines 1-15: validate and attach each (b, β), then advance the anchor
 	// while the next block is δ-stable.
 	for _, bw := range resp.Blocks {
-		if err := c.acceptBlock(ctx, bw); err != nil {
+		if err := c.acceptBlock(ctx, bw, nil); err != nil {
 			c.rejectedBlocks++
 			continue
 		}
@@ -356,7 +356,13 @@ func (c *BitcoinCanister) acceptHeader(ctx *ic.CallContext, h btc.BlockHeader) e
 // acceptBlock validates a (block, header) pair per §III-C — header checks,
 // well-formedness, predecessor availability, Merkle root — and stores it.
 // Transaction spending conditions are intentionally NOT validated.
-func (c *BitcoinCanister) acceptBlock(ctx *ic.CallContext, bw adapter.BlockWithHeader) error {
+//
+// pre, when non-nil and built at the node's actual height, is the
+// pipeline's prebuilt state-independent delta half: Finish binds it to the
+// live state, producing exactly what BuildBlockDelta would. A nil or
+// mispredicted pre falls back to the full serial build, so the resulting
+// state is identical either way.
+func (c *BitcoinCanister) acceptBlock(ctx *ic.CallContext, bw adapter.BlockWithHeader, pre *utxo.PreparedDelta) error {
 	if bw.Block == nil {
 		return errors.New("canister: nil block")
 	}
@@ -389,7 +395,12 @@ func (c *BitcoinCanister) acceptBlock(ctx *ic.CallContext, bw adapter.BlockWithH
 	// rescanning blocks, and pruning (reorg, anchor advance) discards them
 	// together with their nodes.
 	ctx.Meter.Charge(uint64(len(bw.Block.Transactions))*ic.CostPerDeltaBuildTx, "build_delta")
-	delta := utxo.BuildBlockDelta(bw.Block, node.Height, c.scriptIDs, c.resolveOwner(node))
+	var delta *utxo.BlockDelta
+	if pre != nil && pre.Height() == node.Height {
+		delta = pre.Finish(c.resolveOwner(node))
+	} else {
+		delta = utxo.BuildBlockDelta(bw.Block, node.Height, c.scriptIDs, c.resolveOwner(node))
+	}
 	node.SetAux(delta)
 	if c.stream != nil {
 		c.emit(StreamEvent{
@@ -505,39 +516,22 @@ func (c *BitcoinCanister) dropSubtreeBlocks(n *chain.Node) {
 	}
 }
 
-// ingestStableBlock applies a stable block's transactions to U, metering
-// the work (the Fig 6 cost breakdown: input removals and output
-// insertions). Missing inputs are tolerated — the canister trusts proof of
-// work, not transaction validity. Transaction IDs come from the block's
-// memoized table (already computed when the delta was built), removals
-// reuse the stored address key, and an insertion whose locking script is
-// already interned skips the address decode/hash — each priced accordingly.
+// ingestStableBlock folds a stable block's transactions into U through the
+// batched tolerant apply (one staged replay, removals then one ordered
+// merge per touched address bucket) and meters the work from its stats —
+// charge for charge what the per-entry loop charged (the Fig 6 cost
+// breakdown): every removal attempt, and every output priced by whether
+// its script was interned at the moment that output was processed. Missing
+// inputs and duplicate outputs are tolerated — the canister trusts proof
+// of work, not transaction validity.
 func (c *BitcoinCanister) ingestStableBlock(ctx *ic.CallContext, block *btc.Block, height int64) {
 	ctx.Meter.Charge(ic.CostBlockOverhead, "block_overhead")
-	txids := block.TxIDs()
-	for ti, tx := range block.Transactions {
-		ctx.Meter.Charge(ic.CostPerTxOverhead, "block_overhead")
-		if !tx.IsCoinbase() {
-			for i := range tx.Inputs {
-				ctx.Meter.Charge(ic.CostPerInputRemove, "remove_inputs")
-				if _, err := c.stable.Remove(tx.Inputs[i].PreviousOutPoint); err != nil {
-					c.applyErrors++
-				}
-			}
-		}
-		txid := txids[ti]
-		for vout := range tx.Outputs {
-			if c.stable.ScriptInterned(tx.Outputs[vout].PkScript) {
-				ctx.Meter.Charge(ic.CostPerOutputInsertInterned, "insert_outputs")
-			} else {
-				ctx.Meter.Charge(ic.CostPerOutputInsert, "insert_outputs")
-			}
-			op := btc.OutPoint{TxID: txid, Vout: uint32(vout)}
-			if err := c.stable.Add(op, tx.Outputs[vout], height); err != nil {
-				c.applyErrors++
-			}
-		}
-	}
+	ctx.Meter.Charge(uint64(len(block.Transactions))*ic.CostPerTxOverhead, "block_overhead")
+	st := c.stable.ApplyBlockIngest(block, height)
+	ctx.Meter.Charge(uint64(st.InputsRemoved)*ic.CostPerInputRemove, "remove_inputs")
+	ctx.Meter.Charge(uint64(st.OutputsInterned)*ic.CostPerOutputInsertInterned, "insert_outputs")
+	ctx.Meter.Charge(uint64(st.OutputsFresh)*ic.CostPerOutputInsert, "insert_outputs")
+	c.applyErrors += st.Errors
 }
 
 // ageOutgoing decrements rebroadcast budgets and drops exhausted entries.

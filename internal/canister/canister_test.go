@@ -509,11 +509,12 @@ func TestRejectsInvalidBlocks(t *testing.T) {
 		t.Fatal("out-of-order block accepted")
 	}
 
-	// Tampered merkle root.
-	bad := *blk1
+	// Tampered merkle root: re-assemble rather than copy the sealed block,
+	// so the tampered instance carries fresh (unpoisoned) memos.
+	bad := &btc.Block{Header: blk1.Header, Transactions: blk1.Transactions}
 	bad.Header.MerkleRoot = btc.DoubleSHA256([]byte("wrong"))
 	if err := r.can.ProcessPayload(r.ctx(), adapter.Response{Blocks: []adapter.BlockWithHeader{
-		{Block: &bad, Header: bad.Header},
+		{Block: bad, Header: bad.Header},
 	}}); err != nil {
 		t.Fatal(err)
 	}

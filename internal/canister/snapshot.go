@@ -5,6 +5,7 @@ import (
 
 	"icbtc/internal/btc"
 	"icbtc/internal/chain"
+	"icbtc/internal/ingest"
 	"icbtc/internal/statecodec"
 	"icbtc/internal/utxo"
 )
@@ -165,6 +166,23 @@ func (c *BitcoinCanister) Snapshot() ([]byte, error) {
 // every request identically to the canister the snapshot was taken from,
 // and re-snapshotting it reproduces the input bytes.
 func RestoreSnapshot(data []byte) (*BitcoinCanister, error) {
+	return restoreSnapshot(data, 1)
+}
+
+// RestoreSnapshotParallel is RestoreSnapshot with the two decode-dominant
+// sections sharded across workers: the UTXO set's script table and address
+// buckets (utxo.DecodeSetParallel) and the unstable blocks' wire parsing
+// (zero-copy, txids hashed off the spans — which also pre-warms the memos
+// WarmQueryState would otherwise compute). Merging is deterministic; the
+// restored canister is identical to RestoreSnapshot's, including its
+// re-snapshot bytes. Replica fast-sync hydration uses this. The restored
+// blocks alias data, which must stay immutable.
+func RestoreSnapshotParallel(data []byte, cfg ingest.Config) (*BitcoinCanister, error) {
+	workers := cfg.NormalizedWorkers()
+	return restoreSnapshot(data, workers)
+}
+
+func restoreSnapshot(data []byte, workers int) (*BitcoinCanister, error) {
 	d, err := statecodec.NewDecoder(data, snapshotMagic, SnapshotVersion)
 	if err != nil {
 		return nil, fmt.Errorf("canister: restore: %w", err)
@@ -200,7 +218,7 @@ func RestoreSnapshot(data []byte) (*BitcoinCanister, error) {
 		return nil, fmt.Errorf("canister: restore: %w", d.Err())
 	}
 
-	if c.stable, err = utxo.DecodeSet(d); err != nil {
+	if c.stable, err = utxo.DecodeSetParallel(d, workers); err != nil {
 		return nil, fmt.Errorf("canister: restore: %w", err)
 	}
 	if c.stable.Network() != cfg.Network {
@@ -253,31 +271,63 @@ func RestoreSnapshot(data []byte) (*BitcoinCanister, error) {
 	}
 
 	// Unstable blocks arrive in have order; appending keeps the list sorted.
+	// With workers, the wire slices are collected in one scan and parsed on
+	// the pipeline (zero-copy, txid memos sealed from the spans) while this
+	// goroutine attaches them in order.
 	nBlocks := d.CountFor(maxSnapshotBlocks, headerWireBytes+1)
 	c.have = make([]haveEntry, 0, nBlocks)
-	for i := 0; i < nBlocks; i++ {
-		raw := d.Bytes(maxBlockWireBytes)
-		if d.Err() != nil {
-			return nil, fmt.Errorf("canister: restore: %w", d.Err())
-		}
-		block, err := btc.ParseBlock(raw)
+	attach := func(i int, block *btc.Block, err error) error {
 		if err != nil {
-			return nil, fmt.Errorf("canister: restore: block %d: %w", i, err)
+			return fmt.Errorf("canister: restore: block %d: %w", i, err)
 		}
 		hash := block.BlockHash()
 		node := c.tree.Get(hash)
 		if node == nil {
-			return nil, fmt.Errorf("canister: restore: block %s has no tree node", hash)
+			return fmt.Errorf("canister: restore: block %s has no tree node", hash)
 		}
 		if c.blocks[hash] != nil {
-			return nil, fmt.Errorf("canister: restore: block %s duplicated", hash)
+			return fmt.Errorf("canister: restore: block %s duplicated", hash)
 		}
 		entry := haveEntry{height: node.Height, hash: hash}
 		if i > 0 && !haveLess(c.have[i-1], entry) {
-			return nil, fmt.Errorf("canister: restore: blocks not in have order at %d", i)
+			return fmt.Errorf("canister: restore: blocks not in have order at %d", i)
 		}
 		c.blocks[hash] = block
 		c.have = append(c.have, entry)
+		return nil
+	}
+	if workers <= 1 {
+		for i := 0; i < nBlocks; i++ {
+			raw := d.Bytes(maxBlockWireBytes)
+			if d.Err() != nil {
+				return nil, fmt.Errorf("canister: restore: %w", d.Err())
+			}
+			block, err := btc.ParseBlock(raw)
+			if err := attach(i, block, err); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		raws := make([][]byte, 0, nBlocks)
+		for i := 0; i < nBlocks; i++ {
+			raws = append(raws, d.Bytes(maxBlockWireBytes))
+			if d.Err() != nil {
+				return nil, fmt.Errorf("canister: restore: %w", d.Err())
+			}
+		}
+		type parsed struct {
+			block *btc.Block
+			err   error
+		}
+		if err := ingest.Map(nBlocks, ingest.Config{Workers: workers},
+			func(_, i int) parsed {
+				b, err := btc.ParseBlockFast(raws[i])
+				return parsed{block: b, err: err}
+			},
+			func(i int, p parsed) error { return attach(i, p.block, p.err) },
+		); err != nil {
+			return nil, err
+		}
 	}
 
 	nTxs := d.CountFor(maxSnapshotTxs, minOutgoingTxBytes)

@@ -7,6 +7,7 @@ import (
 
 	"icbtc/internal/btc"
 	"icbtc/internal/ic"
+	"icbtc/internal/ingest"
 	"icbtc/internal/statecodec"
 	"icbtc/internal/utxo"
 )
@@ -67,6 +68,10 @@ type StreamEvent struct {
 	Delta *utxo.BlockDelta
 	// Hash identifies the stabilized block (EventAnchorAdvanced).
 	Hash btc.Hash
+
+	// block caches the parsed RawBlock when Frame.Prepare ran; ApplyFrame
+	// uses it instead of re-parsing. Never serialized.
+	block *btc.Block
 }
 
 // Frame is the batch of events one processed payload produced, plus the
@@ -191,6 +196,37 @@ func DecodeFrame(data []byte) (*Frame, error) {
 // current state (a gap or reordering in the stream).
 var ErrFrameOutOfOrder = errors.New("canister: stream frame does not apply to current state")
 
+// Prepare runs the frame's CPU-bound work ahead of ApplyFrame: every block
+// event's wire bytes are parsed (zero-copy, txid memos sealed off the
+// spans) on the pipeline, so frame application under the replica's write
+// lock is left with pure state mutation. A parse failure is deferred —
+// ApplyFrame re-parses and reports it at the failing event, exactly as the
+// unprepared path would. Prepare is idempotent; the parsed blocks alias
+// the frame's RawBlock bytes.
+func (f *Frame) Prepare(cfg ingest.Config) {
+	var blockEvents []int
+	for i := range f.Events {
+		if f.Events[i].Kind == EventBlockAttached && f.Events[i].block == nil {
+			blockEvents = append(blockEvents, i)
+		}
+	}
+	if len(blockEvents) == 0 {
+		return
+	}
+	_ = ingest.Map(len(blockEvents), cfg,
+		func(_, j int) *btc.Block {
+			b, err := btc.ParseBlockFast(f.Events[blockEvents[j]].RawBlock)
+			if err != nil {
+				return nil // ApplyFrame re-parses and surfaces the error
+			}
+			return b
+		},
+		func(j int, b *btc.Block) error {
+			f.Events[blockEvents[j]].block = b
+			return nil
+		})
+}
+
 // ApplyFrame replays one frame's accepted mutations on a replica canister.
 // The replica performs no re-validation (the authoritative canister already
 // validated everything it accepted) and rebuilds derived state exactly as
@@ -247,9 +283,13 @@ func (c *BitcoinCanister) applyBlockEvent(ev *StreamEvent) error {
 	if c.blocks[hash] != nil {
 		return nil // duplicate delivery is harmless, as on the write path
 	}
-	block, err := btc.ParseBlock(ev.RawBlock)
-	if err != nil {
-		return fmt.Errorf("canister: apply frame: block %s: %w", hash, err)
+	block := ev.block // parsed ahead by Frame.Prepare, when it ran
+	if block == nil {
+		var err error
+		block, err = btc.ParseBlock(ev.RawBlock)
+		if err != nil {
+			return fmt.Errorf("canister: apply frame: block %s: %w", hash, err)
+		}
 	}
 	if block.BlockHash() != hash {
 		return fmt.Errorf("canister: apply frame: block bytes do not match header %s", hash)

@@ -38,6 +38,7 @@ import (
 	"icbtc/internal/btc"
 	"icbtc/internal/canister"
 	"icbtc/internal/ic"
+	"icbtc/internal/ingest"
 	"icbtc/internal/queryfleet"
 	"icbtc/internal/simnet"
 )
@@ -73,6 +74,16 @@ type Config struct {
 	// CertifyEvery, when > 0, threshold-signs one routed query every
 	// CertifyEvery steps and verifies it via Subnet.VerifyCertified.
 	CertifyEvery int
+	// Pipelined, when true, runs a third canister fed the same payloads
+	// through ProcessPayloadPipelined with per-step randomized worker
+	// counts (1..8, degenerating to the serial loop at 1) and prefetch
+	// windows (1..8). After every step its full snapshot and its probe
+	// responses must be byte-identical to the serial overlay canister's —
+	// the pipeline-vs-serial-oracle guarantee, across reorgs, header
+	// delays, and mid-run re-hydrations (the pipelined canister is also
+	// restored from its own snapshot via RestoreSnapshotParallel at random
+	// worker counts).
+	Pipelined bool
 }
 
 // DefaultConfig returns a workload mix that exercises forks, conflicting
@@ -82,6 +93,7 @@ func DefaultConfig(seed int64) Config {
 	return Config{
 		Seed: seed, Steps: 100, Delta: 6, Addresses: 10, SnapshotEvery: 5,
 		FleetReplicas: 3, FleetMaxLag: 3, HydrateEvery: 9, CertifyEvery: 20,
+		Pipelined: true,
 	}
 }
 
@@ -97,6 +109,15 @@ type Stats struct {
 	SnapshotRestores int
 	// SnapshotBytes is the size of the last snapshot taken.
 	SnapshotBytes int
+	// PipelinedChecks counts steps at which the pipelined canister's
+	// snapshot and probe responses were verified byte-identical to the
+	// serial overlay's; PipelinedRestores counts its mid-run parallel
+	// snapshot re-hydrations; PipelinedWorkerSum accumulates the randomized
+	// worker counts (coverage signal: both 1 and >1 must occur).
+	PipelinedChecks    int
+	PipelinedRestores  int
+	PipelinedWorkerSum int
+	PipelinedSerial    int // steps run with 1 worker (serial degeneration)
 	// Fleet counters (zero when the fleet is disabled).
 	FleetFrames        uint64 // frames published by the overlay canister
 	FleetReplicaChecks int    // lagged-replica probe batches verified
@@ -114,6 +135,10 @@ type Harness struct {
 
 	overlay *canister.BitcoinCanister
 	replay  *canister.BitcoinCanister
+	// pipelined receives identical payloads through the parallel ingest
+	// pipeline at randomized worker counts; nil when Config.Pipelined is
+	// off. The serial overlay is its oracle.
+	pipelined *canister.BitcoinCanister
 
 	miner *forkMiner
 	now   time.Time
@@ -177,6 +202,9 @@ func New(cfg Config) *Harness {
 		replay:  mk(canister.ReadPathReplay),
 		miner:   newForkMiner(params),
 		now:     time.Unix(int64(params.GenesisHeader.Timestamp), 0).Add(time.Hour),
+	}
+	if cfg.Pipelined {
+		h.pipelined = mk(canister.ReadPathOverlay)
 	}
 	for i := 0; i < cfg.Addresses; i++ {
 		var hash [20]byte
@@ -293,12 +321,64 @@ func (h *Harness) Step() error {
 	if err := h.checkStateAgreement(); err != nil {
 		return err
 	}
+	if err := h.checkPipelined(); err != nil {
+		return err
+	}
 	if err := h.checkQueries(); err != nil {
 		return err
 	}
 	if h.fleet != nil {
 		return h.fleetStep()
 	}
+	return nil
+}
+
+// checkPipelined asserts the pipelined canister is byte-identical to the
+// serial overlay oracle: the full snapshot (state, counters, tree, deltas)
+// and every probe response. One step in SnapshotEvery it is additionally
+// torn down and restored through the sharded parallel decoder at a random
+// worker count; re-encoding the restored instance must reproduce the
+// snapshot bytes.
+func (h *Harness) checkPipelined() error {
+	if h.pipelined == nil {
+		return nil
+	}
+	want, err := h.overlay.Snapshot()
+	if err != nil {
+		return fmt.Errorf("overlay snapshot: %w", err)
+	}
+	got, err := h.pipelined.Snapshot()
+	if err != nil {
+		return fmt.Errorf("pipelined snapshot: %w", err)
+	}
+	if !bytes.Equal(want, got) {
+		return fmt.Errorf("pipelined ingest diverged from the serial oracle: snapshots differ (%d vs %d bytes)",
+			len(got), len(want))
+	}
+	wantProbes := h.probeDigests(h.overlay)
+	gotProbes := h.probeDigests(h.pipelined)
+	for p := range wantProbes {
+		if gotProbes[p] != wantProbes[p] {
+			return fmt.Errorf("pipelined ingest diverged from the serial oracle at probe %d", p)
+		}
+	}
+	if h.cfg.SnapshotEvery > 0 && h.rng.Intn(h.cfg.SnapshotEvery) == 0 {
+		workers := 1 + h.rng.Intn(8)
+		restored, err := canister.RestoreSnapshotParallel(got, ingest.Config{Workers: workers})
+		if err != nil {
+			return fmt.Errorf("pipelined parallel restore (workers=%d): %w", workers, err)
+		}
+		again, err := restored.Snapshot()
+		if err != nil {
+			return fmt.Errorf("pipelined re-snapshot: %w", err)
+		}
+		if !bytes.Equal(got, again) {
+			return fmt.Errorf("parallel restore (workers=%d) not byte-stable: %d -> %d bytes", workers, len(got), len(again))
+		}
+		h.pipelined = restored
+		h.stats.PipelinedRestores++
+	}
+	h.stats.PipelinedChecks++
 	return nil
 }
 
@@ -492,15 +572,27 @@ func (h *Harness) deliverBlocks(blocks ...*btc.Block) error {
 	return h.deliver(resp)
 }
 
-// deliver processes one payload on both canisters with identical contexts,
+// deliver processes one payload on every canister with identical contexts,
 // then records the authoritative probe answers for any frame the payload
 // published — the per-frame history lagged replicas are verified against.
+// The pipelined canister receives the payload through the parallel ingest
+// pipeline at a per-payload randomized worker count and prefetch window.
 func (h *Harness) deliver(resp adapter.Response) error {
 	if err := h.overlay.ProcessPayload(h.ctx(ic.KindUpdate), resp); err != nil {
 		return fmt.Errorf("overlay payload: %w", err)
 	}
 	if err := h.replay.ProcessPayload(h.ctx(ic.KindUpdate), resp); err != nil {
 		return fmt.Errorf("replay payload: %w", err)
+	}
+	if h.pipelined != nil {
+		cfg := ingest.Config{Workers: 1 + h.rng.Intn(8), Window: 1 + h.rng.Intn(8)}
+		h.stats.PipelinedWorkerSum += cfg.Workers
+		if cfg.Workers == 1 {
+			h.stats.PipelinedSerial++
+		}
+		if err := h.pipelined.ProcessPayloadPipelined(h.ctx(ic.KindUpdate), resp, cfg); err != nil {
+			return fmt.Errorf("pipelined payload (workers=%d window=%d): %w", cfg.Workers, cfg.Window, err)
+		}
 	}
 	if h.fleet != nil {
 		if seq := h.fleet.LastSeq(); seq > h.lastRecorded {

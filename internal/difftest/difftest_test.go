@@ -1,6 +1,7 @@
 package difftest
 
 import (
+	"runtime"
 	"testing"
 )
 
@@ -27,6 +28,10 @@ func TestDifferentialOverlayVsReplay(t *testing.T) {
 		agg.FleetHydrations += stats.FleetHydrations
 		agg.FleetForwardChecks += stats.FleetForwardChecks
 		agg.FleetCertified += stats.FleetCertified
+		agg.PipelinedChecks += stats.PipelinedChecks
+		agg.PipelinedRestores += stats.PipelinedRestores
+		agg.PipelinedSerial += stats.PipelinedSerial
+		agg.PipelinedWorkerSum += stats.PipelinedWorkerSum
 		if stats.Reorgs == 0 {
 			t.Errorf("seed %d: workload produced no reorgs", seed)
 		}
@@ -61,6 +66,41 @@ func TestDifferentialOverlayVsReplay(t *testing.T) {
 	}
 	if agg.FleetCertified < 10 {
 		t.Fatalf("only %d certified responses verified, want >= 10", agg.FleetCertified)
+	}
+	// Pipelined-ingest dimension: the third canister must have been
+	// verified byte-identical to the serial oracle at every step, with the
+	// randomized worker counts actually spanning serial and parallel, and
+	// parallel restores exercised mid-run.
+	if agg.PipelinedChecks != agg.Steps {
+		t.Fatalf("pipelined canister verified at %d of %d steps", agg.PipelinedChecks, agg.Steps)
+	}
+	if agg.PipelinedSerial == 0 || agg.PipelinedWorkerSum <= agg.PipelinedChecks {
+		t.Fatalf("worker randomization degenerate: %d serial steps, worker sum %d over %d checks",
+			agg.PipelinedSerial, agg.PipelinedWorkerSum, agg.PipelinedChecks)
+	}
+	if agg.PipelinedRestores < 20 {
+		t.Fatalf("only %d parallel snapshot restores of the pipelined canister, want >= 20", agg.PipelinedRestores)
+	}
+}
+
+// TestDifferentialPipelinedSingleProc repeats the pipelined-vs-serial
+// exercise under GOMAXPROCS=1: the pipeline's goroutines interleave on one
+// OS thread, the most adversarial schedule for ordering bugs, and results
+// must stay byte-identical.
+func TestDifferentialPipelinedSingleProc(t *testing.T) {
+	prev := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(prev)
+	for _, seed := range []int64{6, 17} {
+		cfg := DefaultConfig(seed)
+		cfg.Steps = 60
+		h := New(cfg)
+		stats, err := h.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.PipelinedChecks != stats.Steps {
+			t.Fatalf("seed %d: pipelined verified at %d of %d steps", seed, stats.PipelinedChecks, stats.Steps)
+		}
 	}
 }
 

@@ -592,3 +592,40 @@ func TestSnapshotScenario(t *testing.T) {
 		t.Fatal("no output")
 	}
 }
+
+func TestIngestScenario(t *testing.T) {
+	// Scaled down for CI; the full mainnet-shaped run is `bench -fig
+	// ingest`. The scenario itself asserts byte-identical state across
+	// every leg before reporting a single number; wall-clock speedups are
+	// NOT asserted here — CI machines (and this container) may have any
+	// core count.
+	cfg := IngestConfig{
+		Seed:         3,
+		Blocks:       15,
+		TxsPerBlock:  60,
+		OutputsPerTx: 2,
+		SpendEvery:   5,
+		Addresses:    16,
+		Delta:        6,
+		Workers:      []int{1, 2, 4},
+		Rounds:       1,
+	}
+	res, err := RunIngest(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Identical {
+		t.Fatal("pipelined legs diverged from serial")
+	}
+	if len(res.Rows) != 1+len(cfg.Workers) || len(res.HydrateRows) != len(cfg.Workers) {
+		t.Fatalf("unexpected table shape: %d ingest rows, %d hydrate rows", len(res.Rows), len(res.HydrateRows))
+	}
+	if res.StableUTXOs == 0 || res.Rows[0].BlocksSec <= 0 {
+		t.Fatalf("degenerate run: %+v", res.Rows[0])
+	}
+	var buf bytes.Buffer
+	res.Print(&buf)
+	if buf.Len() == 0 {
+		t.Fatal("no output")
+	}
+}

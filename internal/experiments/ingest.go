@@ -1,0 +1,279 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"icbtc/internal/adapter"
+	"icbtc/internal/btc"
+	"icbtc/internal/canister"
+	"icbtc/internal/ic"
+	"icbtc/internal/ingest"
+)
+
+// Ingest scenario: block-ingest throughput, serial versus the parallel
+// deterministic pipeline. The serial leg is the per-block ProcessPayload
+// loop the repo has always run (ParseBlock from wire, then Algorithm 2);
+// the pipelined legs run the identical batch through SyncWire at 1/2/4/8
+// workers — wire decode, txid/Merkle double-hashing, script-ID derivation,
+// and delta prebuild on the workers, application strictly sequential. The
+// scenario asserts the resulting canister snapshots are byte-identical
+// across every leg before reporting any number, then measures fast-sync
+// hydration (snapshot restore) serial versus sharded at the same worker
+// counts.
+
+// IngestConfig parameterizes the scenario.
+type IngestConfig struct {
+	Seed int64
+	// Blocks, TxsPerBlock, OutputsPerTx, SpendEvery, Addresses shape the
+	// history exactly as the snapshot scenario does (realistic blocks:
+	// many small transactions).
+	Blocks       int
+	TxsPerBlock  int
+	OutputsPerTx int
+	SpendEvery   int
+	Addresses    int
+	// Delta is δ; all but the last δ−1 blocks fold into the stable set.
+	Delta int64
+	// Workers lists the pipeline worker counts to measure.
+	Workers []int
+	// Rounds is the best-of-N repetition count per leg.
+	Rounds int
+}
+
+// DefaultIngestConfig mirrors the snapshot scenario's mainnet-shaped
+// blocks: ~500 transactions of ~2 outputs each.
+func DefaultIngestConfig() IngestConfig {
+	return IngestConfig{
+		Seed:         7,
+		Blocks:       125,
+		TxsPerBlock:  500,
+		OutputsPerTx: 2,
+		SpendEvery:   6,
+		Addresses:    64,
+		Delta:        6,
+		Workers:      []int{1, 2, 4, 8},
+		Rounds:       3,
+	}
+}
+
+// IngestRow is one measured leg.
+type IngestRow struct {
+	// Workers is 0 for the serial ProcessPayload loop, else the pipeline
+	// worker count.
+	Workers   int
+	Time      time.Duration
+	BlocksSec float64
+	// Speedup is serial time / this leg's time.
+	Speedup float64
+}
+
+// IngestResult carries the measurements.
+type IngestResult struct {
+	Blocks       int
+	Transactions int
+	StableUTXOs  int
+	WireBytes    int
+
+	Rows []IngestRow
+
+	// Hydration legs: snapshot restore, serial vs sharded.
+	SnapshotBytes int
+	HydrateSerial time.Duration
+	HydrateRows   []IngestRow
+
+	// Identical reports that every pipelined leg's final snapshot was
+	// byte-identical to the serial leg's.
+	Identical bool
+}
+
+// RunIngest executes the scenario.
+func RunIngest(cfg IngestConfig) (*IngestResult, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	scripts := make([][]byte, cfg.Addresses)
+	for i := range scripts {
+		var h [20]byte
+		rng.Read(h[:])
+		scripts[i] = btc.PayToAddrScript(btc.NewP2PKHAddress(h, btc.Regtest))
+	}
+
+	builder := NewBlockBuilder(btc.RegtestParams(), cfg.Seed)
+	wire := make([][]byte, 0, cfg.Blocks)
+	txs := 0
+	wireBytes := 0
+	for i := 0; i < cfg.Blocks; i++ {
+		specs := make([]TxSpec, 0, cfg.TxsPerBlock)
+		for t := 0; t < cfg.TxsPerBlock; t++ {
+			spec := TxSpec{Outputs: PayN(scripts[rng.Intn(len(scripts))], cfg.OutputsPerTx, 546+int64(t%9))}
+			if cfg.SpendEvery > 0 && t%cfg.SpendEvery == cfg.SpendEvery-1 {
+				spec.Inputs = 1
+			}
+			specs = append(specs, spec)
+		}
+		block, err := builder.NextBlock(specs)
+		if err != nil {
+			return nil, err
+		}
+		raw := block.Bytes()
+		wire = append(wire, raw)
+		wireBytes += len(raw)
+		txs += len(block.Transactions)
+	}
+
+	mkCfg := canister.DefaultConfig(btc.Regtest)
+	mkCfg.StabilityThreshold = cfg.Delta
+
+	// Serial leg: the per-block parse + ProcessPayload loop.
+	feedSerial := func() (*canister.BitcoinCanister, error) {
+		c := canister.New(mkCfg)
+		now := time.Unix(1_700_000_000, 0).UTC()
+		for i := range wire {
+			block, err := btc.ParseBlock(wire[i])
+			if err != nil {
+				return nil, err
+			}
+			now = now.Add(time.Second)
+			payload := adapter.Response{Blocks: []adapter.BlockWithHeader{{Block: block, Header: block.Header}}}
+			if err := c.ProcessPayload(ic.NewCallContext(ic.KindUpdate, now), payload); err != nil {
+				return nil, err
+			}
+		}
+		return c, nil
+	}
+	feedPipelined := func(workers int) (*canister.BitcoinCanister, error) {
+		c := canister.New(mkCfg)
+		now := time.Unix(1_700_000_000, 0).UTC()
+		_, err := c.SyncWire(ic.NewCallContext(ic.KindUpdate, now), wire, ingest.Config{Workers: workers})
+		return c, err
+	}
+
+	rounds := cfg.Rounds
+	if rounds < 1 {
+		rounds = 1
+	}
+	best := func(feed func() (*canister.BitcoinCanister, error)) (*canister.BitcoinCanister, time.Duration, error) {
+		var min time.Duration
+		var last *canister.BitcoinCanister
+		for i := 0; i < rounds; i++ {
+			start := time.Now()
+			c, err := feed()
+			if err != nil {
+				return nil, 0, err
+			}
+			if d := time.Since(start); i == 0 || d < min {
+				min = d
+			}
+			last = c
+		}
+		return last, min, nil
+	}
+
+	res := &IngestResult{Blocks: cfg.Blocks, Transactions: txs, WireBytes: wireBytes, Identical: true}
+
+	serialCan, serialTime, err := best(feedSerial)
+	if err != nil {
+		return nil, err
+	}
+	res.StableUTXOs = serialCan.StableUTXOCount()
+	res.Rows = append(res.Rows, IngestRow{
+		Workers: 0, Time: serialTime,
+		BlocksSec: float64(cfg.Blocks) / serialTime.Seconds(), Speedup: 1,
+	})
+	want, err := serialCan.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+
+	for _, w := range cfg.Workers {
+		c, t, err := best(func() (*canister.BitcoinCanister, error) { return feedPipelined(w) })
+		if err != nil {
+			return nil, err
+		}
+		snap, err := c.Snapshot()
+		if err != nil {
+			return nil, err
+		}
+		if !bytes.Equal(snap, want) {
+			res.Identical = false
+			return res, fmt.Errorf("experiments: pipelined ingest at %d workers diverged from the serial path", w)
+		}
+		res.Rows = append(res.Rows, IngestRow{
+			Workers: w, Time: t,
+			BlocksSec: float64(cfg.Blocks) / t.Seconds(),
+			Speedup:   float64(serialTime) / float64(t),
+		})
+	}
+
+	// Fast-sync hydration: serial restore vs sharded restore.
+	res.SnapshotBytes = len(want)
+	timeOp := func(op func() error) (time.Duration, error) {
+		var min time.Duration
+		for i := 0; i < rounds+2; i++ {
+			start := time.Now()
+			if err := op(); err != nil {
+				return 0, err
+			}
+			if d := time.Since(start); i == 0 || d < min {
+				min = d
+			}
+		}
+		return min, nil
+	}
+	if res.HydrateSerial, err = timeOp(func() error {
+		_, err := canister.RestoreSnapshot(want)
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	for _, w := range cfg.Workers {
+		var restored *canister.BitcoinCanister
+		t, err := timeOp(func() error {
+			var err error
+			restored, err = canister.RestoreSnapshotParallel(want, ingest.Config{Workers: w})
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		again, err := restored.Snapshot()
+		if err != nil {
+			return nil, err
+		}
+		if !bytes.Equal(again, want) {
+			res.Identical = false
+			return res, fmt.Errorf("experiments: sharded restore at %d workers diverged", w)
+		}
+		res.HydrateRows = append(res.HydrateRows, IngestRow{
+			Workers: w, Time: t,
+			Speedup: float64(res.HydrateSerial) / float64(t),
+		})
+	}
+	return res, nil
+}
+
+// Print renders the measurements.
+func (r *IngestResult) Print(w io.Writer) {
+	fmt.Fprintln(w, "Block ingest: serial vs deterministic parallel pipeline")
+	fmt.Fprintf(w, "%-28s %12d\n", "blocks", r.Blocks)
+	fmt.Fprintf(w, "%-28s %12d\n", "transactions", r.Transactions)
+	fmt.Fprintf(w, "%-28s %12d\n", "stable UTXOs", r.StableUTXOs)
+	fmt.Fprintf(w, "%-28s %12d\n", "wire bytes", r.WireBytes)
+	fmt.Fprintf(w, "%-28s %12v\n", "byte-identical state", r.Identical)
+	fmt.Fprintf(w, "%-12s %12s %12s %9s\n", "leg", "time", "blocks/s", "speedup")
+	for _, row := range r.Rows {
+		leg := "serial"
+		if row.Workers > 0 {
+			leg = fmt.Sprintf("%d workers", row.Workers)
+		}
+		fmt.Fprintf(w, "%-12s %12s %12.1f %8.2fx\n", leg, row.Time.Round(time.Microsecond), row.BlocksSec, row.Speedup)
+	}
+	fmt.Fprintf(w, "fast-sync hydration (snapshot %d bytes):\n", r.SnapshotBytes)
+	fmt.Fprintf(w, "%-12s %12s %9s\n", "serial", r.HydrateSerial.Round(time.Microsecond), "1.00x")
+	for _, row := range r.HydrateRows {
+		fmt.Fprintf(w, "%-12s %12s %8.2fx\n", fmt.Sprintf("%d workers", row.Workers),
+			row.Time.Round(time.Microsecond), row.Speedup)
+	}
+}

@@ -116,6 +116,18 @@ type Config struct {
 	// frames as they arrive. Leave false to control application manually
 	// (ApplyPending / CatchUp) — the differential harness does.
 	AutoApply bool
+	// HydrateWorkers parallelizes snapshot decoding during replica
+	// (re)hydration — sharded script-table/bucket decode plus concurrent
+	// block parsing (canister.RestoreSnapshotParallel). 0 selects
+	// ingest.DefaultWorkers(); 1 forces the serial decoder. The hydrated
+	// state is identical either way.
+	HydrateWorkers int
+	// PrepareWorkers parallelizes decoding and block-parsing of queued
+	// stream frames ahead of their (strictly sequential) application — the
+	// catch-up accelerator for replicas that fell behind. 0 selects
+	// ingest.DefaultWorkers(); 1 forces serial. Applied state is identical
+	// either way.
+	PrepareWorkers int
 }
 
 // DefaultConfig returns a 4-replica fleet with a 2-block staleness bound

@@ -8,6 +8,7 @@ import (
 
 	"icbtc/internal/canister"
 	"icbtc/internal/ic"
+	"icbtc/internal/ingest"
 )
 
 // Replica is one read replica: a full canister state hydrated from a
@@ -86,12 +87,29 @@ func newReplica(index int, fleet *Fleet, snapshot []byte, seq uint64) (*Replica,
 	return r, nil
 }
 
+// hydrateWorkers resolves the fleet's hydration worker count.
+func (r *Replica) hydrateWorkers() int {
+	if w := r.fleet.cfg.HydrateWorkers; w > 0 {
+		return w
+	}
+	return ingest.DefaultWorkers()
+}
+
+// prepareWorkers resolves the fleet's frame-preparation worker count.
+func (r *Replica) prepareWorkers() int {
+	if w := r.fleet.cfg.PrepareWorkers; w > 0 {
+		return w
+	}
+	return ingest.DefaultWorkers()
+}
+
 // Hydrate (re)builds the replica's state from a canister snapshot taken
-// after stream frame seq: decode, warm every lazily derived structure the
+// after stream frame seq: decode (sharded across the fleet's hydration
+// workers — the fast-sync path), warm every lazily derived structure the
 // read path touches, and drop queued frames the snapshot already covers.
 // Serving continues from the new state on return.
 func (r *Replica) Hydrate(snapshot []byte, seq uint64) error {
-	can, err := canister.RestoreSnapshot(snapshot)
+	can, err := canister.RestoreSnapshotParallel(snapshot, ingest.Config{Workers: r.hydrateWorkers()})
 	if err != nil {
 		return fmt.Errorf("queryfleet: hydrate replica %d: %w", r.index, err)
 	}
@@ -146,10 +164,14 @@ func (r *Replica) Seq() uint64 {
 func (r *Replica) TipHeight() int64 { return r.tip.Load() }
 
 // ApplyPending applies up to max queued frames (all of them when max < 0),
-// returning how many were applied. A decode or apply failure quarantines
-// the replica (Broken reports it; routing skips it) until a re-hydration
-// replaces its state — continuing past a lost frame would let later frames
-// advance the tip over a silently diverged state.
+// returning how many were applied. Queued frames are decoded and their
+// blocks parsed on the ingest pipeline (PrepareWorkers) while application
+// itself stays strictly sequential under the write lock, so a lagging
+// replica catches up at pipeline speed without weakening any ordering
+// guarantee. A decode or apply failure quarantines the replica (Broken
+// reports it; routing skips it) until a re-hydration replaces its state —
+// continuing past a lost frame would let later frames advance the tip over
+// a silently diverged state.
 func (r *Replica) ApplyPending(max int) (int, error) {
 	applied := 0
 	for max < 0 || applied < max {
@@ -157,37 +179,69 @@ func (r *Replica) ApplyPending(max int) (int, error) {
 			return applied, fmt.Errorf("queryfleet: replica %d is quarantined after a failed frame; re-hydrate it", r.index)
 		}
 		r.inboxMu.Lock()
-		if len(r.inbox) == 0 {
+		take := len(r.inbox)
+		if max >= 0 && take > max-applied {
+			take = max - applied
+		}
+		if take == 0 {
 			r.inboxMu.Unlock()
 			return applied, nil
 		}
-		f := r.inbox[0]
-		r.inbox = r.inbox[1:]
+		batch := make([]pendingFrame, take)
+		copy(batch, r.inbox[:take])
+		r.inbox = r.inbox[take:]
 		r.inboxMu.Unlock()
 
-		frame, err := canister.DecodeFrame(f.raw)
+		type decoded struct {
+			frame *canister.Frame
+			err   error
+		}
+		var failErr error
+		err := ingest.Map(len(batch), ingest.Config{Workers: r.prepareWorkers()},
+			func(_, i int) decoded {
+				frame, err := canister.DecodeFrame(batch[i].raw)
+				if err != nil {
+					return decoded{err: err}
+				}
+				// Blocks parse inside this produce call; frame-level
+				// parallelism already covers the batch.
+				frame.Prepare(ingest.Config{Workers: 1})
+				return decoded{frame: frame}
+			},
+			func(i int, dec decoded) error {
+				f := batch[i]
+				if dec.err != nil {
+					failErr = fmt.Errorf("queryfleet: replica %d frame %d: %w", r.index, f.seq, dec.err)
+					return failErr
+				}
+				r.mu.Lock()
+				if f.seq <= r.seq {
+					// Covered by a concurrent re-hydration that raced the
+					// dequeue.
+					r.mu.Unlock()
+					return nil
+				}
+				err := r.can.ApplyFrame(dec.frame)
+				if err == nil {
+					r.seq = f.seq
+					tip, _ := r.can.StreamPosition()
+					r.tip.Store(tip)
+				}
+				r.mu.Unlock()
+				if err != nil {
+					failErr = fmt.Errorf("queryfleet: replica %d frame %d: %w", r.index, f.seq, err)
+					return failErr
+				}
+				applied++
+				return nil
+			})
 		if err != nil {
 			r.broken.Store(true)
-			return applied, fmt.Errorf("queryfleet: replica %d frame %d: %w", r.index, f.seq, err)
+			if failErr != nil {
+				return applied, failErr
+			}
+			return applied, err
 		}
-		r.mu.Lock()
-		if f.seq <= r.seq {
-			// Covered by a concurrent re-hydration that raced the dequeue.
-			r.mu.Unlock()
-			continue
-		}
-		err = r.can.ApplyFrame(frame)
-		if err == nil {
-			r.seq = f.seq
-			tip, _ := r.can.StreamPosition()
-			r.tip.Store(tip)
-		}
-		r.mu.Unlock()
-		if err != nil {
-			r.broken.Store(true)
-			return applied, fmt.Errorf("queryfleet: replica %d frame %d: %w", r.index, f.seq, err)
-		}
-		applied++
 	}
 	return applied, nil
 }

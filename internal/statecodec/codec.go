@@ -295,6 +295,28 @@ func (d *Decoder) String(maxLen uint64) string { return string(d.Bytes(maxLen)) 
 // Remaining returns the number of unread payload bytes.
 func (d *Decoder) Remaining() int { return len(d.buf) - d.off }
 
+// Offset returns the current payload offset — together with Window, the
+// basis for sharded decoding: a scan pass records section boundaries by
+// offset, then parallel workers decode disjoint windows.
+func (d *Decoder) Offset() int { return d.off }
+
+// Skip advances past n payload bytes without reading them (the scan pass
+// of a sharded decode steps over fixed-width fields this way).
+func (d *Decoder) Skip(n int) { d.take(n) }
+
+// Window returns an independent sub-decoder over payload bytes
+// [start, end): same buffer (no copy), own offset and sticky error, no
+// magic/version/checksum framing (the parent already verified those).
+// Disjoint windows may be decoded concurrently; the parent must not be
+// advanced past outstanding windows' bytes by anything but Skip. Close on
+// the window asserts the window was fully consumed.
+func (d *Decoder) Window(start, end int) (*Decoder, error) {
+	if start < 0 || end < start || end > len(d.buf) {
+		return nil, fmt.Errorf("statecodec: window [%d,%d) out of payload bounds %d", start, end, len(d.buf))
+	}
+	return &Decoder{buf: d.buf[:end], off: start}, nil
+}
+
 // Close asserts the payload was fully consumed and returns the sticky
 // error, or ErrTrailing when bytes remain.
 func (d *Decoder) Close() error {

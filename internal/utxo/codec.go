@@ -204,6 +204,271 @@ func DecodeSet(d *statecodec.Decoder) (*Set, error) {
 	return s, d.Err()
 }
 
+// --- Sharded parallel decode (fast-sync hydration) ---
+
+// scriptSpan / bucketSpan record the byte windows a scan pass found, so
+// shard workers can decode them independently.
+type scriptSpan struct {
+	start, end int
+}
+
+type bucketSpan struct {
+	key        string
+	n          int
+	start, end int // entry bytes window
+	arenaOff   int // the bucket's slot in the shared entry arena
+}
+
+// shardResult is one shard's decoded buckets: the bucket structs (entries
+// appended into disjoint arena sub-slices, balances accumulated, order
+// verified) plus each entry's script index for the sequential merge.
+type shardResult struct {
+	buckets []*bucket
+	scIdx   [][]uint32
+	err     error
+}
+
+// DecodeSetParallel reads a set encoded by EncodeTo using up to `workers`
+// goroutines: a cheap scan pass records the script-table and bucket byte
+// windows, the script table and bucket shards decode concurrently, and a
+// sequential merge — running as shards complete, in deterministic shard
+// order — rebuilds the outpoint map, reference counts, and byte estimate.
+// The format is unchanged (same bytes DecodeSet reads) and the resulting
+// set is identical to DecodeSet's; with workers <= 1 it IS DecodeSet.
+//
+// The merge preserves every structural check the serial decoder performs
+// (duplicate scripts/buckets/outpoints, storage-order violations, script
+// index bounds, entry-count accounting, unreferenced scripts), so a
+// hostile snapshot is rejected either way.
+func DecodeSetParallel(d *statecodec.Decoder, workers int) (*Set, error) {
+	if workers <= 1 {
+		return DecodeSet(d)
+	}
+	network := btc.Network(d.U8())
+	total := d.CountFor(maxSnapshotEntries, setEntryBytes)
+	nScripts := d.CountFor(maxSnapshotEntries, lengthPrefixedMin2)
+	if d.Err() != nil {
+		return nil, d.Err()
+	}
+
+	// Scan the script table: skip length-prefixed fields, record the window.
+	scripts := scriptSpan{start: d.Offset()}
+	for i := 0; i < nScripts; i++ {
+		d.Skip(d.Count(maxSnapshotScriptLen))
+		d.Skip(d.Count(maxSnapshotKeyLen))
+	}
+	if d.Err() != nil {
+		return nil, d.Err()
+	}
+	scripts.end = d.Offset()
+
+	// Decode the script table concurrently with the bucket scan below.
+	type scriptTable struct {
+		list     []*internedScript
+		interned map[string]*internedScript
+		err      error
+	}
+	scriptCh := make(chan scriptTable, 1)
+	sw, err := d.Window(scripts.start, scripts.end)
+	if err != nil {
+		return nil, err
+	}
+	go func() {
+		t := scriptTable{
+			list:     make([]*internedScript, 0, nScripts),
+			interned: make(map[string]*internedScript, nScripts),
+		}
+		for i := 0; i < nScripts; i++ {
+			raw := sw.Bytes(maxSnapshotScriptLen)
+			key := sw.String(maxSnapshotKeyLen)
+			if sw.Err() != nil {
+				t.err = sw.Err()
+				break
+			}
+			cp := make([]byte, len(raw))
+			copy(cp, raw)
+			sc := &internedScript{bytes: cp, key: key}
+			before := len(t.interned)
+			t.interned[string(cp)] = sc
+			if len(t.interned) == before {
+				t.err = fmt.Errorf("utxo: snapshot script %d duplicated", i)
+				break
+			}
+			t.list = append(t.list, sc)
+		}
+		scriptCh <- t
+	}()
+
+	// Scan the bucket section: keys, counts, and entry windows. Entries are
+	// a fixed 52 bytes plus a script-index varint, so the scan is a skip
+	// per entry, no decoding.
+	nBuckets := d.CountFor(maxSnapshotEntries, lengthPrefixedMin2)
+	spans := make([]bucketSpan, 0, nBuckets)
+	seen := make(map[string]struct{}, nBuckets)
+	decoded := 0
+	for i := 0; i < nBuckets; i++ {
+		key := d.String(maxSnapshotKeyLen)
+		n := d.CountFor(maxSnapshotEntries, setEntryBytes)
+		if d.Err() != nil {
+			return nil, d.Err()
+		}
+		if _, dup := seen[key]; dup {
+			return nil, fmt.Errorf("utxo: snapshot bucket %q duplicated", key)
+		}
+		if n > 0 {
+			// The serial decoder only indexes non-empty buckets, so only
+			// those can collide.
+			seen[key] = struct{}{}
+		}
+		if decoded+n > total {
+			return nil, fmt.Errorf("utxo: snapshot bucket %q overflows declared entry count %d", key, total)
+		}
+		start := d.Offset()
+		for j := 0; j < n; j++ {
+			d.Skip(btc.HashSize + 4 + 8 + 8)
+			d.Uvarint()
+		}
+		if d.Err() != nil {
+			return nil, d.Err()
+		}
+		spans = append(spans, bucketSpan{key: key, n: n, start: start, end: d.Offset(), arenaOff: decoded})
+		decoded += n
+	}
+	if decoded != total {
+		return nil, fmt.Errorf("utxo: snapshot declared %d entries, decoded %d", total, decoded)
+	}
+
+	// Partition buckets into contiguous shards balanced by entry count.
+	var shards [][]bucketSpan
+	target := (total + workers - 1) / workers
+	if target < 1 {
+		target = 1
+	}
+	for lo := 0; lo < len(spans); {
+		hi, count := lo, 0
+		for hi < len(spans) && (count == 0 || count+spans[hi].n <= target) {
+			count += spans[hi].n
+			hi++
+		}
+		shards = append(shards, spans[lo:hi])
+		lo = hi
+	}
+
+	st := <-scriptCh
+	if st.err != nil {
+		return nil, st.err
+	}
+
+	s := &Set{
+		network:    network,
+		byOutPoint: make(map[btc.OutPoint]entry, total),
+		byAddress:  make(map[string]*bucket, nScripts),
+		interned:   st.interned,
+	}
+	// One arena backs every bucket's entry slice, as in the serial decoder;
+	// shards fill disjoint sub-slices.
+	arena := make([]UTXO, 0, total)
+
+	results := make([]chan shardResult, len(shards))
+	for si := range shards {
+		results[si] = make(chan shardResult, 1)
+		go func(si int, part []bucketSpan) {
+			res := shardResult{
+				buckets: make([]*bucket, 0, len(part)),
+				scIdx:   make([][]uint32, 0, len(part)),
+			}
+			for _, sp := range part {
+				w, err := d.Window(sp.start, sp.end)
+				if err != nil {
+					res.err = err
+					break
+				}
+				b := &bucket{asc: arena[sp.arenaOff : sp.arenaOff : sp.arenaOff+sp.n]}
+				idx := make([]uint32, 0, sp.n)
+				for j := 0; j < sp.n; j++ {
+					fields := w.Raw(btc.HashSize + 4 + 8 + 8)
+					si64 := w.Uvarint()
+					if w.Err() != nil {
+						res.err = w.Err()
+						break
+					}
+					var op btc.OutPoint
+					copy(op.TxID[:], fields[:btc.HashSize])
+					op.Vout = binary.LittleEndian.Uint32(fields[btc.HashSize:])
+					value := int64(binary.LittleEndian.Uint64(fields[btc.HashSize+4:]))
+					height := int64(binary.LittleEndian.Uint64(fields[btc.HashSize+12:]))
+					if si64 >= uint64(len(st.list)) {
+						res.err = fmt.Errorf("utxo: snapshot script index %d out of range", si64)
+						break
+					}
+					sc := st.list[si64]
+					u := UTXO{OutPoint: op, Value: value, PkScript: sc.bytes, Height: height}
+					if j > 0 && !storageLess(&b.asc[j-1], &u) {
+						res.err = fmt.Errorf("utxo: snapshot bucket %q not in storage order at entry %d", sp.key, j)
+						break
+					}
+					b.asc = append(b.asc, u)
+					b.balance += value
+					idx = append(idx, uint32(si64))
+				}
+				if res.err != nil {
+					break
+				}
+				res.buckets = append(res.buckets, b)
+				res.scIdx = append(res.scIdx, idx)
+			}
+			results[si] <- res
+		}(si, shards[si])
+	}
+
+	// Merge shards in order as they complete: the outpoint map, reference
+	// counts, and byte estimate are sequential state, so this loop is the
+	// only writer. A failed shard still drains the others before returning.
+	var firstErr error
+	for si := range shards {
+		res := <-results[si]
+		if res.err != nil {
+			if firstErr == nil {
+				firstErr = res.err
+			}
+			continue
+		}
+		if firstErr != nil {
+			continue
+		}
+		for bi, sp := range shards[si] {
+			b := res.buckets[bi]
+			for j := range b.asc {
+				u := &b.asc[j]
+				sc := st.list[res.scIdx[bi][j]]
+				before := len(s.byOutPoint)
+				s.byOutPoint[u.OutPoint] = entry{value: u.Value, height: u.Height, script: sc}
+				if len(s.byOutPoint) == before {
+					firstErr = fmt.Errorf("utxo: snapshot outpoint %s duplicated", u.OutPoint)
+					break
+				}
+				sc.refs++
+				s.approxBytes += int64(perUTXOOverhead + len(sc.bytes))
+			}
+			if firstErr != nil {
+				break
+			}
+			if sp.n > 0 {
+				s.byAddress[sp.key] = b
+			}
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	for i, sc := range st.list {
+		if sc.refs == 0 {
+			return nil, fmt.Errorf("utxo: snapshot script %d referenced by no entry", i)
+		}
+	}
+	return s, d.Err()
+}
+
 // EncodeBlockDelta appends a block delta's deterministic encoding: created
 // outputs per address (sorted by key, lists in block order) followed by
 // spent outpoints per address. Created outputs all sit at the delta's own

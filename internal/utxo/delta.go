@@ -90,44 +90,67 @@ type OwnedOutput struct {
 	Value      int64
 }
 
-// BuildBlockDelta computes the address-indexed delta of one block. It
-// replays the block's transactions in order — exactly the order the naive
-// read path would — netting out outputs created and spent within the block,
-// and attributes external spends through resolve. Transaction IDs come from
-// the block's memoized table and address keys from the shared ScriptID
-// cache, so neither is re-derived per output.
-func BuildBlockDelta(block *btc.Block, height int64, ids *btc.ScriptIDCache, resolve OwnerResolver) *BlockDelta {
-	d := &BlockDelta{
+// PreparedDelta is the state-independent half of a BlockDelta: everything
+// derivable from the block alone — the surviving created outputs (netted
+// against in-block spends), their address-keyed lists, and the ordered list
+// of inputs still needing owner attribution against live state. The ingest
+// pipeline builds PreparedDeltas on worker goroutines ahead of sequential
+// application; Finish then binds one to the state it applies at.
+//
+// A PreparedDelta is single-use: Finish transfers its maps into the
+// resulting BlockDelta.
+type PreparedDelta struct {
+	height        int64
+	createdByAddr map[string][]UTXO
+	createdByOp   map[btc.OutPoint]UTXO
+	// spends holds every non-coinbase input outpoint in block order — the
+	// order the serial path would resolve them in.
+	spends []btc.OutPoint
+}
+
+// Height returns the block height the delta was prepared at.
+func (p *PreparedDelta) Height() int64 { return p.height }
+
+// PrepareBlockDelta computes the state-independent half of a block's delta.
+// It is a pure function of the block (plus the memoized address-key
+// derivation), so it can run on any goroutine: pipeline workers call it
+// with worker-local ScriptIDCaches and hand the result to the sequential
+// applier.
+func PrepareBlockDelta(block *btc.Block, height int64, ids *btc.ScriptIDCache) *PreparedDelta {
+	nOut, nIn := 0, 0
+	for _, tx := range block.Transactions {
+		nOut += len(tx.Outputs)
+		if !tx.IsCoinbase() {
+			nIn += len(tx.Inputs)
+		}
+	}
+	p := &PreparedDelta{
 		height:        height,
-		createdByAddr: make(map[string][]UTXO),
-		spentByAddr:   make(map[string][]SpentOutPoint),
-		createdByOp:   make(map[btc.OutPoint]UTXO),
+		createdByAddr: make(map[string][]UTXO, 8),
+		createdByOp:   make(map[btc.OutPoint]UTXO, nOut),
+		spends:        make([]btc.OutPoint, 0, nIn),
 	}
 	// createdOrder preserves block order for the per-address created lists.
-	var createdOrder []btc.OutPoint
+	createdOrder := make([]btc.OutPoint, 0, nOut)
 	txids := block.TxIDs()
 	for ti, tx := range block.Transactions {
 		if !tx.IsCoinbase() {
 			for i := range tx.Inputs {
 				op := tx.Inputs[i].PreviousOutPoint
-				if _, inBlock := d.createdByOp[op]; inBlock {
+				if _, inBlock := p.createdByOp[op]; inBlock {
 					// Created earlier in this very block: net the pair out
 					// locally; it never becomes visible to any view.
-					delete(d.createdByOp, op)
+					delete(p.createdByOp, op)
 				}
-				// Attribute the spend to every owner whose merged view could
-				// currently contain the outpoint. Deletion is idempotent at
-				// merge time, so over-attribution cannot skew the view.
-				for _, owner := range resolve(op) {
-					d.spentByAddr[owner.AddressKey] = append(d.spentByAddr[owner.AddressKey],
-						SpentOutPoint{OutPoint: op, Value: owner.Value})
-				}
+				// Owner attribution needs live state; defer it to Finish, in
+				// this exact order.
+				p.spends = append(p.spends, op)
 			}
 		}
 		txid := txids[ti]
 		for vout := range tx.Outputs {
 			op := btc.OutPoint{TxID: txid, Vout: uint32(vout)}
-			d.createdByOp[op] = UTXO{
+			p.createdByOp[op] = UTXO{
 				OutPoint: op,
 				Value:    tx.Outputs[vout].Value,
 				PkScript: tx.Outputs[vout].PkScript,
@@ -138,15 +161,39 @@ func BuildBlockDelta(block *btc.Block, height int64, ids *btc.ScriptIDCache, res
 	}
 	// Index the surviving creations by address, in block order. A repeated
 	// outpoint (a transaction duplicated inside the block) is emitted once.
-	emitted := make(map[btc.OutPoint]bool, len(d.createdByOp))
+	emitted := make(map[btc.OutPoint]bool, len(p.createdByOp))
 	for _, op := range createdOrder {
-		u, ok := d.createdByOp[op]
+		u, ok := p.createdByOp[op]
 		if !ok || emitted[op] {
 			continue // netted out by an in-block spend, or already emitted
 		}
 		emitted[op] = true
 		key := ids.ID(u.PkScript)
-		d.createdByAddr[key] = append(d.createdByAddr[key], u)
+		p.createdByAddr[key] = append(p.createdByAddr[key], u)
+	}
+	return p
+}
+
+// Finish attributes the prepared delta's external spends through resolve
+// and returns the completed BlockDelta — byte-identical to what
+// BuildBlockDelta would produce on the same state, because resolve is
+// independent of the delta under construction and the spend order is
+// preserved. Must run on the applier goroutine (resolve reads live state).
+func (p *PreparedDelta) Finish(resolve OwnerResolver) *BlockDelta {
+	d := &BlockDelta{
+		height:        p.height,
+		createdByAddr: p.createdByAddr,
+		spentByAddr:   make(map[string][]SpentOutPoint),
+		createdByOp:   p.createdByOp,
+	}
+	for _, op := range p.spends {
+		// Attribute the spend to every owner whose merged view could
+		// currently contain the outpoint. Deletion is idempotent at merge
+		// time, so over-attribution cannot skew the view.
+		for _, owner := range resolve(op) {
+			d.spentByAddr[owner.AddressKey] = append(d.spentByAddr[owner.AddressKey],
+				SpentOutPoint{OutPoint: op, Value: owner.Value})
+		}
 	}
 	for _, c := range d.createdByAddr {
 		d.entries += len(c)
@@ -155,6 +202,18 @@ func BuildBlockDelta(block *btc.Block, height int64, ids *btc.ScriptIDCache, res
 		d.entries += len(s)
 	}
 	return d
+}
+
+// BuildBlockDelta computes the address-indexed delta of one block. It
+// replays the block's transactions in order — exactly the order the naive
+// read path would — netting out outputs created and spent within the block,
+// and attributes external spends through resolve. Transaction IDs come from
+// the block's memoized table and address keys from the shared ScriptID
+// cache, so neither is re-derived per output. Equivalent to
+// PrepareBlockDelta followed by Finish — the serial path and the pipelined
+// path share this exact code.
+func BuildBlockDelta(block *btc.Block, height int64, ids *btc.ScriptIDCache, resolve OwnerResolver) *BlockDelta {
+	return PrepareBlockDelta(block, height, ids).Finish(resolve)
 }
 
 // EntriesFor returns how many created + spent entries the delta holds for

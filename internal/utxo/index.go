@@ -52,6 +52,34 @@ func (b *bucket) insert(u UTXO) {
 	b.asc[i] = u
 }
 
+// insertBatch merges a batch of new entries, sorted by storageLess, into
+// the bucket in one pass: one grow, one backward merge — instead of a
+// binary search plus memmove per entry, which made deep buckets quadratic
+// in the batch size. Batches from a block fold share one height, but the
+// merge handles arbitrary sorted input.
+func (b *bucket) insertBatch(us []UTXO) {
+	old := len(b.asc)
+	if old == 0 || storageLess(&b.asc[old-1], &us[0]) {
+		// Everything lands after the existing entries — the common case:
+		// block heights ascend, so a fold appends.
+		b.asc = append(b.asc, us...)
+		return
+	}
+	b.asc = append(b.asc, us...)
+	// Backward in-place merge: keys are unique (outpoints), so stability is
+	// moot and strict less suffices.
+	i, j := old-1, len(us)-1
+	for k := len(b.asc) - 1; j >= 0; k-- {
+		if i >= 0 && storageLess(&us[j], &b.asc[i]) {
+			b.asc[k] = b.asc[i]
+			i--
+		} else {
+			b.asc[k] = us[j]
+			j--
+		}
+	}
+}
+
 // remove deletes the element with the given outpoint and height, reporting
 // whether it was present.
 func (b *bucket) remove(op btc.OutPoint, height int64) bool {

@@ -97,9 +97,19 @@ func (s *Set) intern(script []byte) *internedScript {
 	if sc, ok := s.interned[string(script)]; ok {
 		return sc
 	}
+	return s.internWithKey(script, btc.ScriptID(script, s.network))
+}
+
+// internWithKey interns a script whose address key the caller has already
+// derived (the batched apply derives keys once per distinct script during
+// staging), skipping the re-derivation intern would pay on a miss.
+func (s *Set) internWithKey(script []byte, key string) *internedScript {
+	if sc, ok := s.interned[string(script)]; ok {
+		return sc
+	}
 	cp := make([]byte, len(script))
 	copy(cp, script)
-	sc := &internedScript{bytes: cp, key: btc.ScriptID(cp, s.network)}
+	sc := &internedScript{bytes: cp, key: key}
 	s.interned[string(cp)] = sc
 	return sc
 }
@@ -188,11 +198,18 @@ func (s *Set) AddressKeyOf(op btc.OutPoint) (string, bool) {
 	return e.script.key, true
 }
 
-// BlockUndo records everything needed to unapply a block.
+// BlockUndo records everything needed to unapply a block. Outputs both
+// created and spent within the same block (in-block spend chains, routine
+// in real Bitcoin) net to nothing and are excluded entirely: they are
+// invisible in the post-apply state, so undo has nothing to reverse. (The
+// old per-entry apply recorded such pairs in both lists, which made
+// UnapplyBlock fail on any block containing one.)
 type BlockUndo struct {
-	// Spent holds the UTXOs consumed by the block, in consumption order.
+	// Spent holds the pre-existing UTXOs the block consumed, in
+	// consumption order.
 	Spent []UTXO
-	// Created holds the outpoints of outputs the block added.
+	// Created holds the outpoints of outputs the block added that were
+	// still unspent at the end of the block, in insertion order.
 	Created []btc.OutPoint
 }
 
@@ -208,51 +225,278 @@ type ApplyStats struct {
 // removes every spent input (except coinbase inputs) and inserts every
 // created output. Transaction IDs come from the block's memoized table —
 // they are computed once per block, not re-serialized per call site. It
-// returns undo data and work statistics. On error the set is left
-// unchanged.
+// returns undo data and work statistics.
+//
+// The apply is batched: the block is first replayed against a staged view
+// (no set mutation), then committed — spends as ordered removals,
+// insertions grouped per address bucket so each bucket does one ordered
+// merge instead of per-entry binary insertion, and undo entries carved from
+// presized arenas. On error nothing was committed, so the set is left
+// untouched (there is no rollback path to re-derive ScriptIDs on), and the
+// first error in block order is reported exactly as the per-entry apply
+// would have.
 func (s *Set) ApplyBlock(block *btc.Block, height int64) (*BlockUndo, ApplyStats, error) {
-	undo := &BlockUndo{}
-	var stats ApplyStats
-	rollback := func() {
-		// Reverse creations, then restore spends.
-		for i := len(undo.Created) - 1; i >= 0; i-- {
-			// Ignoring the error: these were just inserted.
-			_, _ = s.Remove(undo.Created[i])
+	st := s.stageBlock(block, height, true)
+	if st.err != nil {
+		return nil, ApplyStats{}, fmt.Errorf("utxo: applying block at height %d: %w", height, st.err)
+	}
+	s.commitStage(st, height)
+	stats := ApplyStats{
+		OutputsInserted: len(st.inserts),
+		InputsRemoved:   st.removed,
+		BytesInserted:   st.bytesInserted,
+	}
+	// Undo holds the net effect only: pre-existing spends and surviving
+	// creations; in-block created-and-spent pairs cancel.
+	created := make([]btc.OutPoint, 0, len(st.liveIdx))
+	for i := range st.inserts {
+		if st.inserts[i].live {
+			created = append(created, st.inserts[i].op)
 		}
-		for i := len(undo.Spent) - 1; i >= 0; i-- {
-			u := undo.Spent[i]
-			_ = s.Add(u.OutPoint, btc.TxOut{Value: u.Value, PkScript: u.PkScript}, u.Height)
+	}
+	undo := &BlockUndo{Spent: st.spentBase, Created: created}
+	return undo, stats, nil
+}
+
+// IngestStats reports the work of one tolerant block fold into the stable
+// set — the counts the execution layer's metering prices (Fig 6). Outputs
+// are classified by whether their locking script was interned at the moment
+// that output was processed (insertions earlier in the same block count),
+// exactly as the per-entry loop's ScriptInterned probe would have.
+type IngestStats struct {
+	// InputsRemoved counts removal attempts (every non-coinbase input;
+	// metering charges the attempt, not the success).
+	InputsRemoved int
+	// OutputsInterned/OutputsFresh partition every output (including
+	// skipped duplicates, which the per-entry loop also charged) by the
+	// at-the-time interned status of its script.
+	OutputsInterned int
+	OutputsFresh    int
+	// Errors counts tolerated failures: missing inputs plus duplicate
+	// outputs, both skipped without touching the set.
+	Errors int
+}
+
+// ApplyBlockIngest folds a block into the set tolerantly — the canister's
+// stable-ingestion semantics: a missing input or duplicate output is
+// counted and skipped rather than failing the block ("the canister trusts
+// proof of work, not transaction validity"). The final state is identical
+// to a per-entry Remove/Add loop that ignores individual errors, but
+// insertions land in one ordered merge per address bucket. No undo data is
+// built; the canister never rolls back below the anchor.
+func (s *Set) ApplyBlockIngest(block *btc.Block, height int64) IngestStats {
+	st := s.stageBlock(block, height, false)
+	s.commitStage(st, height)
+	return IngestStats{
+		InputsRemoved:   st.inputsAttempted,
+		OutputsInterned: st.outputsInterned,
+		OutputsFresh:    st.outputsFresh,
+		Errors:          st.errors,
+	}
+}
+
+// stagedInsert is one successfully staged output creation.
+type stagedInsert struct {
+	op  btc.OutPoint
+	out btc.TxOut
+	// key is the derived address key (from the interned table when the
+	// script is known, derived once per distinct script otherwise).
+	key string
+	// live is cleared when a later transaction in the same block spends the
+	// output; only live inserts are committed.
+	live bool
+}
+
+// blockStage is the virtual view a block is replayed against before any
+// mutation touches the set.
+type blockStage struct {
+	// err is the first error in block order (strict mode only).
+	err error
+
+	// spentBase collects consumed pre-existing UTXOs in consumption order
+	// (undo.Spent); removed counts every successful removal, staged spends
+	// included (the stats figure).
+	spentBase []UTXO
+	removed   int
+	// inserts collects every successful staged insertion, in order.
+	inserts []stagedInsert
+	// liveIdx maps a live staged outpoint to its index in inserts.
+	liveIdx map[btc.OutPoint]int
+	// removedBase lists base-set outpoints staged for removal, in order;
+	// removedSet is its membership view.
+	removedBase []btc.OutPoint
+	removedSet  map[btc.OutPoint]bool
+	// refDelta tracks the net interned-reference change per script so the
+	// at-the-time interned classification matches the live-mutation loop.
+	refDelta map[string]int
+	// keys memoizes address-key derivations for scripts not interned yet.
+	keys map[string]string
+
+	bytesInserted   int
+	inputsAttempted int
+	outputsInterned int
+	outputsFresh    int
+	errors          int
+}
+
+// keyOf derives (memoized) the address key of a script during staging,
+// reusing the interned table's stored key whenever the script is known.
+func (st *blockStage) keyOf(s *Set, script []byte) string {
+	if sc, ok := s.interned[string(script)]; ok {
+		return sc.key
+	}
+	if key, ok := st.keys[string(script)]; ok {
+		return key
+	}
+	key := btc.ScriptID(script, s.network)
+	st.keys[string(script)] = key
+	return key
+}
+
+// internedNow reports whether script is interned in the staged view: base
+// references plus the staged delta.
+func (st *blockStage) internedNow(s *Set, script []byte) bool {
+	refs := st.refDelta[string(script)]
+	if sc, ok := s.interned[string(script)]; ok {
+		refs += sc.refs
+	}
+	return refs > 0
+}
+
+// stageBlock replays the block's transactions in order against the staged
+// view. In strict mode the first failure stops the stage with err set; in
+// tolerant mode failures are counted and skipped. The set itself is never
+// touched.
+func (s *Set) stageBlock(block *btc.Block, height int64, strict bool) *blockStage {
+	nIn, nOut := 0, 0
+	for _, tx := range block.Transactions {
+		if !tx.IsCoinbase() {
+			nIn += len(tx.Inputs)
 		}
+		nOut += len(tx.Outputs)
+	}
+	st := &blockStage{
+		spentBase:  make([]UTXO, 0, nIn),
+		inserts:    make([]stagedInsert, 0, nOut),
+		liveIdx:    make(map[btc.OutPoint]int, nOut),
+		removedSet: make(map[btc.OutPoint]bool, nIn),
+		refDelta:   make(map[string]int, 8),
+		keys:       make(map[string]string, 8),
 	}
 	txids := block.TxIDs()
 	for ti, tx := range block.Transactions {
 		if !tx.IsCoinbase() {
 			for i := range tx.Inputs {
-				spent, err := s.Remove(tx.Inputs[i].PreviousOutPoint)
-				if err != nil {
-					rollback()
-					return nil, ApplyStats{}, fmt.Errorf("utxo: applying block at height %d: %w", height, err)
+				op := tx.Inputs[i].PreviousOutPoint
+				st.inputsAttempted++
+				if idx, ok := st.liveIdx[op]; ok {
+					// Spends an output created earlier in this block: the
+					// pair nets out and never reaches the undo data.
+					ins := &st.inserts[idx]
+					ins.live = false
+					delete(st.liveIdx, op)
+					st.removed++
+					st.refDelta[string(ins.out.PkScript)]--
+					continue
 				}
-				undo.Spent = append(undo.Spent, spent)
-				stats.InputsRemoved++
+				if e, ok := s.byOutPoint[op]; ok && !st.removedSet[op] {
+					st.removedSet[op] = true
+					st.removedBase = append(st.removedBase, op)
+					st.spentBase = append(st.spentBase, UTXO{OutPoint: op, Value: e.value, PkScript: e.script.bytes, Height: e.height})
+					st.removed++
+					st.refDelta[string(e.script.bytes)]--
+					continue
+				}
+				if strict {
+					st.err = fmt.Errorf("%w: %s", ErrMissingOutput, op)
+					return st
+				}
+				st.errors++
 			}
 		}
 		txid := txids[ti]
 		for vout := range tx.Outputs {
 			op := btc.OutPoint{TxID: txid, Vout: uint32(vout)}
-			if err := s.Add(op, tx.Outputs[vout], height); err != nil {
-				rollback()
-				return nil, ApplyStats{}, fmt.Errorf("utxo: applying block at height %d: %w", height, err)
+			out := tx.Outputs[vout]
+			if !strict {
+				// Metering classification happens before the insert attempt,
+				// as the per-entry loop's ScriptInterned probe did.
+				if st.internedNow(s, out.PkScript) {
+					st.outputsInterned++
+				} else {
+					st.outputsFresh++
+				}
 			}
-			undo.Created = append(undo.Created, op)
-			stats.OutputsInserted++
-			stats.BytesInserted += len(tx.Outputs[vout].PkScript) + 8
+			_, inBase := s.byOutPoint[op]
+			_, inStaged := st.liveIdx[op]
+			if (inBase && !st.removedSet[op]) || inStaged {
+				if strict {
+					st.err = fmt.Errorf("utxo: duplicate outpoint %s", op)
+					return st
+				}
+				st.errors++
+				continue
+			}
+			st.liveIdx[op] = len(st.inserts)
+			st.inserts = append(st.inserts, stagedInsert{op: op, out: out, key: st.keyOf(s, out.PkScript), live: true})
+			st.bytesInserted += len(out.PkScript) + 8
+			st.refDelta[string(out.PkScript)]++
 		}
 	}
-	return undo, stats, nil
+	return st
 }
 
-// UnapplyBlock reverses a previous ApplyBlock using its undo data.
+// commitStage applies a completed stage to the set: ordered base removals
+// first, then the surviving insertions grouped per address bucket, each
+// bucket merged in one pass. The resulting set — outpoint map, interned
+// table and reference counts, bucket contents and balances, byte estimate —
+// is identical to what the per-entry loop would have produced.
+func (s *Set) commitStage(st *blockStage, height int64) {
+	for _, op := range st.removedBase {
+		// Remove reuses the stored address key; no script re-derivation.
+		_, _ = s.Remove(op)
+	}
+	if len(st.liveIdx) == 0 {
+		return
+	}
+	// Group surviving inserts by address key in first-insertion order.
+	groups := make(map[string][]UTXO, len(st.keys)+len(st.liveIdx)/4+1)
+	var order []string
+	for i := range st.inserts {
+		ins := &st.inserts[i]
+		if !ins.live {
+			continue
+		}
+		sc := s.internWithKey(ins.out.PkScript, ins.key)
+		sc.refs++
+		s.byOutPoint[ins.op] = entry{value: ins.out.Value, height: height, script: sc}
+		s.approxBytes += int64(perUTXOOverhead + len(sc.bytes))
+		if _, ok := groups[ins.key]; !ok {
+			order = append(order, ins.key)
+		}
+		groups[ins.key] = append(groups[ins.key], UTXO{OutPoint: ins.op, Value: ins.out.Value, PkScript: sc.bytes, Height: height})
+	}
+	for _, key := range order {
+		list := groups[key]
+		// All entries share the block's height, so the canonical sort is
+		// the storage order within the height group.
+		SortUTXOs(list)
+		b := s.byAddress[key]
+		if b == nil {
+			b = &bucket{}
+			s.byAddress[key] = b
+		}
+		b.insertBatch(list)
+		for i := range list {
+			b.balance += list[i].Value
+		}
+	}
+}
+
+// UnapplyBlock reverses a previous ApplyBlock using its undo data: the
+// surviving creations are removed, then the pre-existing spends restored.
+// In-block created-and-spent pairs were netted out of the undo, so every
+// Created outpoint is present and every Spent entry re-adds cleanly.
 func (s *Set) UnapplyBlock(undo *BlockUndo) error {
 	for i := len(undo.Created) - 1; i >= 0; i-- {
 		if _, err := s.Remove(undo.Created[i]); err != nil {
