@@ -42,17 +42,23 @@ type Config struct {
 	TxCacheExpiry time.Duration
 	// SyncInterval is how often the adapter polls peers for new headers.
 	SyncInterval time.Duration
+	// BlockRetryInterval is how long an in-flight getdata may go unanswered
+	// before the sync loop re-issues it to the current peer set. A peer that
+	// withholds a requested block (or a partition that swallowed the request)
+	// must not stall the fetch forever. Zero disables retries.
+	BlockRetryInterval time.Duration
 }
 
 // ConfigForNetwork returns the production parameters of §III-B for a
 // network: t_l/t_u = 500/2000 mainnet, 100/1000 testnet, 1/1 regtest.
 func ConfigForNetwork(n btc.Network) Config {
 	cfg := Config{
-		Connections:      5,
-		MaxHeaders:       100,
-		MaxResponseBytes: 2 << 20,
-		TxCacheExpiry:    10 * time.Minute,
-		SyncInterval:     2 * time.Second,
+		Connections:        5,
+		MaxHeaders:         100,
+		MaxResponseBytes:   2 << 20,
+		TxCacheExpiry:      10 * time.Minute,
+		SyncInterval:       2 * time.Second,
+		BlockRetryInterval: 10 * time.Second,
 	}
 	switch n {
 	case btc.Mainnet:
@@ -112,8 +118,9 @@ type Adapter struct {
 	// tree is B̄_a, the header tree; blocks is B_a.
 	tree   *chain.Tree
 	blocks map[btc.Hash]*btc.Block
-	// requestedBlocks tracks in-flight getdata requests.
-	requestedBlocks map[btc.Hash]bool
+	// requestedBlocks tracks in-flight getdata requests by the time they
+	// were (last) issued, so unanswered requests can be retried.
+	requestedBlocks map[btc.Hash]time.Time
 
 	txCache map[btc.Hash]cachedTx
 
@@ -139,7 +146,7 @@ func New(id simnet.NodeID, net *simnet.Network, params *btc.Params, dir *btcnode
 		connected:       make(map[simnet.NodeID]bool),
 		tree:            chain.NewTree(params.GenesisHeader, 0),
 		blocks:          make(map[btc.Hash]*btc.Block),
-		requestedBlocks: make(map[btc.Hash]bool),
+		requestedBlocks: make(map[btc.Hash]time.Time),
 		txCache:         make(map[btc.Hash]cachedTx),
 	}
 	net.Register(id, a)
@@ -167,7 +174,7 @@ func (a *Adapter) Start() {
 func (a *Adapter) Stop() {
 	a.running = false
 	a.syncGen++
-	a.requestedBlocks = make(map[btc.Hash]bool)
+	a.requestedBlocks = make(map[btc.Hash]time.Time)
 }
 
 // Tree exposes the adapter's header tree.
@@ -208,22 +215,54 @@ func (a *Adapter) discover() {
 
 // fillConnections tops up to ℓ random connections from the address book.
 func (a *Adapter) fillConnections() {
+	a.fillConnectionsExcluding("")
+}
+
+// fillConnectionsExcluding tops up to ℓ connections, drawing uniformly from
+// the book's eligible candidates — resolvable, not self, not already
+// connected. Unresolvable and self-resolving entries are dropped from the
+// book (a node can learn its own address under a foreign label through
+// gossip). Iterating over explicit candidates bounds the loop: the previous
+// draw-and-retry scheme spun forever when the book was non-empty but every
+// entry resolved to self or an existing connection.
+//
+// A non-empty exclude keeps that peer out of this round's draws (the
+// just-dropped connection must rotate, not reconnect) — unless it is the
+// only candidate left, where reconnecting beats staying dark.
+func (a *Adapter) fillConnectionsExcluding(exclude simnet.NodeID) {
 	rng := a.net.Scheduler().Rand()
-	for len(a.connected) < a.cfg.Connections && len(a.addressBook) > 0 {
-		addr := a.addressBook[rng.Intn(len(a.addressBook))]
-		id, ok := a.dir.Resolve(addr)
-		if !ok || a.connected[id] || id == a.ID {
-			// Unresolvable or duplicate; with few addresses this can loop,
-			// so drop unresolvable entries.
-			if !ok {
-				a.removeAddress(addr)
+	for len(a.connected) < a.cfg.Connections {
+		var candidates []simnet.NodeID
+		var stale []string
+		for _, addr := range a.addressBook {
+			id, ok := a.dir.Resolve(addr)
+			if !ok || id == a.ID {
+				stale = append(stale, addr)
+				continue
 			}
-			if len(a.addressBook) <= len(a.connected) {
-				return
+			if !a.connected[id] {
+				candidates = append(candidates, id)
 			}
-			continue
 		}
-		a.connected[id] = true
+		for _, addr := range stale {
+			a.removeAddress(addr)
+		}
+		if len(candidates) == 0 {
+			return
+		}
+		pool := candidates
+		if exclude != "" {
+			kept := make([]simnet.NodeID, 0, len(candidates))
+			for _, id := range candidates {
+				if id != exclude {
+					kept = append(kept, id)
+				}
+			}
+			if len(kept) > 0 {
+				pool = kept
+			}
+		}
+		a.connected[pool[rng.Intn(len(pool))]] = true
 	}
 }
 
@@ -242,9 +281,11 @@ func (a *Adapter) removeAddress(addr string) {
 
 // DropConnection simulates a lost connection: the peer is disconnected and
 // a new random connection is established, replenishing addresses if the
-// book fell below t_l. A stopped adapter only records the disconnect — the
-// torn-down process must not emit discovery traffic; Start re-runs
-// discovery and refills connections.
+// book fell below t_l. The dropped peer is excluded from this round's
+// refill whenever an alternative exists — immediately re-picking it would
+// defeat the rotation the eclipse-recovery analysis relies on. A stopped
+// adapter only records the disconnect — the torn-down process must not
+// emit discovery traffic; Start re-runs discovery and refills connections.
 func (a *Adapter) DropConnection(peer simnet.NodeID) {
 	delete(a.connected, peer)
 	if !a.running {
@@ -254,7 +295,24 @@ func (a *Adapter) DropConnection(peer simnet.NodeID) {
 		a.discover()
 		return
 	}
-	a.fillConnections()
+	a.fillConnectionsExcluding(peer)
+}
+
+// Disconnect severs a connection without DropConnection's replacement
+// refill — the fault-injection hook chaos scenarios use to force a specific
+// peer set together with ConnectPeer.
+func (a *Adapter) Disconnect(peer simnet.NodeID) {
+	delete(a.connected, peer)
+}
+
+// ConnectPeer force-establishes a connection to a specific peer, bypassing
+// the random draw (fault-injection hook; an eclipse scenario pins the
+// adapter's peer set to attacker-controlled nodes).
+func (a *Adapter) ConnectPeer(peer simnet.NodeID) {
+	if peer == a.ID {
+		return
+	}
+	a.connected[peer] = true
 }
 
 // syncLoop periodically requests headers from all connected peers and
@@ -274,6 +332,16 @@ func (a *Adapter) syncLoop(gen int) {
 	locator := a.locator()
 	for peer := range a.connected {
 		a.net.Send(a.ID, peer, btcnode.MsgGetHeaders{Locator: locator})
+	}
+	// Re-issue block requests that have gone unanswered: the original
+	// getdata may have hit a withholding peer, been cut by a partition, or
+	// been lost outright — none of which may stall the fetch forever.
+	if a.cfg.BlockRetryInterval > 0 {
+		for hash, at := range a.requestedBlocks {
+			if now.Sub(at) >= a.cfg.BlockRetryInterval {
+				a.requestBlock(hash)
+			}
+		}
 	}
 	a.net.Scheduler().After(a.cfg.SyncInterval, func() { a.syncLoop(gen) })
 }
@@ -400,13 +468,19 @@ func (a *Adapter) getBlock(hash btc.Hash) *btc.Block {
 	if b := a.blocks[hash]; b != nil {
 		return b
 	}
-	if !a.requestedBlocks[hash] {
-		a.requestedBlocks[hash] = true
-		for peer := range a.connected {
-			a.net.Send(a.ID, peer, btcnode.MsgGetData{BlockHashes: []btc.Hash{hash}})
-		}
+	if _, inFlight := a.requestedBlocks[hash]; !inFlight {
+		a.requestBlock(hash)
 	}
 	return nil
+}
+
+// requestBlock (re-)issues a getdata for one block to every connected peer
+// and stamps the in-flight entry with the send time (the retry clock).
+func (a *Adapter) requestBlock(hash btc.Hash) {
+	a.requestedBlocks[hash] = a.net.Scheduler().Now()
+	for peer := range a.connected {
+		a.net.Send(a.ID, peer, btcnode.MsgGetData{BlockHashes: []btc.Hash{hash}})
+	}
 }
 
 // maxBlocksAtHeight implements Algorithm 1's max_blocks_at_height: many

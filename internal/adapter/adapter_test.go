@@ -385,6 +385,48 @@ func TestMalformedTxSkipped(t *testing.T) {
 	}
 }
 
+func TestFillConnectionsSelfEntryTerminates(t *testing.T) {
+	// Regression: a book whose every entry resolves to the adapter itself
+	// (gossip can teach a node its own address under a foreign label) or to
+	// an already-connected peer used to spin fillConnections forever — self
+	// entries were never removed and never counted as connections, so the
+	// len(addressBook) <= len(connected) bail-out could not fire.
+	sched := simnet.NewScheduler(1)
+	net := simnet.NewNetwork(sched)
+	dir := btcnode.NewSeedDirectory()
+	cfg := ConfigForNetwork(btc.Regtest)
+	cfg.Connections = 2
+	ad := New("adapter/self", net, btc.RegtestParams(), dir, cfg)
+
+	// One entry resolving to the adapter itself, one to a peer that is
+	// already connected: nothing eligible remains, yet the book is non-empty.
+	dir.AddNode("mirror-of-self", ad.ID)
+	dir.AddNode("already-peered", "btc/0")
+	for _, addr := range []string{"mirror-of-self", "already-peered"} {
+		ad.addrSet[addr] = true
+		ad.addressBook = append(ad.addressBook, addr)
+	}
+	ad.connected["btc/0"] = true
+
+	done := make(chan struct{})
+	go func() {
+		ad.fillConnections()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("fillConnections did not terminate with only self/connected entries in the book")
+	}
+	if got := len(ad.ConnectedPeers()); got != 1 {
+		t.Fatalf("connections changed: %d, want 1", got)
+	}
+	// The self entry is purged; the connected peer's address stays usable.
+	if ad.AddressBookSize() != 1 {
+		t.Fatalf("book size %d, want 1 (self entry dropped, peer entry kept)", ad.AddressBookSize())
+	}
+}
+
 func TestDropConnectionReplenishes(t *testing.T) {
 	h := newHarness(t, 12, 6)
 	h.ad.Start()

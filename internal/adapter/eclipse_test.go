@@ -71,6 +71,61 @@ func TestAdapterSyncsDespiteSilentAdversaries(t *testing.T) {
 	}
 }
 
+func TestDropConnectionDoesNotRepickDroppedPeer(t *testing.T) {
+	// Regression: DropConnection used to refill from the whole book, so the
+	// just-dropped peer could be re-picked immediately — with ℓ=1 and a
+	// two-node book about half the time, which defeats the rotation that
+	// eclipse recovery (and the ϕ^ℓ analysis) relies on. Across 40 seeds a
+	// surviving re-pick bug fails with probability 1 − 2⁻⁴⁰.
+	for trial := 0; trial < 40; trial++ {
+		sched := simnet.NewScheduler(int64(3000 + trial))
+		net := simnet.NewNetwork(sched)
+		sim := btcnode.BuildHonestNetwork(net, btc.RegtestParams(), 2)
+		cfg := ConfigForNetwork(btc.Regtest)
+		cfg.Connections = 1
+		cfg.AddrLowWater, cfg.AddrHighWater = 1, 10
+		ad := New(simnet.NodeID(fmt.Sprintf("adapter/d%d", trial)), net, btc.RegtestParams(), sim.Directory, cfg)
+		ad.Start()
+		sched.RunFor(5 * time.Second)
+		peers := ad.ConnectedPeers()
+		if len(peers) != 1 {
+			t.Fatalf("trial %d: %d connections, want 1", trial, len(peers))
+		}
+		dropped := peers[0]
+		ad.DropConnection(dropped)
+		peers = ad.ConnectedPeers()
+		if len(peers) != 1 {
+			t.Fatalf("trial %d: refill left %d connections, want 1", trial, len(peers))
+		}
+		if peers[0] == dropped {
+			t.Fatalf("trial %d: refill re-picked the just-dropped peer %s", trial, dropped)
+		}
+	}
+}
+
+func TestDropConnectionFallsBackToSoleCandidate(t *testing.T) {
+	// When the dropped peer is the only node in the book, excluding it would
+	// leave the adapter dark; the refill must fall back to reconnecting.
+	sched := simnet.NewScheduler(7)
+	net := simnet.NewNetwork(sched)
+	sim := btcnode.BuildHonestNetwork(net, btc.RegtestParams(), 1)
+	cfg := ConfigForNetwork(btc.Regtest)
+	cfg.Connections = 1
+	cfg.AddrLowWater, cfg.AddrHighWater = 1, 10
+	ad := New("adapter/sole", net, btc.RegtestParams(), sim.Directory, cfg)
+	ad.Start()
+	sched.RunFor(5 * time.Second)
+	peers := ad.ConnectedPeers()
+	if len(peers) != 1 {
+		t.Fatalf("%d connections, want 1", len(peers))
+	}
+	ad.DropConnection(peers[0])
+	now := ad.ConnectedPeers()
+	if len(now) != 1 || now[0] != peers[0] {
+		t.Fatalf("sole-candidate refill got %v, want reconnect to %s", now, peers[0])
+	}
+}
+
 func TestAdapterEclipseFrequencyMatchesPhiToTheL(t *testing.T) {
 	// Run the real discovery process across many seeds and compare the
 	// all-adversarial-connection frequency with ϕ^ℓ. Small ℓ keeps the

@@ -27,6 +27,16 @@ type Adversary struct {
 	serveForkOnly bool
 	// silent, when set, makes the node ignore all requests (eclipse).
 	silent bool
+	// withholdData, when set, answers header requests normally but drops
+	// getdata: peers learn of blocks they can never download (withholding).
+	withholdData bool
+	// corruptBlocks, when set, serves blocks whose transaction list has been
+	// tampered with after sealing, so the merkle root no longer matches.
+	corruptBlocks bool
+	// frozen, when set, drops all announcements (headers/inv/blocks/addr
+	// pushes) while still answering explicit requests: the node serves an
+	// ever-staler view of the chain.
+	frozen bool
 }
 
 // NewAdversary wraps a node with adversarial behaviors. The node's script
@@ -48,6 +58,21 @@ func (a *Adversary) SetServeForkOnly(v bool) { a.serveForkOnly = v }
 
 // SetSilent toggles eclipse mode (no responses at all).
 func (a *Adversary) SetSilent(v bool) { a.silent = v }
+
+// SetWithholdData toggles block withholding: headers are announced and
+// served, but getdata requests are silently dropped, starving the
+// requester's block download while its header tree keeps growing.
+func (a *Adversary) SetWithholdData(v bool) { a.withholdData = v }
+
+// SetCorruptBlocks toggles invalid-block serving: every block served via
+// getdata has a junk transaction appended after the header was sealed, so
+// the merkle root check on the receiving side must reject it.
+func (a *Adversary) SetCorruptBlocks(v bool) { a.corruptBlocks = v }
+
+// SetFrozen toggles stale serving: the node stops processing announcements
+// (its view of the chain freezes) but keeps answering explicit requests
+// from that stale view.
+func (a *Adversary) SetFrozen(v bool) { a.frozen = v }
 
 // Fork returns the private fork blocks, oldest first.
 func (a *Adversary) Fork() []*btc.Block { return a.fork }
@@ -103,10 +128,51 @@ func regrind(h *btc.BlockHeader) error {
 	return fmt.Errorf("btcnode: regrind exhausted")
 }
 
+// corruptBlockCopy returns a copy of blk with a junk transaction appended
+// but the sealed header untouched: the block hash still matches the
+// announced header while the merkle root no longer covers the transactions.
+func corruptBlockCopy(blk *btc.Block) *btc.Block {
+	junk := &btc.Transaction{
+		Inputs:  []btc.TxIn{{PreviousOutPoint: btc.OutPoint{Vout: 0xFFFF_FFFE}}},
+		Outputs: []btc.TxOut{{Value: 1, PkScript: btc.PayToPubKeyHashScript([20]byte{0xBA, 0xD0})}},
+	}
+	return &btc.Block{
+		Header:       blk.Header,
+		Transactions: append(blk.Transactions[:len(blk.Transactions):len(blk.Transactions)], junk),
+	}
+}
+
 // Receive implements simnet.Endpoint with adversarial request handling.
 func (a *Adversary) Receive(from simnet.NodeID, msg any) {
 	if a.silent {
 		return
+	}
+	if a.withholdData {
+		if _, ok := msg.(MsgGetData); ok {
+			return
+		}
+	}
+	if a.frozen {
+		switch msg.(type) {
+		case MsgHeaders, MsgInvBlock, MsgBlock, MsgInvTx, MsgTx, MsgAddr:
+			return
+		}
+	}
+	if a.corruptBlocks {
+		if m, ok := msg.(MsgGetData); ok {
+			var missing []btc.Hash
+			for _, h := range m.BlockHashes {
+				if blk := a.Node.blocks[h]; blk != nil {
+					a.Node.net.Send(a.Node.ID, from, MsgBlock{Block: corruptBlockCopy(blk)})
+				} else {
+					missing = append(missing, h)
+				}
+			}
+			if len(missing) > 0 {
+				a.Node.net.Send(a.Node.ID, from, MsgNotFound{Hashes: missing})
+			}
+			return
+		}
 	}
 	if !a.serveForkOnly {
 		a.Node.Receive(from, msg)

@@ -1,0 +1,479 @@
+// Package chaos is a seeded, deterministic fault-injection harness over the
+// full stack — simulated Bitcoin network (btcnode), adapter, canister-on-
+// subnet, and read-replica query fleet. Each scenario scripts a fault
+// schedule (eclipse, partition, withheld/invalid/stale blocks, deep reorg
+// attempts near the anchor, replica churn, upgrades under load) against a
+// world driven round by round, while an undisturbed oracle canister is fed
+// byte-identical payloads (the difftest oracle pattern). After every round
+// the harness checks the paper's safety invariants:
+//
+//   - anchor monotonicity: the δ-stable anchor height never decreases, no
+//     matter what the network serves (§III-C's core guarantee);
+//   - oracle equivalence: the chaos canister's state stays byte-identical
+//     to the oracle's — faults may stall progress, never corrupt it;
+//   - certified-response verifiability: fleet responses signed under the
+//     subnet key verify via Subnet.VerifyCertified and fail after
+//     tampering;
+//   - replica freshness: a caught-up, non-quarantined replica serves at
+//     the authoritative tip.
+//
+// Scenarios end healed: the harness requires reconvergence with the honest
+// chain and reports rounds-to-reconverge, the recovery metric
+// `bench -fig chaos` prints. Every failure message carries the scenario
+// name, seed, and round plus a one-line reproduction command.
+package chaos
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"icbtc/internal/adapter"
+	"icbtc/internal/btc"
+	"icbtc/internal/btcnode"
+	"icbtc/internal/canister"
+	"icbtc/internal/ic"
+	"icbtc/internal/ingest"
+	"icbtc/internal/queryfleet"
+	"icbtc/internal/simnet"
+)
+
+// CanisterID is the chaos canister's ID on the harness subnet.
+const CanisterID ic.CanisterID = "bitcoin"
+
+// Config parameterizes a scenario run.
+type Config struct {
+	// Seed drives every random choice (scheduler, fault schedule, worker
+	// counts). Same seed, same run.
+	Seed int64
+	// Rounds is the number of harness rounds (0 selects the scenario's
+	// default, 60).
+	Rounds int
+	// HonestNodes and Adversaries size the Bitcoin network.
+	HonestNodes int
+	Adversaries int
+	// Replicas is the initial query-fleet size.
+	Replicas int
+	// CertifyEvery verifies one threshold-signed fleet response every N
+	// rounds (0 disables — threshold signing costs tens of ms per round).
+	CertifyEvery int
+}
+
+// DefaultConfig returns the scenario battery's standard world: 8 honest
+// nodes, 3 adversaries, a 3-replica fleet, certification checked every 10
+// rounds.
+func DefaultConfig(seed int64) Config {
+	return Config{
+		Seed:         seed,
+		Rounds:       60,
+		HonestNodes:  8,
+		Adversaries:  3,
+		Replicas:     3,
+		CertifyEvery: 10,
+	}
+}
+
+// Result summarizes one scenario run.
+type Result struct {
+	Scenario string
+	Seed     int64
+	Rounds   int
+	// HealRound is the round the scenario lifted its faults (-1 when the
+	// scenario injects none).
+	HealRound int
+	// ConvergedRound is the first post-heal round at which the canister held
+	// the honest chain in full (tip hash and available height), or -1.
+	ConvergedRound int
+	// RecoveryRounds = ConvergedRound − HealRound (0 when no faults).
+	RecoveryRounds int
+	// OracleIdentical reports whether the final chaos-canister snapshot was
+	// byte-identical to the undisturbed oracle's.
+	OracleIdentical bool
+	// FinalHeight is the honest chain height at the end of the run.
+	FinalHeight int64
+	// SnapshotBytes is the size of the final state snapshot.
+	SnapshotBytes int
+}
+
+// World is the live stack a scenario injects faults into. Scenario steps
+// may reach any layer: the simnet network (partitions, loss), the btcnode
+// adversaries, the adapter's connection hooks, the fleet's churn hooks, and
+// the subnet's upgrade path.
+type World struct {
+	Cfg   Config
+	Sched *simnet.Scheduler
+	Net   *simnet.Network
+	Sim   *btcnode.SimNetwork
+	Miner *btcnode.Miner
+	// Adapter is the one adapter under test (ID "adapter/chaos").
+	Adapter *adapter.Adapter
+	// Subnet hosts the chaos canister (upgrades, threshold signing). It is
+	// never Start()ed: the harness drives payloads directly so the oracle
+	// sees the exact same sequence.
+	Subnet *ic.Subnet
+	// Oracle is the undisturbed twin: same config, same payloads, never
+	// upgraded, never restored.
+	Oracle *canister.BitcoinCanister
+	Fleet  *queryfleet.Fleet
+	// Rng is the harness's fault-schedule RNG, separate from the
+	// scheduler's so network jitter and fault timing don't entangle.
+	Rng *rand.Rand
+
+	signer     queryfleet.SignFunc
+	lastAnchor int64
+	healRound  int
+	converged  int
+}
+
+// Canister resolves the chaos canister through the subnet, so scenario
+// steps and invariants always see the post-upgrade instance.
+func (w *World) Canister() *canister.BitcoinCanister {
+	return w.Subnet.Canister(CanisterID).(*canister.BitcoinCanister)
+}
+
+// SetHealed records the round the scenario lifted its faults; recovery is
+// measured from here.
+func (w *World) SetHealed(round int) {
+	if w.healRound < 0 {
+		w.healRound = round
+	}
+}
+
+// UpgradeCanister runs a snapshot-reinstall upgrade of the chaos canister
+// and re-installs the fleet's stream sink on the new instance (the harness
+// authority is a proxy, so the fleet itself needs no rewiring).
+func (w *World) UpgradeCanister() error {
+	if err := w.Subnet.UpgradeCanister(CanisterID, func(snapshot []byte) (ic.Canister, error) {
+		return canister.RestoreSnapshot(snapshot)
+	}); err != nil {
+		return err
+	}
+	w.Canister().SetStreamSink(w.Fleet.Feed)
+	return nil
+}
+
+// IsAdversary reports whether a peer ID belongs to an adversarial node.
+func (w *World) IsAdversary(id simnet.NodeID) bool {
+	for _, adv := range w.Sim.Adversaries {
+		if adv.Node.ID == id {
+			return true
+		}
+	}
+	return false
+}
+
+// EclipseAdapter replaces the adapter's peer set with the given peers —
+// the fault entry point for eclipse-style scenarios.
+func (w *World) EclipseAdapter(peers []simnet.NodeID) {
+	for _, p := range w.Adapter.ConnectedPeers() {
+		w.Adapter.Disconnect(p)
+	}
+	for _, p := range peers {
+		w.Adapter.ConnectPeer(p)
+	}
+}
+
+// chaosAuthority routes the fleet's authority access through the subnet,
+// so canister upgrades that swap the installed instance are transparent to
+// the fleet (same proxy pattern as difftest's snapshot restarts).
+type chaosAuthority struct{ w *World }
+
+func (a chaosAuthority) Snapshot() ([]byte, error) { return a.w.Canister().Snapshot() }
+func (a chaosAuthority) Query(ctx *ic.CallContext, method string, arg any) (any, error) {
+	return a.w.Canister().Query(ctx, method, arg)
+}
+func (a chaosAuthority) TipHeight() int64    { return a.w.Canister().TipHeight() }
+func (a chaosAuthority) AnchorHeight() int64 { return a.w.Canister().AnchorHeight() }
+
+// newWorld builds the full stack for one scenario run.
+func newWorld(cfg Config) (*World, error) {
+	sched := simnet.NewScheduler(cfg.Seed)
+	net := simnet.NewNetwork(sched)
+	params := btc.RegtestParams()
+	sim := btcnode.BuildHonestNetwork(net, params, cfg.HonestNodes)
+	sim.AddAdversaries(cfg.Adversaries)
+
+	scfg := ic.DefaultConfig()
+	scfg.N = 4
+	scfg.Seed = cfg.Seed
+	scfg.DisableThresholdKeys = cfg.CertifyEvery <= 0
+	subnet, err := ic.NewSubnet(sched, scfg)
+	if err != nil {
+		return nil, fmt.Errorf("subnet: %w", err)
+	}
+	ccfg := canister.DefaultConfig(btc.Regtest)
+	subnet.InstallCanister(CanisterID, canister.New(ccfg))
+
+	acfg := adapter.ConfigForNetwork(btc.Regtest)
+	acfg.Connections = 3
+	acfg.AddrLowWater = 1
+	acfg.AddrHighWater = cfg.HonestNodes + cfg.Adversaries
+	ad := adapter.New("adapter/chaos", net, params, sim.Directory, acfg)
+
+	w := &World{
+		Cfg:       cfg,
+		Sched:     sched,
+		Net:       net,
+		Sim:       sim,
+		Miner:     btcnode.NewMiner(sim.Nodes[0], btc.PayToPubKeyHashScript([20]byte{0x42})),
+		Adapter:   ad,
+		Subnet:    subnet,
+		Oracle:    canister.New(ccfg),
+		Rng:       rand.New(rand.NewSource(cfg.Seed ^ 0x5eed)),
+		healRound: -1,
+		converged: -1,
+	}
+	if cfg.CertifyEvery > 0 {
+		w.signer = queryfleet.CommitteeSigner(subnet.Committee())
+	}
+	fleet, err := queryfleet.New(chaosAuthority{w}, queryfleet.Config{
+		Replicas:     cfg.Replicas,
+		MaxLagBlocks: 3,
+		StalePolicy:  queryfleet.StaleForward,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("fleet: %w", err)
+	}
+	w.Fleet = fleet
+	// The proxy authority is not a StreamSource; install the sink by hand
+	// (and again after every upgrade — UpgradeCanister does).
+	w.Canister().SetStreamSink(fleet.Feed)
+	ad.Start()
+	return w, nil
+}
+
+// RunScenario executes one named scenario under cfg and returns its result.
+// Any invariant violation or scenario error is wrapped with the scenario
+// name, seed, and round, plus a one-line reproduction command.
+func RunScenario(name string, cfg Config) (Result, error) {
+	s, ok := Lookup(name)
+	if !ok {
+		return Result{}, fmt.Errorf("chaos: unknown scenario %q (have %v)", name, Names())
+	}
+	if cfg.Rounds <= 0 {
+		cfg.Rounds = 60
+	}
+	w, err := newWorld(cfg)
+	if err != nil {
+		return Result{}, fmt.Errorf("chaos: scenario %q seed %d: %w", name, cfg.Seed, err)
+	}
+	defer w.Fleet.Close()
+
+	fail := func(round int, err error) (Result, error) {
+		return Result{}, fmt.Errorf("chaos: scenario %q seed %d round %d: %w\nreproduce: go test ./internal/chaos -run 'TestChaosScenarios/%s' -chaos.seed=%d",
+			name, cfg.Seed, round, err, name, cfg.Seed)
+	}
+
+	for round := 0; round < cfg.Rounds; round++ {
+		if err := s.Step(w, round); err != nil {
+			return fail(round, err)
+		}
+		if _, err := w.Miner.Mine(0); err != nil {
+			return fail(round, fmt.Errorf("mining: %w", err))
+		}
+		w.Sched.RunFor(2 * time.Second)
+		if err := w.deliverPayload(); err != nil {
+			return fail(round, err)
+		}
+		if err := w.fleetTick(); err != nil {
+			return fail(round, err)
+		}
+		if err := w.checkInvariants(round); err != nil {
+			return fail(round, err)
+		}
+		if w.converged < 0 && w.healRound >= 0 && round >= w.healRound && w.convergedWithHonestChain() {
+			w.converged = round
+		}
+	}
+
+	// Every scenario must end healed and reconverged with the honest chain.
+	if w.healRound < 0 {
+		w.healRound = 0
+		if w.converged < 0 && w.convergedWithHonestChain() {
+			w.converged = 0
+		}
+	}
+	if w.converged < 0 {
+		return fail(cfg.Rounds-1, fmt.Errorf("never reconverged after heal at round %d: canister height %d (available %d), honest chain %d",
+			w.healRound, w.Canister().TipHeight(), w.Canister().AvailableHeight(), w.Sim.Nodes[0].Height()))
+	}
+	chaosSnap, oracleSnap, err := w.snapshots()
+	if err != nil {
+		return fail(cfg.Rounds-1, err)
+	}
+	identical := bytes.Equal(chaosSnap, oracleSnap)
+	if !identical && !s.DivergentByDesign {
+		return fail(cfg.Rounds-1, fmt.Errorf("final state diverged from the oracle: %d vs %d snapshot bytes",
+			len(chaosSnap), len(oracleSnap)))
+	}
+	return Result{
+		Scenario:        name,
+		Seed:            cfg.Seed,
+		Rounds:          cfg.Rounds,
+		HealRound:       w.healRound,
+		ConvergedRound:  w.converged,
+		RecoveryRounds:  w.converged - w.healRound,
+		OracleIdentical: identical,
+		FinalHeight:     w.Sim.Nodes[0].Height(),
+		SnapshotBytes:   len(chaosSnap),
+	}, nil
+}
+
+// payloadsPerRound is how many consensus payloads execute per harness round.
+// Past MultiBlockSyncHeight the adapter serves one block per payload (the
+// Algorithm 1 response cap), while the harness mines one block per round —
+// recovery is only possible because consensus rounds outnumber blocks, as
+// they do on the real IC (~1 s rounds vs ~600 s blocks).
+const payloadsPerRound = 3
+
+// deliverPayload runs Algorithm 1 against the chaos canister's current
+// request and feeds the resulting payload to BOTH canisters with identical
+// contexts — the oracle serially, the chaos canister through the randomized
+// pipelined path (worker counts 1–4, byte-identical by construction).
+// Virtual time advances between payloads so blocks requested by one
+// HandleRequest can arrive before the next.
+func (w *World) deliverPayload() error {
+	for k := 0; k < payloadsPerRound; k++ {
+		can := w.Canister()
+		payload := w.Adapter.HandleRequest(can.CurrentRequest())
+		now := w.Sched.Now()
+		if err := w.Oracle.ProcessPayload(ic.NewCallContext(ic.KindUpdate, now), payload); err != nil {
+			return fmt.Errorf("oracle payload: %w", err)
+		}
+		workers := 1 + w.Rng.Intn(4)
+		ctx := ic.NewCallContext(ic.KindUpdate, now)
+		if workers == 1 {
+			if err := can.ProcessPayload(ctx, payload); err != nil {
+				return fmt.Errorf("chaos payload: %w", err)
+			}
+		} else if err := can.ProcessPayloadPipelined(ctx, payload, ingest.Config{Workers: workers}); err != nil {
+			return fmt.Errorf("chaos payload (%d workers): %w", workers, err)
+		}
+		w.Sched.RunFor(500 * time.Millisecond)
+	}
+	return nil
+}
+
+// fleetTick catches up every healthy replica. Quarantined replicas stay
+// behind (scenarios heal them explicitly); a frame failure on a healthy
+// replica quarantines it — RouteQuery then skips it, which the freshness
+// invariant tolerates and the storm scenarios exercise.
+func (w *World) fleetTick() error {
+	for i := 0; i < w.Fleet.Replicas(); i++ {
+		r := w.Fleet.Replica(i)
+		if r.Broken() {
+			continue
+		}
+		if err := r.CatchUp(); err != nil && !r.Broken() {
+			return fmt.Errorf("replica %d catch-up: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// checkInvariants runs the per-round safety checks.
+func (w *World) checkInvariants(round int) error {
+	can := w.Canister()
+
+	// 1. Anchor monotonicity: the δ-stable anchor never rolls back.
+	if a := can.AnchorHeight(); a < w.lastAnchor {
+		return fmt.Errorf("anchor rolled back: %d -> %d", w.lastAnchor, a)
+	} else {
+		w.lastAnchor = a
+	}
+
+	// 2. Oracle equivalence: faults may stall the chain view, never fork it
+	// from the oracle fed the same payloads.
+	if got, want := can.TipHeight(), w.Oracle.TipHeight(); got != want {
+		return fmt.Errorf("tip height diverged from oracle: %d vs %d", got, want)
+	}
+	if got, want := can.AnchorHeight(), w.Oracle.AnchorHeight(); got != want {
+		return fmt.Errorf("anchor height diverged from oracle: %d vs %d", got, want)
+	}
+	chaosSnap, oracleSnap, err := w.snapshots()
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(chaosSnap, oracleSnap) {
+		return fmt.Errorf("snapshot diverged from oracle: %d vs %d bytes", len(chaosSnap), len(oracleSnap))
+	}
+
+	// 3. Replica freshness: a caught-up, healthy replica serves at the
+	// authoritative tip — staleness never hides behind an empty inbox.
+	for i := 0; i < w.Fleet.Replicas(); i++ {
+		r := w.Fleet.Replica(i)
+		if r.Broken() || r.Pending() > 0 {
+			continue
+		}
+		if got, want := r.TipHeight(), can.TipHeight(); got != want {
+			return fmt.Errorf("caught-up replica %d at tip %d, authority at %d", i, got, want)
+		}
+	}
+
+	// 4. Certified-response verifiability (every CertifyEvery rounds).
+	if w.Cfg.CertifyEvery > 0 && round%w.Cfg.CertifyEvery == w.Cfg.CertifyEvery-1 {
+		if err := w.checkCertification(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkCertification routes one signed query through the fleet and verifies
+// the certification under the subnet key, including a tamper check.
+func (w *World) checkCertification() error {
+	w.Fleet.SetSigner(w.signer)
+	rq := w.Fleet.RouteQuery("get_tip", nil, "chaos", w.Sched.Now())
+	w.Fleet.SetSigner(nil)
+	if rq.Err != nil {
+		return fmt.Errorf("certified get_tip: %w", rq.Err)
+	}
+	if rq.Signature == nil {
+		return fmt.Errorf("fleet returned an uncertified response with signing enabled")
+	}
+	env := ic.CertifiedQuery{
+		Method:       "get_tip",
+		Value:        rq.Value,
+		ErrText:      ic.ErrText(rq.Err),
+		AnchorHeight: rq.AnchorHeight,
+		TipHeight:    rq.TipHeight,
+	}
+	if !w.Subnet.VerifyCertified(env, nil, rq.Signature) {
+		return fmt.Errorf("certified get_tip did not verify under the subnet key")
+	}
+	env.TipHeight++
+	if w.Subnet.VerifyCertified(env, nil, rq.Signature) {
+		return fmt.Errorf("certification verified after tampering with the bound tip height")
+	}
+	return nil
+}
+
+// convergedWithHonestChain reports whether the chaos canister holds the
+// honest chain in full: same tip hash and every block downloaded.
+func (w *World) convergedWithHonestChain() bool {
+	can := w.Canister()
+	honest := w.Sim.Nodes[0]
+	if can.AvailableHeight() != honest.Height() {
+		return false
+	}
+	tip, err := can.Query(ic.NewCallContext(ic.KindQuery, w.Sched.Now()), "get_tip", nil)
+	if err != nil {
+		return false
+	}
+	hash, ok := tip.(btc.Hash)
+	return ok && hash == honest.BestTip().Hash
+}
+
+// snapshots returns the chaos and oracle snapshots for byte comparison.
+func (w *World) snapshots() (chaosSnap, oracleSnap []byte, err error) {
+	chaosSnap, err = w.Canister().Snapshot()
+	if err != nil {
+		return nil, nil, fmt.Errorf("chaos snapshot: %w", err)
+	}
+	oracleSnap, err = w.Oracle.Snapshot()
+	if err != nil {
+		return nil, nil, fmt.Errorf("oracle snapshot: %w", err)
+	}
+	return chaosSnap, oracleSnap, nil
+}

@@ -1,0 +1,79 @@
+package chaos
+
+import (
+	"flag"
+	"testing"
+	"time"
+)
+
+var (
+	// soakFlag is the wall-clock budget for the long soak: the harness keeps
+	// drawing fresh seeds and running the whole battery until time is up.
+	soakFlag = flag.Duration("soak", 0, "wall-clock budget for TestChaosSoak (0 skips the soak)")
+	// chaosSeed replays one failing seed — the one-liner every chaos failure
+	// message prints.
+	chaosSeed = flag.Int64("chaos.seed", 0, "override the scenario seed (0 = default battery seed)")
+)
+
+// TestChaosScenarios is the short, seeded tier-1 variant: every registered
+// scenario once, fixed seed, full invariant checking, and the run must end
+// byte-identical to the undisturbed oracle.
+func TestChaosScenarios(t *testing.T) {
+	seed := int64(7)
+	if *chaosSeed != 0 {
+		seed = *chaosSeed
+	}
+	names := Names()
+	if len(names) < 6 {
+		t.Fatalf("scenario registry holds %d scenarios, want >= 6", len(names))
+	}
+	for _, name := range names {
+		t.Run(name, func(t *testing.T) {
+			res, err := RunScenario(name, DefaultConfig(seed))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.ConvergedRound < 0 {
+				t.Fatalf("scenario did not reconverge: %+v", res)
+			}
+			s, _ := Lookup(name)
+			if !res.OracleIdentical && !s.DivergentByDesign {
+				t.Fatalf("final state not byte-identical to the oracle: %+v", res)
+			}
+			if res.RecoveryRounds < 0 {
+				t.Fatalf("converged before heal?! %+v", res)
+			}
+			t.Logf("heal=%d converged=%d recovery=%d rounds, height=%d, snapshot=%dB",
+				res.HealRound, res.ConvergedRound, res.RecoveryRounds, res.FinalHeight, res.SnapshotBytes)
+		})
+	}
+}
+
+// TestChaosSoak runs the battery over fresh seeds until the -soak budget is
+// spent: go test ./internal/chaos -run TestChaosSoak -soak 5m. Any failure
+// message carries the seed and scenario for one-line reproduction.
+func TestChaosSoak(t *testing.T) {
+	if *soakFlag <= 0 {
+		t.Skip("soak disabled; pass -soak 5m to run")
+	}
+	deadline := time.Now().Add(*soakFlag)
+	runs := 0
+	for seed := int64(1); time.Now().Before(deadline); seed++ {
+		for _, name := range Names() {
+			if !time.Now().Before(deadline) {
+				break
+			}
+			cfg := DefaultConfig(seed)
+			cfg.CertifyEvery = 20 // keep threshold signing from dominating the soak
+			res, err := RunScenario(name, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.ConvergedRound < 0 {
+				t.Fatalf("chaos: scenario %q seed %d: did not reconverge: %+v", name, seed, res)
+			}
+			runs++
+		}
+	}
+	t.Logf("soak complete: %d scenario runs", runs)
+}

@@ -1,0 +1,279 @@
+package chaos
+
+import (
+	"fmt"
+	"sort"
+
+	"icbtc/internal/simnet"
+)
+
+// Scenario is one named fault schedule. Step runs at the start of every
+// harness round (before the round's block is mined) and injects or heals
+// faults by reaching into the World.
+type Scenario struct {
+	Name        string
+	Description string
+	// DivergentByDesign marks scenarios whose final state is allowed to
+	// differ from the oracle's. Every current scenario must end
+	// byte-identical; the flag exists so a future scenario that
+	// intentionally forks (e.g. a >f-faulty subnet) can document it.
+	DivergentByDesign bool
+	Step              func(w *World, round int) error
+}
+
+var registry = map[string]Scenario{}
+
+// Register adds a scenario to the registry (panics on duplicates — the
+// registry is assembled at init time).
+func Register(s Scenario) {
+	if _, dup := registry[s.Name]; dup {
+		panic(fmt.Sprintf("chaos: duplicate scenario %q", s.Name))
+	}
+	registry[s.Name] = s
+}
+
+// Names returns all registered scenario names, sorted.
+func Names() []string {
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Lookup returns a scenario by name.
+func Lookup(name string) (Scenario, bool) {
+	s, ok := registry[name]
+	return s, ok
+}
+
+// Fault schedule shape shared by the network scenarios: inject at round 5,
+// heal at round 25, leaving 35 rounds to reconverge.
+const (
+	injectRound = 5
+	healRound   = 25
+)
+
+// rotateOutAdversaries drops every adversarial connection, one per call
+// site round, letting the low-water refill (which excludes the dropped
+// peer) rotate honest peers back in.
+func rotateOutAdversaries(w *World) {
+	for _, p := range w.Adapter.ConnectedPeers() {
+		if w.IsAdversary(p) {
+			w.Adapter.DropConnection(p)
+		}
+	}
+}
+
+// adversaryIDs returns the IDs of all adversarial nodes.
+func adversaryIDs(w *World) []simnet.NodeID {
+	ids := make([]simnet.NodeID, 0, len(w.Sim.Adversaries))
+	for _, adv := range w.Sim.Adversaries {
+		ids = append(ids, adv.Node.ID)
+	}
+	return ids
+}
+
+func init() {
+	Register(Scenario{
+		Name: "eclipse",
+		Description: "adapter's whole peer set replaced by silent adversaries; " +
+			"heals by rotating peers out through DropConnection",
+		Step: func(w *World, round int) error {
+			switch {
+			case round == 0:
+				for _, adv := range w.Sim.Adversaries {
+					adv.SetSilent(true)
+				}
+			case round == injectRound:
+				w.EclipseAdapter(adversaryIDs(w))
+			case round >= healRound:
+				w.SetHealed(healRound)
+				rotateOutAdversaries(w)
+			}
+			return nil
+		},
+	})
+
+	Register(Scenario{
+		Name: "partition",
+		Description: "adapter partitioned away from the whole Bitcoin network, " +
+			"then the partition heals; in-flight block requests must be retried",
+		Step: func(w *World, round int) error {
+			switch round {
+			case injectRound:
+				w.Net.SetPartition(w.Adapter.ID, "dark")
+			case healRound:
+				w.Net.HealPartitions()
+				w.SetHealed(healRound)
+			}
+			return nil
+		},
+	})
+
+	Register(Scenario{
+		Name: "withhold",
+		Description: "adapter eclipsed by peers that announce headers but never " +
+			"serve blocks (withholding); retry logic recovers the downloads after heal",
+		Step: func(w *World, round int) error {
+			switch {
+			case round == 0:
+				for _, adv := range w.Sim.Adversaries {
+					adv.SetWithholdData(true)
+				}
+			case round == injectRound:
+				w.EclipseAdapter(adversaryIDs(w))
+			case round == healRound:
+				for _, adv := range w.Sim.Adversaries {
+					adv.SetWithholdData(false)
+				}
+				w.SetHealed(healRound)
+			}
+			return nil
+		},
+	})
+
+	Register(Scenario{
+		Name: "invalid-blocks",
+		Description: "adapter eclipsed by peers serving blocks whose merkle root " +
+			"does not cover their transactions; every one must be rejected",
+		Step: func(w *World, round int) error {
+			switch {
+			case round == 0:
+				for _, adv := range w.Sim.Adversaries {
+					adv.SetCorruptBlocks(true)
+				}
+			case round == injectRound:
+				w.EclipseAdapter(adversaryIDs(w))
+			case round == healRound:
+				for _, adv := range w.Sim.Adversaries {
+					adv.SetCorruptBlocks(false)
+				}
+				w.SetHealed(healRound)
+			}
+			return nil
+		},
+	})
+
+	Register(Scenario{
+		Name: "stale-peers",
+		Description: "adapter eclipsed by peers whose chain view froze at inject " +
+			"time; they keep serving an ever-staler chain until thawed",
+		Step: func(w *World, round int) error {
+			switch round {
+			case injectRound:
+				for _, adv := range w.Sim.Adversaries {
+					adv.SetFrozen(true)
+				}
+				w.EclipseAdapter(adversaryIDs(w))
+			case healRound:
+				for _, adv := range w.Sim.Adversaries {
+					adv.SetFrozen(false)
+				}
+				w.SetHealed(healRound)
+			}
+			return nil
+		},
+	})
+
+	Register(Scenario{
+		Name: "deep-reorg",
+		Description: "adversary mines a private fork branching below the δ-stable " +
+			"anchor and feeds it to the adapter; the anchor must never roll back",
+		Step: func(w *World, round int) error {
+			adv := w.Sim.Adversaries[0]
+			switch round {
+			case 10:
+				// Branch two blocks BELOW the current anchor — deeper than δ —
+				// and overtake the honest tip at fork time.
+				anchor := w.Canister().AnchorHeight()
+				target := anchor - 2
+				if target < 0 {
+					target = 0
+				}
+				honestTip := w.Sim.Nodes[0].BestTip()
+				base := honestTip
+				for base.Height > target {
+					base = base.Parent()
+				}
+				length := int(honestTip.Height-base.Height) + 3
+				if err := adv.MinePrivateFork(base.Hash, length, nil); err != nil {
+					return fmt.Errorf("private fork: %w", err)
+				}
+				adv.SetServeForkOnly(true)
+				w.Adapter.ConnectPeer(adv.Node.ID)
+			case healRound:
+				// The attack must actually have been delivered: the fork's
+				// headers reached the adapter's tree (the canister then
+				// refused to follow them — checked by anchor monotonicity
+				// and oracle equivalence every round).
+				tip := adv.ForkTip()
+				if tip == nil || !w.Adapter.Tree().Contains(tip.Hash) {
+					return fmt.Errorf("adversarial fork never reached the adapter's header tree")
+				}
+				adv.SetServeForkOnly(false)
+				w.Adapter.Disconnect(adv.Node.ID)
+				w.SetHealed(healRound)
+			}
+			return nil
+		},
+	})
+
+	Register(Scenario{
+		Name: "replica-churn",
+		Description: "replicas join mid-stream, a quarantine storm takes the whole " +
+			"fleet out, and snapshot re-hydration readmits everyone",
+		Step: func(w *World, round int) error {
+			switch round {
+			case 5, 15:
+				if _, err := w.Fleet.AddReplica(); err != nil {
+					return fmt.Errorf("replica join: %w", err)
+				}
+			case 10:
+				// The storm: every replica pulled at once. Queries must
+				// forward to the authority until readmission.
+				for i := 0; i < w.Fleet.Replicas(); i++ {
+					w.Fleet.Replica(i).Quarantine()
+				}
+			case 18:
+				for i := 0; i < w.Fleet.Replicas(); i++ {
+					if w.Fleet.Replica(i).Broken() {
+						if err := w.Fleet.HydrateReplica(i); err != nil {
+							return fmt.Errorf("readmit replica %d: %w", i, err)
+						}
+					}
+				}
+			case 22:
+				w.Fleet.Replica(w.Rng.Intn(w.Fleet.Replicas())).Quarantine()
+			case healRound:
+				for i := 0; i < w.Fleet.Replicas(); i++ {
+					if w.Fleet.Replica(i).Broken() {
+						if err := w.Fleet.HydrateReplica(i); err != nil {
+							return fmt.Errorf("readmit replica %d: %w", i, err)
+						}
+					}
+				}
+				w.SetHealed(healRound)
+			}
+			return nil
+		},
+	})
+
+	Register(Scenario{
+		Name: "upgrade-storm",
+		Description: "canister snapshot-reinstall upgrades every few rounds while " +
+			"ingest and the fleet stream stay hot",
+		Step: func(w *World, round int) error {
+			if round%7 == 6 && round <= 48 {
+				if err := w.UpgradeCanister(); err != nil {
+					return fmt.Errorf("upgrade: %w", err)
+				}
+			}
+			if round == 49 {
+				w.SetHealed(49)
+			}
+			return nil
+		},
+	})
+}

@@ -271,7 +271,8 @@ func (h *Harness) Stats() Stats { return h.stats }
 func (h *Harness) Run() (Stats, error) {
 	for i := 0; i < h.cfg.Steps; i++ {
 		if err := h.Step(); err != nil {
-			return h.stats, fmt.Errorf("difftest: seed %d step %d: %w", h.cfg.Seed, i, err)
+			return h.stats, fmt.Errorf("difftest: seed %d step %d: %w\nreproduce: go test ./internal/difftest -run TestDifferentialOverlayVsReplay -difftest.seed=%d",
+				h.cfg.Seed, i, err, h.cfg.Seed)
 		}
 	}
 	return h.stats, nil

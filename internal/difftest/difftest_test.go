@@ -1,9 +1,14 @@
 package difftest
 
 import (
+	"flag"
 	"runtime"
 	"testing"
 )
+
+// seedFlag replays a single failing seed — the one-liner every difftest
+// failure message prints.
+var seedFlag = flag.Int64("difftest.seed", 0, "run only this workload seed (0 = full battery)")
 
 // TestDifferentialOverlayVsReplay runs the randomized differential workload
 // across a battery of fixed seeds: ≥ 1000 workload iterations in total,
@@ -12,6 +17,9 @@ import (
 // torn down to a snapshot and restored at random points along the way.
 func TestDifferentialOverlayVsReplay(t *testing.T) {
 	seeds := []int64{1, 2, 3, 5, 8, 13, 21, 34, 55, 89, 144, 233}
+	if *seedFlag != 0 {
+		seeds = []int64{*seedFlag}
+	}
 	var agg Stats
 	for _, seed := range seeds {
 		cfg := DefaultConfig(seed)
@@ -41,6 +49,11 @@ func TestDifferentialOverlayVsReplay(t *testing.T) {
 		if stats.FleetFrames == 0 || stats.FleetReplicaChecks == 0 {
 			t.Errorf("seed %d: fleet never exercised: %+v", seed, stats)
 		}
+	}
+	if *seedFlag != 0 {
+		// Single-seed replay mode exists to reproduce a failure, not to
+		// re-prove the battery-wide coverage thresholds below.
+		return
 	}
 	if agg.Steps < 1000 {
 		t.Fatalf("only %d workload iterations, want >= 1000", agg.Steps)

@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"icbtc/internal/chaos"
+)
+
+// ChaosConfig parameterizes the chaos-recovery experiment.
+type ChaosConfig struct {
+	// Seed drives every scenario run.
+	Seed int64
+	// Scenarios to run; empty selects the full registry.
+	Scenarios []string
+}
+
+// DefaultChaosConfig runs the whole registry.
+func DefaultChaosConfig() ChaosConfig { return ChaosConfig{Seed: 7} }
+
+// ChaosResult holds one scenario's recovery measurement.
+type ChaosRow struct {
+	Scenario        string
+	HealRound       int
+	ConvergedRound  int
+	RecoveryRounds  int
+	OracleIdentical bool
+	FinalHeight     int64
+	SnapshotBytes   int
+}
+
+// ChaosResult is the `bench -fig chaos` table: rounds-to-reconverge per
+// fault scenario, plus the oracle byte-identity verdict.
+type ChaosResult struct {
+	Seed int64
+	Rows []ChaosRow
+}
+
+// RunChaos runs every selected scenario under the harness's full invariant
+// checking and reports recovery time per scenario.
+func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
+	names := cfg.Scenarios
+	if len(names) == 0 {
+		names = chaos.Names()
+	}
+	res := &ChaosResult{Seed: cfg.Seed}
+	for _, name := range names {
+		r, err := chaos.RunScenario(name, chaos.DefaultConfig(cfg.Seed))
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, ChaosRow{
+			Scenario:        r.Scenario,
+			HealRound:       r.HealRound,
+			ConvergedRound:  r.ConvergedRound,
+			RecoveryRounds:  r.RecoveryRounds,
+			OracleIdentical: r.OracleIdentical,
+			FinalHeight:     r.FinalHeight,
+			SnapshotBytes:   r.SnapshotBytes,
+		})
+	}
+	return res, nil
+}
+
+// Print renders the recovery table.
+func (r *ChaosResult) Print(w io.Writer) {
+	fmt.Fprintf(w, "Chaos recovery (seed %d): rounds to reconverge with the honest chain after heal\n", r.Seed)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "scenario\theal@\tconverged@\trecovery (rounds)\toracle-identical\theight\tsnapshot")
+	for _, row := range r.Rows {
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%v\t%d\t%dB\n",
+			row.Scenario, row.HealRound, row.ConvergedRound, row.RecoveryRounds,
+			row.OracleIdentical, row.FinalHeight, row.SnapshotBytes)
+	}
+	tw.Flush()
+}

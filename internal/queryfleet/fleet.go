@@ -330,6 +330,36 @@ func (f *Fleet) HydrateReplica(i int) error {
 	return f.replicas[i].Hydrate(snapshot, f.seq)
 }
 
+// AddReplica hydrates one new replica from a fresh authority snapshot and
+// joins it to the fleet mid-stream (replica churn: scale-out, or replacing
+// a decommissioned member). The snapshot and the join are atomic with
+// respect to the stream — the newcomer sees every frame after its snapshot
+// and none before — so it serves from a consistent state immediately.
+//
+// The replicas slice is read without a lock on the serving path, so
+// AddReplica must not run concurrently with RouteQuery; call it from the
+// single-threaded driver that owns the fleet (the chaos harness does).
+func (f *Fleet) AddReplica() (int, error) {
+	// Same lock order as HydrateReplica: authMu → feedMu.
+	f.authMu.Lock()
+	defer f.authMu.Unlock()
+	f.feedMu.Lock()
+	defer f.feedMu.Unlock()
+	snapshot, err := f.auth.Snapshot()
+	if err != nil {
+		return 0, fmt.Errorf("queryfleet: snapshot for replica join: %w", err)
+	}
+	r, err := newReplica(len(f.replicas), f, snapshot, f.seq)
+	if err != nil {
+		return 0, err
+	}
+	f.replicas = append(f.replicas, r)
+	if f.cfg.AutoApply {
+		go r.runWorker(f.closed)
+	}
+	return r.index, nil
+}
+
 // CatchUpAll applies every queued frame on every replica (manual mode).
 func (f *Fleet) CatchUpAll() error {
 	for _, r := range f.replicas {

@@ -250,6 +250,11 @@ func (r *Replica) ApplyPending(max int) (int, error) {
 // application. HydrateReplica clears it.
 func (r *Replica) Broken() bool { return r.broken.Load() }
 
+// Quarantine marks the replica broken without a frame failure — the fault
+// hook chaos scenarios use to model an operator (or watchdog) pulling a
+// replica out of rotation. Routing skips it until a re-hydration clears it.
+func (r *Replica) Quarantine() { r.broken.Store(true) }
+
 // CatchUp applies every queued frame.
 func (r *Replica) CatchUp() error {
 	_, err := r.ApplyPending(-1)
