@@ -123,6 +123,27 @@ func BenchmarkDowntimeMonteCarlo(b *testing.B) {
 	}
 }
 
+// BenchmarkDegradeRecovery runs the lossy-link recovery experiment at a
+// single mid-ladder loss rate (the full sweep is `bench -fig degrade`):
+// the chaos harness under 25% adapter-link loss, reporting rounds to
+// reconverge after heal. Gated by cmd/benchgate against BENCH_BASELINE.json
+// — a regression here means the retry/backoff/stall machinery got slower at
+// digging the sync out of a degraded uplink.
+func BenchmarkDegradeRecovery(b *testing.B) {
+	cfg := experiments.DegradeConfig{Seed: 7, Runs: 1, LossRates: []float64{0.25}, Rounds: 32}
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunDegrade(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		row := res.Rows[0]
+		if !row.OracleIdentical {
+			b.Fatalf("degraded run diverged from the oracle: %+v", row)
+		}
+		b.ReportMetric(row.RecoveryAvg, "recovery-rounds")
+	}
+}
+
 // BenchmarkScalingThroughput regenerates the throughput-scaling extension.
 func BenchmarkScalingThroughput(b *testing.B) {
 	for i := 0; i < b.N; i++ {

@@ -16,6 +16,7 @@
 //	bench -fig ingest       # serial vs pipelined block ingest + sharded hydration
 //	bench -fig queryfleet   # read-replica fleet QPS/latency scaling 1→8
 //	bench -fig chaos        # fault-scenario recovery (rounds to reconverge)
+//	bench -fig degrade      # recovery vs adapter-link loss rate sweep
 //	bench -fig ablations    # δ / τ / sync-mode ablations
 package main
 
@@ -30,7 +31,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate (3, 5, 6, 7, latency, cost, eclipse, downtime, readpath, snapshot, ingest, queryfleet, chaos, ablations, scaling, all)")
+	fig := flag.String("fig", "all", "figure to regenerate (3, 5, 6, 7, latency, cost, eclipse, downtime, readpath, snapshot, ingest, queryfleet, chaos, degrade, ablations, scaling, all)")
 	seed := flag.Int64("seed", 7, "simulation seed")
 	scale := flag.Int("scale", 10, "population scale divisor for Fig 7 / latency (1 = paper's full 1000 addresses)")
 	trials := flag.Int("trials", 50_000, "Monte Carlo trials for the security lemmas")
@@ -132,6 +133,16 @@ func run(fig string, seed int64, scale, trials int) error {
 		cfg := experiments.DefaultChaosConfig()
 		cfg.Seed = seed
 		res, err := experiments.RunChaos(cfg)
+		if err != nil {
+			return err
+		}
+		res.Print(out)
+	}
+	if all || fig == "degrade" {
+		section("Degradation: recovery vs adapter-link loss rate")
+		cfg := experiments.DefaultDegradeConfig()
+		cfg.Seed = seed
+		res, err := experiments.RunDegrade(cfg)
 		if err != nil {
 			return err
 		}

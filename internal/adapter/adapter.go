@@ -16,6 +16,8 @@ package adapter
 
 import (
 	"fmt"
+	"math/rand"
+	"sort"
 	"time"
 
 	"icbtc/internal/btc"
@@ -43,10 +45,33 @@ type Config struct {
 	// SyncInterval is how often the adapter polls peers for new headers.
 	SyncInterval time.Duration
 	// BlockRetryInterval is how long an in-flight getdata may go unanswered
-	// before the sync loop re-issues it to the current peer set. A peer that
-	// withholds a requested block (or a partition that swallowed the request)
-	// must not stall the fetch forever. Zero disables retries.
+	// before it is re-issued to the current peer set; it is also the base of
+	// the exponential retry backoff (doubling per attempt up to
+	// RetryBackoffMax, jittered by RetryJitter). A peer that withholds a
+	// requested block (or a partition that swallowed the request) must not
+	// stall the fetch forever. Zero disables retries.
 	BlockRetryInterval time.Duration
+	// RetryBackoffMax caps the exponential retry backoff. Zero means no cap.
+	RetryBackoffMax time.Duration
+	// RetryJitter spreads each retry delay by ±(RetryJitter × delay), drawn
+	// from the seeded scheduler RNG, so retries from many requests do not
+	// synchronize into bursts.
+	RetryJitter float64
+	// RequestTimeout is the per-request deadline for getheaders round trips
+	// (and the deadline charged against a targeted getdata peer at its first
+	// retry). A peer missing the deadline takes a timeout strike. Zero
+	// disables deadline tracking.
+	RequestTimeout time.Duration
+	// PeerBanScore is the health-score threshold at which a peer is put on
+	// the cooldown list and rotated out (see peerHealth.score). Zero
+	// disables banning.
+	PeerBanScore float64
+	// PeerCooldown is how long a banned peer stays excluded from the
+	// connection draw.
+	PeerCooldown time.Duration
+	// StallTimeout flips the adapter into the Degraded state when no peer
+	// has produced any response for this long. Zero disables the detector.
+	StallTimeout time.Duration
 }
 
 // ConfigForNetwork returns the production parameters of §III-B for a
@@ -59,6 +84,12 @@ func ConfigForNetwork(n btc.Network) Config {
 		TxCacheExpiry:      10 * time.Minute,
 		SyncInterval:       2 * time.Second,
 		BlockRetryInterval: 10 * time.Second,
+		RetryBackoffMax:    80 * time.Second,
+		RetryJitter:        0.2,
+		RequestTimeout:     5 * time.Second,
+		PeerBanScore:       6,
+		PeerCooldown:       60 * time.Second,
+		StallTimeout:       6 * time.Second,
 	}
 	switch n {
 	case btc.Mainnet:
@@ -89,10 +120,12 @@ type Request struct {
 }
 
 // Response is the adapter's reply: blocks B extending the canister's tree
-// and upcoming headers N.
+// and upcoming headers N, plus the adapter's health self-report so the
+// canister (and the query fleet behind it) can annotate staleness.
 type Response struct {
 	Blocks []BlockWithHeader
 	Next   []btc.BlockHeader
+	Health Health
 }
 
 // cachedTx is a transaction awaiting advertisement, with its expiry.
@@ -118,11 +151,22 @@ type Adapter struct {
 	// tree is B̄_a, the header tree; blocks is B_a.
 	tree   *chain.Tree
 	blocks map[btc.Hash]*btc.Block
-	// requestedBlocks tracks in-flight getdata requests by the time they
-	// were (last) issued, so unanswered requests can be retried.
-	requestedBlocks map[btc.Hash]time.Time
+	// requestedBlocks tracks the lifecycle of in-flight getdata requests:
+	// attempts, issue counter, last send time, and the targeted peer.
+	requestedBlocks map[btc.Hash]*blockRequest
+	// headersPending stamps the time of the oldest unanswered getheaders per
+	// peer; crossing RequestTimeout charges the peer a timeout strike.
+	headersPending map[simnet.NodeID]time.Time
+	// peerHealth scores every peer ever interacted with; it survives
+	// Stop/Start (knowledge about the network outlives the process restart).
+	peerHealth map[simnet.NodeID]*peerHealth
 
 	txCache map[btc.Hash]cachedTx
+
+	// lastResponse is the time any peer last produced a response; the stall
+	// detector flips degraded when it falls StallTimeout behind.
+	lastResponse time.Time
+	degraded     bool
 
 	running bool
 	// syncGen invalidates scheduler ticks from superseded sync loops: every
@@ -146,7 +190,9 @@ func New(id simnet.NodeID, net *simnet.Network, params *btc.Params, dir *btcnode
 		connected:       make(map[simnet.NodeID]bool),
 		tree:            chain.NewTree(params.GenesisHeader, 0),
 		blocks:          make(map[btc.Hash]*btc.Block),
-		requestedBlocks: make(map[btc.Hash]time.Time),
+		requestedBlocks: make(map[btc.Hash]*blockRequest),
+		headersPending:  make(map[simnet.NodeID]time.Time),
+		peerHealth:      make(map[simnet.NodeID]*peerHealth),
 		txCache:         make(map[btc.Hash]cachedTx),
 	}
 	net.Register(id, a)
@@ -160,6 +206,8 @@ func (a *Adapter) Start() {
 	}
 	a.running = true
 	a.syncGen++
+	a.lastResponse = a.net.Scheduler().Now()
+	a.degraded = false
 	a.discover()
 	a.syncLoop(a.syncGen)
 }
@@ -174,18 +222,25 @@ func (a *Adapter) Start() {
 func (a *Adapter) Stop() {
 	a.running = false
 	a.syncGen++
-	a.requestedBlocks = make(map[btc.Hash]time.Time)
+	a.requestedBlocks = make(map[btc.Hash]*blockRequest)
+	a.headersPending = make(map[simnet.NodeID]time.Time)
+	a.degraded = false
 }
 
 // Tree exposes the adapter's header tree.
 func (a *Adapter) Tree() *chain.Tree { return a.tree }
 
-// ConnectedPeers returns the current peer IDs.
+// ConnectedPeers returns the current peer IDs in sorted order. The order
+// matters for more than cosmetics: callers iterate this slice and act per
+// peer (drop, reconnect, send), and every simnet send consumes scheduler
+// RNG — map iteration order here would leak real-process nondeterminism
+// into the seeded simulation.
 func (a *Adapter) ConnectedPeers() []simnet.NodeID {
 	out := make([]simnet.NodeID, 0, len(a.connected))
 	for id := range a.connected {
 		out = append(out, id)
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
@@ -218,13 +273,19 @@ func (a *Adapter) fillConnections() {
 	a.fillConnectionsExcluding("")
 }
 
-// fillConnectionsExcluding tops up to ℓ connections, drawing uniformly from
-// the book's eligible candidates — resolvable, not self, not already
-// connected. Unresolvable and self-resolving entries are dropped from the
-// book (a node can learn its own address under a foreign label through
-// gossip). Iterating over explicit candidates bounds the loop: the previous
+// fillConnectionsExcluding tops up to ℓ connections, drawing from the
+// book's eligible candidates — resolvable, not self, not already connected.
+// Unresolvable and self-resolving entries are dropped from the book (a node
+// can learn its own address under a foreign label through gossip).
+// Iterating over explicit candidates bounds the loop: the previous
 // draw-and-retry scheme spun forever when the book was non-empty but every
 // entry resolved to self or an existing connection.
+//
+// Candidates are ranked by health score: peers on the cooldown list are
+// skipped entirely (unless nothing else remains — staying dark is worse),
+// and the random draw is restricted to the best-scoring half, so a peer
+// with accumulated timeout/invalid strikes is demonstrably deprioritized
+// while healthy peers (all scoring 0) keep the original uniform draw.
 //
 // A non-empty exclude keeps that peer out of this round's draws (the
 // just-dropped connection must rotate, not reconnect) — unless it is the
@@ -232,7 +293,8 @@ func (a *Adapter) fillConnections() {
 func (a *Adapter) fillConnectionsExcluding(exclude simnet.NodeID) {
 	rng := a.net.Scheduler().Rand()
 	for len(a.connected) < a.cfg.Connections {
-		var candidates []simnet.NodeID
+		now := a.net.Scheduler().Now()
+		var candidates, banned []simnet.NodeID
 		var stale []string
 		for _, addr := range a.addressBook {
 			id, ok := a.dir.Resolve(addr)
@@ -240,12 +302,20 @@ func (a *Adapter) fillConnectionsExcluding(exclude simnet.NodeID) {
 				stale = append(stale, addr)
 				continue
 			}
-			if !a.connected[id] {
-				candidates = append(candidates, id)
+			if a.connected[id] {
+				continue
 			}
+			if ph := a.peerHealth[id]; ph != nil && now.Before(ph.banUntil) {
+				banned = append(banned, id)
+				continue
+			}
+			candidates = append(candidates, id)
 		}
 		for _, addr := range stale {
 			a.removeAddress(addr)
+		}
+		if len(candidates) == 0 {
+			candidates = banned
 		}
 		if len(candidates) == 0 {
 			return
@@ -262,8 +332,31 @@ func (a *Adapter) fillConnectionsExcluding(exclude simnet.NodeID) {
 				pool = kept
 			}
 		}
-		a.connected[pool[rng.Intn(len(pool))]] = true
+		a.connected[a.pickRanked(pool, rng)] = true
 	}
+}
+
+// pickRanked draws a random peer from the best-scoring half of the pool.
+// Ties at the cutoff score are all included, so a pool of all-equal scores
+// degenerates to the plain uniform draw. Sorting is by (score, ID) — the ID
+// tiebreak keeps the draw independent of map iteration order.
+func (a *Adapter) pickRanked(pool []simnet.NodeID, rng *rand.Rand) simnet.NodeID {
+	if len(pool) == 1 {
+		return pool[0]
+	}
+	sort.Slice(pool, func(i, j int) bool {
+		si, sj := a.PeerScore(pool[i]), a.PeerScore(pool[j])
+		if si != sj {
+			return si < sj
+		}
+		return pool[i] < pool[j]
+	})
+	cutoff := a.PeerScore(pool[(len(pool)-1)/2])
+	n := len(pool)
+	for n > 1 && a.PeerScore(pool[n-1]) > cutoff {
+		n--
+	}
+	return pool[rng.Intn(n)]
 }
 
 func (a *Adapter) removeAddress(addr string) {
@@ -315,10 +408,12 @@ func (a *Adapter) ConnectPeer(peer simnet.NodeID) {
 	a.connected[peer] = true
 }
 
-// syncLoop periodically requests headers from all connected peers and
-// expires stale cached transactions. Ticks are gated on the adapter's
-// running state and generation: a tick that fires after Stop (or after a
-// Stop/Start pair started a newer loop) dies silently.
+// syncLoop periodically requests headers from all connected peers, enforces
+// the getheaders deadline, runs the stall detector, and expires stale
+// cached transactions. Ticks are gated on the adapter's running state and
+// generation: a tick that fires after Stop (or after a Stop/Start pair
+// started a newer loop) dies silently. Block-request retries run on their
+// own gen-gated timers (see scheduleRetry), not on this loop.
 func (a *Adapter) syncLoop(gen int) {
 	if !a.running || gen != a.syncGen {
 		return
@@ -329,19 +424,42 @@ func (a *Adapter) syncLoop(gen int) {
 			delete(a.txCache, id)
 		}
 	}
-	locator := a.locator()
-	for peer := range a.connected {
-		a.net.Send(a.ID, peer, btcnode.MsgGetHeaders{Locator: locator})
-	}
-	// Re-issue block requests that have gone unanswered: the original
-	// getdata may have hit a withholding peer, been cut by a partition, or
-	// been lost outright — none of which may stall the fetch forever.
-	if a.cfg.BlockRetryInterval > 0 {
-		for hash, at := range a.requestedBlocks {
-			if now.Sub(at) >= a.cfg.BlockRetryInterval {
-				a.requestBlock(hash)
+	// Getheaders deadline: a peer whose oldest outstanding getheaders went
+	// unanswered for RequestTimeout takes a timeout strike. The entry is
+	// cleared so the strike is charged once per missed request, and the send
+	// below re-arms the deadline.
+	// Sweep in sorted order: a deadline strike can ban the peer, and the
+	// ban's connection refill draws from the seeded RNG — map order here
+	// would make the draw sequence differ run to run.
+	if a.cfg.RequestTimeout > 0 {
+		pending := make([]simnet.NodeID, 0, len(a.headersPending))
+		for peer := range a.headersPending {
+			pending = append(pending, peer)
+		}
+		sort.Slice(pending, func(i, j int) bool { return pending[i] < pending[j] })
+		for _, peer := range pending {
+			if !a.connected[peer] {
+				delete(a.headersPending, peer)
+				continue
+			}
+			if now.Sub(a.headersPending[peer]) >= a.cfg.RequestTimeout {
+				delete(a.headersPending, peer)
+				a.chargeTimeout(peer)
 			}
 		}
+	}
+	// Stall detector: no response from ANY peer for StallTimeout means the
+	// network (or our whole peer set) has gone dark — honest nodes always
+	// answer getheaders, even with an empty header list.
+	if a.cfg.StallTimeout > 0 && now.Sub(a.lastResponse) >= a.cfg.StallTimeout {
+		a.degraded = true
+	}
+	locator := a.locator()
+	for _, peer := range a.ConnectedPeers() {
+		if _, pending := a.headersPending[peer]; !pending {
+			a.headersPending[peer] = now
+		}
+		a.net.Send(a.ID, peer, btcnode.MsgGetHeaders{Locator: locator})
 	}
 	a.net.Scheduler().After(a.cfg.SyncInterval, func() { a.syncLoop(gen) })
 }
@@ -377,11 +495,14 @@ func (a *Adapter) Receive(from simnet.NodeID, msg any) {
 	}
 	switch m := msg.(type) {
 	case btcnode.MsgAddr:
+		a.noteResponse(from)
 		a.handleAddr(m)
 	case btcnode.MsgHeaders:
-		a.handleHeaders(m)
+		a.noteResponse(from)
+		a.handleHeaders(from, m)
 	case btcnode.MsgBlock:
-		a.handleBlock(m)
+		a.noteResponse(from)
+		a.handleBlock(from, m)
 	case btcnode.MsgInvBlock:
 		// A new block announcement; fetch headers soon via the sync loop.
 		if !a.tree.Contains(m.Hash) {
@@ -392,20 +513,42 @@ func (a *Adapter) Receive(from simnet.NodeID, msg any) {
 			a.net.Send(a.ID, from, btcnode.MsgTx{Tx: ct.tx})
 		}
 	case btcnode.MsgNotFound:
-		for _, h := range m.Hashes {
-			delete(a.requestedBlocks, h)
-		}
+		a.noteResponse(from)
+		a.handleNotFound(from, m)
 	}
 }
 
-// handleAddr merges discovered addresses up to t_u.
+// handleNotFound processes a peer's miss on a getdata. A targeted miss is a
+// strike (the ranked pick chose a peer that lacks the block) and escalates
+// straight to a broadcast re-issue; a miss on a broadcast is ignored —
+// other peers may still answer, and the retry timer covers total misses.
+func (a *Adapter) handleNotFound(from simnet.NodeID, m btcnode.MsgNotFound) {
+	for _, h := range m.Hashes {
+		req := a.requestedBlocks[h]
+		if req == nil || req.peer != from {
+			continue
+		}
+		a.chargeTimeout(from)
+		a.requestBlock(h)
+	}
+}
+
+// handleAddr merges discovered addresses up to t_u. At the cap, room is
+// made only by evicting an address whose peer is dead (unresolvable) or has
+// been on the cooldown list longest — never a live, healthy entry — so a
+// gossip flood of bogus addresses can churn other bogus entries but can
+// neither grow the book past t_u nor displace working peers.
 func (a *Adapter) handleAddr(m btcnode.MsgAddr) {
 	for _, addr := range m.Addrs {
-		if len(a.addressBook) >= a.cfg.AddrHighWater {
-			break
-		}
 		if addr == string(a.ID) || a.addrSet[addr] {
 			continue
+		}
+		if len(a.addressBook) >= a.cfg.AddrHighWater {
+			victim := a.evictionVictim()
+			if victim == "" {
+				break
+			}
+			a.removeAddress(victim)
 		}
 		a.addrSet[addr] = true
 		a.addressBook = append(a.addressBook, addr)
@@ -413,11 +556,42 @@ func (a *Adapter) handleAddr(m btcnode.MsgAddr) {
 	a.fillConnections()
 }
 
+// evictionVictim picks the address-book entry to drop when the book is full:
+// the first dead (unresolvable or self) entry, else the non-connected banned
+// peer whose ban started earliest. Returns "" when every entry is live and
+// in good standing.
+func (a *Adapter) evictionVictim() string {
+	now := a.net.Scheduler().Now()
+	var bannedAddr string
+	var bannedUntil time.Time
+	for _, addr := range a.addressBook {
+		id, ok := a.dir.Resolve(addr)
+		if !ok || id == a.ID {
+			return addr
+		}
+		if a.connected[id] {
+			continue
+		}
+		if ph := a.peerHealth[id]; ph != nil && now.Before(ph.banUntil) {
+			if bannedAddr == "" || ph.banUntil.Before(bannedUntil) {
+				bannedAddr, bannedUntil = addr, ph.banUntil
+			}
+		}
+	}
+	return bannedAddr
+}
+
 // handleHeaders validates and stores announced headers. Per §III-B the
 // adapter accepts any valid header — multiple headers at the same height
-// are fine; fork resolution is the canister's job.
-func (a *Adapter) handleHeaders(m btcnode.MsgHeaders) {
+// are fine; fork resolution is the canister's job. Provably invalid headers
+// charge the serving peer an invalid strike; orphans (unknown parent) do
+// not — out-of-order delivery from an honest peer looks identical.
+func (a *Adapter) handleHeaders(from simnet.NodeID, m btcnode.MsgHeaders) {
 	now := a.net.Scheduler().Now()
+	if at, ok := a.headersPending[from]; ok {
+		delete(a.headersPending, from)
+		a.peer(from).observeLatency(now.Sub(at))
+	}
 	for i := range m.Headers {
 		h := m.Headers[i]
 		hash := h.BlockHash()
@@ -431,10 +605,12 @@ func (a *Adapter) handleHeaders(m btcnode.MsgHeaders) {
 		}
 		if err := chain.ValidateHeader(&h, parent, a.params, now); err != nil {
 			a.headersRejected++
+			a.chargeInvalid(from)
 			continue
 		}
 		if _, err := a.tree.Insert(h); err != nil {
 			a.headersRejected++
+			a.chargeInvalid(from)
 			continue
 		}
 		a.headersAccepted++
@@ -442,22 +618,27 @@ func (a *Adapter) handleHeaders(m btcnode.MsgHeaders) {
 }
 
 // handleBlock stores a requested block after verifying it matches a known
-// valid header and its Merkle root.
-func (a *Adapter) handleBlock(m btcnode.MsgBlock) {
+// valid header and its Merkle root. A corrupt block (Merkle mismatch)
+// charges the serving peer an invalid strike and keeps the request alive so
+// the retry fetches it from someone else.
+func (a *Adapter) handleBlock(from simnet.NodeID, m btcnode.MsgBlock) {
 	if m.Block == nil {
 		return
 	}
 	hash := m.Block.BlockHash()
-	delete(a.requestedBlocks, hash)
 	if !a.tree.Contains(hash) {
+		delete(a.requestedBlocks, hash)
 		return // no validated header for it
 	}
 	if a.blocks[hash] != nil {
+		delete(a.requestedBlocks, hash)
 		return
 	}
 	if m.Block.MerkleRoot() != m.Block.Header.MerkleRoot {
+		a.chargeInvalid(from)
 		return
 	}
+	delete(a.requestedBlocks, hash)
 	a.blocks[hash] = m.Block
 }
 
@@ -474,13 +655,107 @@ func (a *Adapter) getBlock(hash btc.Hash) *btc.Block {
 	return nil
 }
 
-// requestBlock (re-)issues a getdata for one block to every connected peer
-// and stamps the in-flight entry with the send time (the retry clock).
+// requestBlock (re-)issues a getdata for one block and arms its retry
+// timer. The first attempt goes to the single best-ranked peer (cheap, and
+// it exercises the health ranking); retries broadcast to the whole peer set
+// — by then the cheap path has demonstrably failed.
 func (a *Adapter) requestBlock(hash btc.Hash) {
-	a.requestedBlocks[hash] = a.net.Scheduler().Now()
-	for peer := range a.connected {
-		a.net.Send(a.ID, peer, btcnode.MsgGetData{BlockHashes: []btc.Hash{hash}})
+	req := a.requestedBlocks[hash]
+	if req == nil {
+		req = &blockRequest{}
+		a.requestedBlocks[hash] = req
 	}
+	req.attempts++
+	req.issue++
+	req.sentAt = a.net.Scheduler().Now()
+	req.peer = ""
+	msg := btcnode.MsgGetData{BlockHashes: []btc.Hash{hash}}
+	if best := a.bestPeer(); req.attempts == 1 && best != "" {
+		req.peer = best
+		a.net.Send(a.ID, best, msg)
+	} else {
+		for _, peer := range a.ConnectedPeers() {
+			a.net.Send(a.ID, peer, msg)
+		}
+	}
+	a.scheduleRetry(hash, req)
+}
+
+// bestPeer returns the connected peer with the lowest health score (ID
+// tiebreak for determinism), or "" with no connections.
+func (a *Adapter) bestPeer() simnet.NodeID {
+	var best simnet.NodeID
+	bestScore := 0.0
+	for peer := range a.connected {
+		s := a.PeerScore(peer)
+		if best == "" || s < bestScore || (s == bestScore && peer < best) {
+			best, bestScore = peer, s
+		}
+	}
+	return best
+}
+
+// scheduleRetry arms the retry/deadline timer for one in-flight block
+// request: exponential backoff off BlockRetryInterval, capped at
+// RetryBackoffMax, jittered by ±RetryJitter. The timer captures the sync
+// generation and the request's issue counter, so it dies silently if the
+// adapter stopped or restarted (the PR 3 stale-request fix, extended to
+// retries) or if a newer issue of the same request superseded it.
+func (a *Adapter) scheduleRetry(hash btc.Hash, req *blockRequest) {
+	if a.cfg.BlockRetryInterval <= 0 {
+		return
+	}
+	gen, issue := a.syncGen, req.issue
+	a.net.Scheduler().After(a.retryDelay(req.attempts), func() {
+		a.retryTick(gen, hash, issue)
+	})
+}
+
+// retryDelay computes the backoff before retry number attempts+1.
+func (a *Adapter) retryDelay(attempts int) time.Duration {
+	d := a.cfg.BlockRetryInterval
+	for i := 1; i < attempts && i < 12; i++ {
+		d *= 2
+		if a.cfg.RetryBackoffMax > 0 && d >= a.cfg.RetryBackoffMax {
+			d = a.cfg.RetryBackoffMax
+			break
+		}
+	}
+	if a.cfg.RetryJitter > 0 {
+		spread := (a.net.Scheduler().Rand().Float64()*2 - 1) * a.cfg.RetryJitter
+		d += time.Duration(spread * float64(d))
+	}
+	return d
+}
+
+// retryTick is the deadline/backoff timer body. A fire from a dead
+// generation (the adapter stopped, or stopped and restarted, since the
+// timer was armed) or a superseded issue is a no-op; otherwise the targeted
+// peer is charged the missed deadline and the request re-issued.
+func (a *Adapter) retryTick(gen int, hash btc.Hash, issue int) {
+	if !a.running || gen != a.syncGen {
+		return
+	}
+	req := a.requestedBlocks[hash]
+	if req == nil || req.issue != issue {
+		return
+	}
+	if req.peer != "" {
+		a.chargeTimeout(req.peer)
+	}
+	a.requestBlock(hash)
+}
+
+// pendingBlockHashes snapshots the in-flight request set in deterministic
+// order (re-kick iteration must not depend on map order — it draws from the
+// seeded RNG per request).
+func (a *Adapter) pendingBlockHashes() []btc.Hash {
+	out := make([]btc.Hash, 0, len(a.requestedBlocks))
+	for h := range a.requestedBlocks {
+		out = append(out, h)
+	}
+	sort.Slice(out, func(i, j int) bool { return string(out[i][:]) < string(out[j][:]) })
+	return out
 }
 
 // maxBlocksAtHeight implements Algorithm 1's max_blocks_at_height: many
@@ -508,7 +783,7 @@ func (a *Adapter) maxBlocksAtHeight(anchorHeight int64) int {
 // permanently unfetchable until an unrelated inv arrived.
 func (a *Adapter) HandleRequest(req Request) Response {
 	if !a.running {
-		return Response{}
+		return Response{Health: Health{State: StateStopped}}
 	}
 	// Lines 1-3: cache and advertise outbound transactions.
 	for _, raw := range req.Txs {
@@ -532,7 +807,7 @@ func (a *Adapter) HandleRequest(req Request) Response {
 	if start == nil {
 		// The canister is ahead of or diverged from this adapter; nothing
 		// useful to serve.
-		return Response{}
+		return Response{Health: a.Health()}
 	}
 
 	var resp Response
@@ -568,6 +843,7 @@ func (a *Adapter) HandleRequest(req Request) Response {
 		}
 		return true
 	})
+	resp.Health = a.Health()
 	return resp
 }
 
@@ -581,7 +857,7 @@ func (a *Adapter) cacheAndAdvertise(tx *btc.Transaction) {
 			expires: a.net.Scheduler().Now().Add(a.cfg.TxCacheExpiry),
 		}
 	}
-	for peer := range a.connected {
+	for _, peer := range a.ConnectedPeers() {
 		a.net.Send(a.ID, peer, btcnode.MsgInvTx{TxID: txid})
 	}
 }

@@ -2,6 +2,7 @@ package btcnode
 
 import (
 	"fmt"
+	"time"
 
 	"icbtc/internal/btc"
 	"icbtc/internal/chain"
@@ -37,6 +38,10 @@ type Adversary struct {
 	// pushes) while still answering explicit requests: the node serves an
 	// ever-staler view of the chain.
 	frozen bool
+	// slowDrip, when > 0, delays the handling of every incoming message by
+	// that much virtual time — a slowloris peer that eventually answers
+	// everything, but far too late for any request deadline.
+	slowDrip time.Duration
 }
 
 // NewAdversary wraps a node with adversarial behaviors. The node's script
@@ -73,6 +78,14 @@ func (a *Adversary) SetCorruptBlocks(v bool) { a.corruptBlocks = v }
 // (its view of the chain freezes) but keeps answering explicit requests
 // from that stale view.
 func (a *Adversary) SetFrozen(v bool) { a.frozen = v }
+
+// SetSlowDrip turns the node into a slowloris peer: every incoming message
+// is processed — and therefore answered — only after d of virtual time.
+// Unlike silence, the peer never stops responding entirely; it is simply too
+// slow for any deadline, which is exactly what per-request timeouts and peer
+// scoring must catch. Zero disables the delay (messages already in the drip
+// still arrive late).
+func (a *Adversary) SetSlowDrip(d time.Duration) { a.slowDrip = d }
 
 // Fork returns the private fork blocks, oldest first.
 func (a *Adversary) Fork() []*btc.Block { return a.fork }
@@ -144,6 +157,15 @@ func corruptBlockCopy(blk *btc.Block) *btc.Block {
 
 // Receive implements simnet.Endpoint with adversarial request handling.
 func (a *Adversary) Receive(from simnet.NodeID, msg any) {
+	if a.slowDrip > 0 {
+		a.Node.net.Scheduler().After(a.slowDrip, func() { a.handle(from, msg) })
+		return
+	}
+	a.handle(from, msg)
+}
+
+// handle applies the active adversarial behaviors to one message.
+func (a *Adversary) handle(from simnet.NodeID, msg any) {
 	if a.silent {
 		return
 	}

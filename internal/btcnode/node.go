@@ -2,6 +2,7 @@ package btcnode
 
 import (
 	"fmt"
+	"sort"
 
 	"icbtc/internal/btc"
 	"icbtc/internal/chain"
@@ -306,9 +307,22 @@ func (n *Node) Locator() []btc.Hash {
 	return locator
 }
 
+// peersSorted returns the peer set in sorted order. Relay loops must not
+// iterate the map directly: every send consumes scheduler RNG (latency and
+// loss draws), so map iteration order would leak real-process
+// nondeterminism into the seeded simulation.
+func (n *Node) peersSorted() []simnet.NodeID {
+	out := make([]simnet.NodeID, 0, len(n.peers))
+	for p := range n.peers {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
 // relayBlock announces a block to all peers except skip.
 func (n *Node) relayBlock(hash btc.Hash, skip simnet.NodeID) {
-	for p := range n.peers {
+	for _, p := range n.peersSorted() {
 		if p != skip {
 			n.net.Send(n.ID, p, MsgInvBlock{Hash: hash})
 		}
@@ -490,7 +504,7 @@ func (n *Node) AcceptTx(tx *btc.Transaction) bool {
 		return false
 	}
 	n.mempool[txid] = tx
-	for p := range n.peers {
+	for _, p := range n.peersSorted() {
 		n.net.Send(n.ID, p, MsgInvTx{TxID: txid})
 	}
 	return true

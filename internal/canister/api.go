@@ -3,6 +3,7 @@ package canister
 import (
 	"fmt"
 
+	"icbtc/internal/adapter"
 	"icbtc/internal/btc"
 	"icbtc/internal/chain"
 	"icbtc/internal/ic"
@@ -50,6 +51,31 @@ type SendTransactionArgs struct {
 	Network btc.Network
 }
 
+// HealthStatus is the get_health response: the canister's sync position and
+// the Bitcoin adapter's last self-report. Unlike the data endpoints it is
+// served even while the canister is out of sync — its whole purpose is to
+// explain WHY answers are stale (or absent) when the chain feed degrades.
+type HealthStatus struct {
+	// AdapterState is the adapter's coarse state from its last report
+	// (unknown until the first processed payload).
+	AdapterState adapter.State
+	// AdapterHeight is the adapter's best known header height.
+	AdapterHeight int64
+	// TipHeight/AnchorHeight locate the considered chain.
+	TipHeight    int64
+	AnchorHeight int64
+	// AvailableHeight is the greatest height with a full block present.
+	AvailableHeight int64
+	// TipLag is how many blocks the served state trails the adapter's best
+	// header (0 when caught up).
+	TipLag int64
+	// Synced mirrors the τ condition gating the data endpoints.
+	Synced bool
+	// Degraded is true when the adapter's stall detector fired: served data
+	// may be arbitrarily stale.
+	Degraded bool
+}
+
 // Update implements ic.Canister for replicated calls.
 func (c *BitcoinCanister) Update(ctx *ic.CallContext, method string, arg any) (any, error) {
 	switch method {
@@ -81,6 +107,8 @@ func (c *BitcoinCanister) Update(ctx *ic.CallContext, method string, arg any) (a
 		return c.GetBlockHeaders(ctx, args)
 	case "get_tip":
 		return c.tipNode().Hash, nil
+	case "get_health":
+		return c.GetHealth(ctx)
 	default:
 		return nil, fmt.Errorf("canister: no update method %q", method)
 	}
@@ -90,11 +118,32 @@ func (c *BitcoinCanister) Update(ctx *ic.CallContext, method string, arg any) (a
 // endpoints are the same.
 func (c *BitcoinCanister) Query(ctx *ic.CallContext, method string, arg any) (any, error) {
 	switch method {
-	case "get_utxos", "get_balance", "get_tip", "get_current_fee_percentiles", "get_block_headers":
+	case "get_utxos", "get_balance", "get_tip", "get_current_fee_percentiles",
+		"get_block_headers", "get_health":
 		return c.Update(ctx, method, arg)
 	default:
 		return nil, fmt.Errorf("canister: no query method %q", method)
 	}
+}
+
+// GetHealth serves the get_health endpoint. It deliberately skips
+// checkServable: an out-of-sync or degraded canister must still explain
+// itself — that is the endpoint's job.
+func (c *BitcoinCanister) GetHealth(ctx *ic.CallContext) (*HealthStatus, error) {
+	ctx.Meter.Charge(ic.CostRequestBase, "request_base")
+	h := &HealthStatus{
+		AdapterState:    c.adapterHealth.State,
+		AdapterHeight:   c.adapterHealth.Height,
+		TipHeight:       c.tipNode().Height,
+		AnchorHeight:    c.tree.Root().Height,
+		AvailableHeight: c.availableHeight,
+		Synced:          c.synced,
+		Degraded:        c.adapterHealth.State == adapter.StateDegraded,
+	}
+	if lag := h.AdapterHeight - h.AvailableHeight; lag > 0 {
+		h.TipLag = lag
+	}
+	return h, nil
 }
 
 // checkServable rejects requests on the wrong network or while out of sync.

@@ -164,6 +164,17 @@ type BitcoinCanister struct {
 	// header) is present, maintained by updateSynced from the have list.
 	availableHeight int64
 
+	// adapterHealth is the adapter's latest self-report, recorded off each
+	// processed payload (or applied frame, on a replica) and served by
+	// get_health. Transient operational state: deliberately NOT part of the
+	// snapshot — a restored canister starts at StateUnknown until its first
+	// payload.
+	adapterHealth adapter.Health
+	// lastSentHealth is the health carried on the last published stream
+	// frame; a change forces a frame even when a payload accepted nothing,
+	// so replicas learn about degradation (and recovery) promptly.
+	lastSentHealth adapter.Health
+
 	// stats
 	ingestedBlocks  int
 	rejectedBlocks  int
@@ -300,6 +311,7 @@ func (c *BitcoinCanister) ProcessPayload(ctx *ic.CallContext, payload any) error
 		return fmt.Errorf("canister: unexpected payload type %T", payload)
 	}
 	c.ageOutgoing()
+	c.adapterHealth = resp.Health
 	// Anything in the payload can change the considered chain (new blocks,
 	// upcoming headers shifting the tip, an anchor advance), so drop the
 	// memoized balances and fee percentiles up front; they are cheap to

@@ -64,6 +64,7 @@ func (c *BitcoinCanister) ProcessPayloadPipelined(ctx *ic.CallContext, payload a
 		return fmt.Errorf("canister: unexpected payload type %T", payload)
 	}
 	c.ageOutgoing()
+	c.adapterHealth = resp.Health
 	if len(resp.Blocks) > 0 || len(resp.Next) > 0 {
 		c.invalidateReadCaches()
 	}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"icbtc/internal/adapter"
 	"icbtc/internal/btc"
 	"icbtc/internal/ic"
 	"icbtc/internal/ingest"
@@ -33,8 +34,9 @@ import (
 const (
 	// frameMagic brands delta-stream frames.
 	frameMagic = "icbtc/delta-frame\n"
-	// FrameVersion is the current frame format version.
-	FrameVersion uint16 = 1
+	// FrameVersion is the current frame format version. Version 2 added the
+	// adapter health report after the anchor height.
+	FrameVersion uint16 = 2
 
 	// maxFrameEvents bounds the per-frame event count a decoder accepts.
 	maxFrameEvents = 1 << 20
@@ -85,7 +87,11 @@ type Frame struct {
 	// tip and anchor after applying this frame.
 	TipHeight    int64
 	AnchorHeight int64
-	Events       []StreamEvent
+	// Health is the adapter self-report the authoritative canister held
+	// after this frame's payload — how replicas learn the chain feed is
+	// degraded (and annotate their answers) without seeing payloads.
+	Health adapter.Health
+	Events []StreamEvent
 }
 
 // SetStreamSink installs (or, with nil, removes) the frame consumer. The
@@ -101,18 +107,26 @@ func (c *BitcoinCanister) emit(ev StreamEvent) {
 	}
 }
 
-// flushFrame hands the accumulated events of one payload to the sink.
+// flushFrame hands the accumulated events of one payload to the sink. A
+// payload that accepted nothing still produces a frame when the adapter's
+// health report changed — degradation (and recovery) must reach replicas
+// even when no chain data flows, which is exactly when it matters.
 func (c *BitcoinCanister) flushFrame() {
-	if c.stream == nil || len(c.events) == 0 {
+	if c.stream == nil {
 		c.events = nil
+		return
+	}
+	if len(c.events) == 0 && c.adapterHealth == c.lastSentHealth {
 		return
 	}
 	f := &Frame{
 		TipHeight:    c.tipNode().Height,
 		AnchorHeight: c.tree.Root().Height,
+		Health:       c.adapterHealth,
 		Events:       c.events,
 	}
 	c.events = nil
+	c.lastSentHealth = c.adapterHealth
 	c.stream(f)
 }
 
@@ -126,6 +140,10 @@ func EncodeFrame(f *Frame) []byte {
 	e.U64(f.Seq)
 	e.I64(f.TipHeight)
 	e.I64(f.AnchorHeight)
+	e.U8(uint8(f.Health.State))
+	e.I64(f.Health.Height)
+	e.Uvarint(uint64(f.Health.PendingBlocks))
+	e.Uvarint(uint64(f.Health.Peers))
 	e.Uvarint(uint64(len(f.Events)))
 	for i := range f.Events {
 		ev := &f.Events[i]
@@ -157,6 +175,10 @@ func DecodeFrame(data []byte) (*Frame, error) {
 		TipHeight:    d.I64(),
 		AnchorHeight: d.I64(),
 	}
+	f.Health.State = adapter.State(d.U8())
+	f.Health.Height = d.I64()
+	f.Health.PendingBlocks = int(d.Uvarint())
+	f.Health.Peers = int(d.Uvarint())
 	n := d.CountFor(maxFrameEvents, 1)
 	for i := 0; i < n; i++ {
 		var ev StreamEvent
@@ -258,6 +280,8 @@ func (c *BitcoinCanister) ApplyFrame(f *Frame) error {
 			return fmt.Errorf("canister: apply frame: unknown event kind %d", ev.Kind)
 		}
 	}
+	c.adapterHealth = f.Health
+	c.lastSentHealth = f.Health
 	c.updateSynced()
 	c.WarmQueryState()
 	return nil

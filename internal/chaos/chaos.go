@@ -163,6 +163,26 @@ func (w *World) IsAdversary(id simnet.NodeID) bool {
 	return false
 }
 
+// DegradeAdapterLinks installs a link profile on BOTH directions of every
+// link between the adapter and a Bitcoin node (honest and adversarial
+// alike), leaving the honest mesh untouched — the fault entry point for the
+// lossy/flapping/spiking network scenarios. The honest nodes keep gossiping
+// normally; only the adapter's view of the network degrades, which is the
+// deployment-relevant failure (the adapter sits behind its own uplink).
+// Passing nil heals every adapter link.
+func (w *World) DegradeAdapterLinks(p *simnet.LinkProfile) {
+	degrade := func(id simnet.NodeID) {
+		w.Net.SetLinkProfile(w.Adapter.ID, id, p)
+		w.Net.SetLinkProfile(id, w.Adapter.ID, p)
+	}
+	for _, n := range w.Sim.Nodes {
+		degrade(n.ID)
+	}
+	for _, adv := range w.Sim.Adversaries {
+		degrade(adv.Node.ID)
+	}
+}
+
 // EclipseAdapter replaces the adapter's peer set with the given peers —
 // the fault entry point for eclipse-style scenarios.
 func (w *World) EclipseAdapter(peers []simnet.NodeID) {
@@ -243,14 +263,22 @@ func newWorld(cfg Config) (*World, error) {
 	return w, nil
 }
 
-// RunScenario executes one named scenario under cfg and returns its result.
-// Any invariant violation or scenario error is wrapped with the scenario
-// name, seed, and round, plus a one-line reproduction command.
+// RunScenario executes one named (registered) scenario under cfg.
 func RunScenario(name string, cfg Config) (Result, error) {
 	s, ok := Lookup(name)
 	if !ok {
 		return Result{}, fmt.Errorf("chaos: unknown scenario %q (have %v)", name, Names())
 	}
+	return Run(s, cfg)
+}
+
+// Run executes one scenario under cfg and returns its result — the entry
+// point for parameterized, unregistered scenarios built on the fly (the
+// degradation experiments sweep loss rates this way). Any invariant
+// violation or scenario error is wrapped with the scenario name, seed, and
+// round, plus a one-line reproduction command.
+func Run(s Scenario, cfg Config) (Result, error) {
+	name := s.Name
 	if cfg.Rounds <= 0 {
 		cfg.Rounds = 60
 	}

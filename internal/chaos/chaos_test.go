@@ -4,6 +4,8 @@ import (
 	"flag"
 	"testing"
 	"time"
+
+	"icbtc/internal/simnet"
 )
 
 var (
@@ -46,6 +48,44 @@ func TestChaosScenarios(t *testing.T) {
 			t.Logf("heal=%d converged=%d recovery=%d rounds, height=%d, snapshot=%dB",
 				res.HealRound, res.ConvergedRound, res.RecoveryRounds, res.FinalHeight, res.SnapshotBytes)
 		})
+	}
+}
+
+// TestChaosDeterminism pins the harness's "same seed, same run" promise: a
+// lossy-link scenario replayed under one seed must land on the identical
+// Result, round for round. The loss path is the sensitive probe — every
+// delivery consumes a seeded RNG draw, so any map-iteration-order leak in a
+// send loop (the bug this test regressed on: adapter and node broadcast
+// loops ranged over peer maps) shifts the draw sequence and with it the
+// recovery round.
+func TestChaosDeterminism(t *testing.T) {
+	s := Scenario{
+		Name: "determinism-probe",
+		Step: func(w *World, round int) error {
+			switch round {
+			case injectRound:
+				w.DegradeAdapterLinks(&simnet.LinkProfile{LossRate: 0.25})
+			case healRound:
+				w.DegradeAdapterLinks(nil)
+				w.SetHealed(healRound)
+			}
+			return nil
+		},
+	}
+	cfg := DefaultConfig(7)
+	cfg.Rounds = 32
+	first, err := Run(s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		again, err := Run(s, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if again != first {
+			t.Fatalf("replay %d diverged:\nfirst %+v\nagain %+v", i+1, first, again)
+		}
 	}
 }
 

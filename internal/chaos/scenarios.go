@@ -3,6 +3,7 @@ package chaos
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"icbtc/internal/simnet"
 )
@@ -214,6 +215,99 @@ func init() {
 				}
 				adv.SetServeForkOnly(false)
 				w.Adapter.Disconnect(adv.Node.ID)
+				w.SetHealed(healRound)
+			}
+			return nil
+		},
+	})
+
+	Register(Scenario{
+		Name: "loss-ramp",
+		Description: "message loss on every adapter link ramps from 15% to 55% " +
+			"and back off; per-request retries with backoff keep the sync alive",
+		Step: func(w *World, round int) error {
+			switch {
+			case round >= injectRound && round < healRound:
+				// Re-install each round with the ramped rate; the profile is
+				// pure loss, so reinstallation consumes no RNG draws.
+				frac := float64(round-injectRound) / float64(healRound-1-injectRound)
+				w.DegradeAdapterLinks(&simnet.LinkProfile{LossRate: 0.15 + 0.40*frac})
+			case round == healRound:
+				w.DegradeAdapterLinks(nil)
+				w.SetHealed(healRound)
+			}
+			return nil
+		},
+	})
+
+	Register(Scenario{
+		Name: "latency-spike",
+		Description: "adapter links suffer bufferbloat-style latency-spike storms " +
+			"(25x delay episodes); slow-but-honest peers must not be banned",
+		Step: func(w *World, round int) error {
+			switch round {
+			case injectRound:
+				w.DegradeAdapterLinks(&simnet.LinkProfile{
+					Latency:       simnet.LatencyModel{Base: 20 * time.Millisecond, Jitter: 30 * time.Millisecond},
+					SpikeRate:     0.25,
+					SpikeFactor:   25,
+					SpikeDuration: 3 * time.Second,
+				})
+			case healRound:
+				w.DegradeAdapterLinks(nil)
+				w.SetHealed(healRound)
+			}
+			return nil
+		},
+	})
+
+	Register(Scenario{
+		Name: "flapping-links",
+		Description: "every adapter link flaps on a ~1.2s cycle (down ~40% in " +
+			"contiguous bursts); bursty loss must not wedge the block download",
+		Step: func(w *World, round int) error {
+			switch round {
+			case injectRound:
+				w.DegradeAdapterLinks(&simnet.LinkProfile{
+					FlapPeriod: 1200 * time.Millisecond,
+					FlapDown:   500 * time.Millisecond,
+				})
+			case healRound:
+				w.DegradeAdapterLinks(nil)
+				w.SetHealed(healRound)
+			}
+			return nil
+		},
+	})
+
+	Register(Scenario{
+		Name: "slow-drip",
+		Description: "adapter eclipsed by slowloris peers that answer everything " +
+			"30s late; deadline strikes must ban and rotate them out unaided",
+		Step: func(w *World, round int) error {
+			switch round {
+			case 0:
+				for _, adv := range w.Sim.Adversaries {
+					adv.SetSlowDrip(30 * time.Second)
+				}
+			case injectRound:
+				w.EclipseAdapter(adversaryIDs(w))
+			case healRound:
+				// Self-recovery assert: unlike the eclipse scenario, nothing
+				// here rotates peers out for the adapter — the deadline→score→
+				// ban lifecycle alone must have pulled honest peers back in.
+				honest := 0
+				for _, p := range w.Adapter.ConnectedPeers() {
+					if !w.IsAdversary(p) {
+						honest++
+					}
+				}
+				if honest == 0 {
+					return fmt.Errorf("no honest peer rotated in by the heal round: peer scoring failed to evict the slow-drip peers")
+				}
+				for _, adv := range w.Sim.Adversaries {
+					adv.SetSlowDrip(0)
+				}
 				w.SetHealed(healRound)
 			}
 			return nil

@@ -74,6 +74,14 @@ type Config struct {
 	// CertifyEvery, when > 0, threshold-signs one routed query every
 	// CertifyEvery steps and verifies it via Subnet.VerifyCertified.
 	CertifyEvery int
+	// LossyLink, when true, routes every payload through a seeded simnet
+	// link with loss, duplication, and reordering (mildLossProfile) under a
+	// stop-and-wait at-least-once resend protocol before any canister sees
+	// it. The link's scheduler is private, so the payload sequence is
+	// identical with the link on or off — a run's final state must be
+	// byte-identical either way (TestDifferentialLossyLink checks exactly
+	// that).
+	LossyLink bool
 	// Pipelined, when true, runs a third canister fed the same payloads
 	// through ProcessPayloadPipelined with per-step randomized worker
 	// counts (1..8, degenerating to the serial loop at 1) and prefetch
@@ -109,6 +117,11 @@ type Stats struct {
 	SnapshotRestores int
 	// SnapshotBytes is the size of the last snapshot taken.
 	SnapshotBytes int
+	// Lossy-link transport counters (zero when LossyLink is off). The test
+	// asserts both are non-zero: a run whose degraded link never dropped or
+	// duplicated anything proves nothing.
+	LinkRetransmits int
+	LinkStaleDrops  int
 	// PipelinedChecks counts steps at which the pipelined canister's
 	// snapshot and probe responses were verified byte-identical to the
 	// serial overlay's; PipelinedRestores counts its mid-run parallel
@@ -142,6 +155,8 @@ type Harness struct {
 
 	miner *forkMiner
 	now   time.Time
+	// link degrades the payload transport when Config.LossyLink is set.
+	link *lossyLink
 
 	// addrs is the synthetic population queries and outputs draw from.
 	addrs []popAddr
@@ -205,6 +220,10 @@ func New(cfg Config) *Harness {
 	}
 	if cfg.Pipelined {
 		h.pipelined = mk(canister.ReadPathOverlay)
+	}
+	if cfg.LossyLink {
+		// An offset seed: the transport's RNG must not mirror the workload's.
+		h.link = newLossyLink(cfg.Seed^0x10557, mildLossProfile())
 	}
 	for i := 0; i < cfg.Addresses; i++ {
 		var hash [20]byte
@@ -579,6 +598,15 @@ func (h *Harness) deliverBlocks(blocks ...*btc.Block) error {
 // The pipelined canister receives the payload through the parallel ingest
 // pipeline at a per-payload randomized worker count and prefetch window.
 func (h *Harness) deliver(resp adapter.Response) error {
+	if h.link != nil {
+		got, err := h.link.transmit(resp)
+		if err != nil {
+			return err
+		}
+		resp = got
+		h.stats.LinkRetransmits = h.link.retransmits
+		h.stats.LinkStaleDrops = h.link.staleDrops
+	}
 	if err := h.overlay.ProcessPayload(h.ctx(ic.KindUpdate), resp); err != nil {
 		return fmt.Errorf("overlay payload: %w", err)
 	}
@@ -788,8 +816,18 @@ func (h *Harness) probeDigests(c *canister.BitcoinCanister) []probeDigest {
 	record(fees, err)
 	hdrs, err := c.GetBlockHeaders(qctx(), canister.GetBlockHeadersArgs{})
 	record(hdrs, err)
+	// get_health is chain-derived apart from the adapter's (always-zero in
+	// this harness) self-report: tip/anchor/available heights and the synced
+	// flag must track the replica's exact frame like every other probe.
+	hv, err := c.GetHealth(qctx())
+	record(hv, err)
 	return out
 }
+
+// OverlaySnapshot exposes the overlay canister's snapshot bytes, so tests
+// can compare final states across harness configurations (the lossy-link
+// byte-identity check).
+func (h *Harness) OverlaySnapshot() ([]byte, error) { return h.overlay.Snapshot() }
 
 // fleetStep advances each replica by a random number of frames (sometimes
 // none, sometimes a snapshot re-hydration) and verifies its answers against

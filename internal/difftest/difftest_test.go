@@ -136,6 +136,52 @@ func TestDifferentialSnapshotEveryStep(t *testing.T) {
 	}
 }
 
+// TestDifferentialLossyLink runs the same seeded workload twice — once with
+// payloads fed directly, once routed through a simnet link that drops,
+// duplicates, and reorders under a stop-and-wait at-least-once resend — and
+// requires the two runs' final overlay snapshots to be byte-identical. The
+// full per-step differential checks (overlay vs replay, pipelined, fleet)
+// run inside the lossy pass too, so a transport fault surfacing as a
+// dropped, double-applied, or reordered payload is caught at the step it
+// happens, not just at the end. The stats assertions pin that the degraded
+// link actually degraded: a retransmit-free run would prove nothing.
+func TestDifferentialLossyLink(t *testing.T) {
+	for _, seed := range []int64{3, 12, 31} {
+		clean := New(DefaultConfig(seed))
+		if _, err := clean.Run(); err != nil {
+			t.Fatal(err)
+		}
+		want, err := clean.OverlaySnapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		cfg := DefaultConfig(seed)
+		cfg.LossyLink = true
+		lossy := New(cfg)
+		stats, err := lossy.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := lossy.OverlaySnapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(want) == 0 || string(want) != string(got) {
+			t.Fatalf("seed %d: lossy-transport run diverged from the direct run: %d vs %d snapshot bytes",
+				seed, len(got), len(want))
+		}
+		if stats.LinkRetransmits == 0 {
+			t.Fatalf("seed %d: the lossy link never forced a retransmit; loss not exercised", seed)
+		}
+		if stats.LinkStaleDrops == 0 {
+			t.Fatalf("seed %d: the receiver never deduplicated a payload; duplication not exercised", seed)
+		}
+		t.Logf("seed %d: %d retransmits, %d dup/stale drops over %d blocks, state byte-identical",
+			seed, stats.LinkRetransmits, stats.LinkStaleDrops, stats.BlocksMined)
+	}
+}
+
 // TestDifferentialLargerDelta repeats the exercise with a deeper stability
 // threshold so reorgs reach depths the regtest default cannot.
 func TestDifferentialLargerDelta(t *testing.T) {

@@ -1,0 +1,143 @@
+package difftest
+
+import (
+	"fmt"
+	"time"
+
+	"icbtc/internal/adapter"
+	"icbtc/internal/simnet"
+)
+
+// lossyLink ships every payload from a source to a sink endpoint over a
+// seeded simnet link degraded by loss, duplication, and reordering (both
+// directions — acks suffer too), with stop-and-wait at-least-once resend
+// and receiver-side dedup. The link's scheduler is private to the
+// transport: its RNG draws never entangle with the workload's, so the same
+// workload seed produces the identical payload sequence with the link on
+// or off — which is exactly what TestDifferentialLossyLink exploits to
+// prove transport faults cannot change canister state.
+type lossyLink struct {
+	sched *simnet.Scheduler
+	net   *simnet.Network
+
+	// Sender: nextSeq numbers outgoing payloads, ackedThrough is the first
+	// unacked seq (stop-and-wait keeps exactly one payload in flight).
+	nextSeq      uint64
+	ackedThrough uint64
+	// Receiver: expect is the next in-order seq; delivered buffers payloads
+	// released in order.
+	expect    uint64
+	delivered []adapter.Response
+
+	retransmits int
+	staleDrops  int
+}
+
+type payloadMsg struct {
+	seq  uint64
+	resp adapter.Response
+}
+
+type ackMsg struct{ seq uint64 }
+
+const (
+	linkSource simnet.NodeID = "difftest/source"
+	linkSink   simnet.NodeID = "difftest/sink"
+	// linkRTO is the retransmission timeout — several times the link's
+	// round trip, so a retransmit means the network really dropped (or
+	// badly delayed) the payload or its ack.
+	linkRTO = 250 * time.Millisecond
+)
+
+// linkEnd adapts a func to simnet.Endpoint.
+type linkEnd struct {
+	fn func(from simnet.NodeID, msg any)
+}
+
+func (e linkEnd) Receive(from simnet.NodeID, msg any) { e.fn(from, msg) }
+
+// mildLossProfile is the default transport degradation: enough loss,
+// duplication, and reordering that a ~100-step run sees every fault class,
+// while staying far from the harness's delivery timeout.
+func mildLossProfile() *simnet.LinkProfile {
+	return &simnet.LinkProfile{
+		Latency:       simnet.LatencyModel{Base: 10 * time.Millisecond, Jitter: 15 * time.Millisecond},
+		LossRate:      0.15,
+		DuplicateRate: 0.10,
+		ReorderRate:   0.20,
+		ReorderDelay:  40 * time.Millisecond,
+	}
+}
+
+func newLossyLink(seed int64, p *simnet.LinkProfile) *lossyLink {
+	sched := simnet.NewScheduler(seed)
+	l := &lossyLink{sched: sched, net: simnet.NewNetwork(sched)}
+	l.net.Register(linkSource, linkEnd{l.onSource})
+	l.net.Register(linkSink, linkEnd{l.onSink})
+	l.net.SetLinkProfile(linkSource, linkSink, p)
+	l.net.SetLinkProfile(linkSink, linkSource, p)
+	return l
+}
+
+func (l *lossyLink) onSource(_ simnet.NodeID, msg any) {
+	if m, ok := msg.(ackMsg); ok && m.seq+1 > l.ackedThrough {
+		l.ackedThrough = m.seq + 1
+	}
+}
+
+func (l *lossyLink) onSink(_ simnet.NodeID, msg any) {
+	m, ok := msg.(payloadMsg)
+	if !ok {
+		return
+	}
+	switch {
+	case m.seq == l.expect:
+		l.delivered = append(l.delivered, m.resp)
+		l.expect++
+	case m.seq < l.expect:
+		// A retransmit of something already delivered (the ack was lost or
+		// late, or the link duplicated the payload): drop, but re-ack so the
+		// sender can move on.
+		l.staleDrops++
+	default:
+		// A future seq is impossible under stop-and-wait; not acking it
+		// would surface the protocol bug as a delivery timeout.
+		return
+	}
+	l.net.Send(linkSink, linkSource, ackMsg{seq: m.seq})
+}
+
+// transmit pushes one payload through the degraded link and returns the
+// copy the sink released, erroring if the resend protocol cannot get it
+// across within a generous virtual-time budget.
+func (l *lossyLink) transmit(resp adapter.Response) (adapter.Response, error) {
+	seq := l.nextSeq
+	l.nextSeq++
+	attempts := 0
+	var send func()
+	send = func() {
+		if l.ackedThrough > seq {
+			return
+		}
+		if attempts > 0 {
+			l.retransmits++
+		}
+		attempts++
+		l.net.Send(linkSource, linkSink, payloadMsg{seq: seq, resp: resp})
+		l.sched.After(linkRTO, send)
+	}
+	send()
+	for i := 0; l.ackedThrough <= seq; i++ {
+		if i >= 400 {
+			return adapter.Response{}, fmt.Errorf("lossy link: payload %d not delivered after %d virtual seconds (%d attempts)",
+				seq, i/10, attempts)
+		}
+		l.sched.RunFor(100 * time.Millisecond)
+	}
+	if got := uint64(len(l.delivered)); got != seq+1 {
+		return adapter.Response{}, fmt.Errorf("lossy link: %d payloads released after acking seq %d", got, seq)
+	}
+	out := l.delivered[seq]
+	l.delivered[seq] = adapter.Response{} // release the buffered references
+	return out, nil
+}

@@ -111,6 +111,10 @@ type Result struct {
 	// Forwarded marks a query that exceeded the fleet's staleness bound and
 	// was served by the authoritative canister instead of a read replica.
 	Forwarded bool
+	// Degraded is the explicit staleness annotation: the Bitcoin adapter
+	// behind the authoritative canister reported a stalled chain feed, so
+	// the served data may trail the real network arbitrarily.
+	Degraded bool
 }
 
 // RoutedQuery is the outcome a QueryRouter returns for one query: the
@@ -129,6 +133,9 @@ type RoutedQuery struct {
 	// Forwarded reports that the staleness bound pushed the query to the
 	// authoritative canister.
 	Forwarded bool
+	// Degraded annotates the response as served off a possibly stale view:
+	// the chain feed behind the authoritative canister is stalled.
+	Degraded bool
 }
 
 // QueryRouter serves non-replicated queries for a canister in place of the
@@ -494,6 +501,7 @@ func (s *Subnet) Query(canister CanisterID, method string, arg any, caller strin
 			res.Value, res.Err = rq.Value, rq.Err
 			res.Instructions = rq.Instructions
 			res.Forwarded = rq.Forwarded
+			res.Degraded = rq.Degraded
 			if rq.Signature != nil {
 				res.Certified = true
 				res.Signature = rq.Signature

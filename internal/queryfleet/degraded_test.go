@@ -1,0 +1,70 @@
+package queryfleet_test
+
+import (
+	"testing"
+
+	"icbtc/internal/adapter"
+	"icbtc/internal/canister"
+	"icbtc/internal/ic"
+	"icbtc/internal/queryfleet"
+)
+
+// TestFleetDegradedAnnotation: when the adapter behind the authoritative
+// canister stalls, the fleet keeps serving — but every routed response is
+// annotated Degraded, and get_health through the fleet explains the state.
+// Recovery clears the annotation.
+func TestFleetDegradedAnnotation(t *testing.T) {
+	cfg := queryfleet.DefaultConfig()
+	cfg.Replicas = 2
+	r := newRig(t, cfg, 4)
+	if err := r.fleet.CatchUpAll(); err != nil {
+		t.Fatal(err)
+	}
+
+	rq := r.fleet.RouteQuery("get_tip", nil, "client", r.now)
+	if rq.Err != nil || rq.Degraded {
+		t.Fatalf("healthy fleet: err=%v degraded=%v", rq.Err, rq.Degraded)
+	}
+
+	// The adapter reports a stall on an otherwise empty payload. The health
+	// flip alone publishes a frame, so the fleet learns immediately — before
+	// any replica even applies it.
+	stalled := adapter.Health{State: adapter.StateDegraded, Height: 4, Peers: 3}
+	ctx := ic.NewCallContext(ic.KindUpdate, r.now)
+	if err := r.f.Canister.ProcessPayload(ctx, adapter.Response{Health: stalled}); err != nil {
+		t.Fatal(err)
+	}
+	if !r.fleet.Degraded() {
+		t.Fatal("fleet did not pick up the degraded health frame")
+	}
+	rq = r.fleet.RouteQuery("get_tip", nil, "client", r.now)
+	if rq.Err != nil {
+		t.Fatalf("degraded mode must keep serving: %v", rq.Err)
+	}
+	if !rq.Degraded {
+		t.Fatal("routed response not annotated Degraded during the stall")
+	}
+
+	// get_health routed through the fleet reports the stall too (after the
+	// replicas apply the health frame).
+	if err := r.fleet.CatchUpAll(); err != nil {
+		t.Fatal(err)
+	}
+	rq = r.fleet.RouteQuery("get_health", nil, "client", r.now)
+	if rq.Err != nil {
+		t.Fatal(rq.Err)
+	}
+	if h := rq.Value.(*canister.HealthStatus); !h.Degraded || h.AdapterState != adapter.StateDegraded {
+		t.Fatalf("fleet get_health missed the stall: %+v", h)
+	}
+
+	// Recovery: a syncing report clears the annotation.
+	if err := r.f.Canister.ProcessPayload(ic.NewCallContext(ic.KindUpdate, r.now),
+		adapter.Response{Health: adapter.Health{State: adapter.StateSyncing, Height: 4, Peers: 3}}); err != nil {
+		t.Fatal(err)
+	}
+	rq = r.fleet.RouteQuery("get_tip", nil, "client", r.now)
+	if rq.Err != nil || rq.Degraded {
+		t.Fatalf("annotation not cleared after recovery: err=%v degraded=%v", rq.Err, rq.Degraded)
+	}
+}

@@ -32,6 +32,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"icbtc/internal/adapter"
 	"icbtc/internal/canister"
 	"icbtc/internal/ic"
 	"icbtc/internal/tecdsa"
@@ -159,6 +160,10 @@ type Fleet struct {
 	seq    uint64 // last distributed frame seq (under feedMu)
 
 	authTip atomic.Int64
+	// degraded caches the adapter health carried on the last distributed
+	// frame: while true, every routed response is annotated as possibly
+	// stale (the explicit degraded-mode serving contract).
+	degraded atomic.Bool
 
 	replicas []*Replica
 	rr       atomic.Uint64
@@ -285,6 +290,7 @@ func (f *Fleet) Feed(frame *canister.Frame) {
 	frame.Seq = f.seq
 	raw := canister.EncodeFrame(frame)
 	f.authTip.Store(frame.TipHeight)
+	f.degraded.Store(frame.Health.State == adapter.StateDegraded)
 	for _, r := range f.replicas {
 		r.enqueue(raw, frame.Seq)
 	}
@@ -409,8 +415,13 @@ func (f *Fleet) RouteQuery(method string, arg any, caller string, now time.Time)
 		Instructions: instructions,
 		AnchorHeight: anchor,
 		TipHeight:    tip,
+		Degraded:     f.degraded.Load(),
 	}, method)
 }
+
+// Degraded reports whether the last distributed frame carried a degraded
+// adapter health report.
+func (f *Fleet) Degraded() bool { return f.degraded.Load() }
 
 // forward serves a query from the authoritative canister (the
 // reject-or-forward escape hatch of the staleness policy).
@@ -428,6 +439,7 @@ func (f *Fleet) forward(method string, arg any, now time.Time) ic.RoutedQuery {
 		AnchorHeight: anchor,
 		TipHeight:    tip,
 		Forwarded:    true,
+		Degraded:     f.degraded.Load(),
 	}, method)
 }
 

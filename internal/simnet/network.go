@@ -48,6 +48,9 @@ type Network struct {
 	partition map[NodeID]string
 	// downNodes cannot send or receive (crash faults).
 	downNodes map[NodeID]bool
+	// links holds per-directed-link degradation profiles; links without an
+	// entry use the uniform latency/lossRate defaults above.
+	links map[linkKey]*link
 	// stats
 	sent      int64
 	delivered int64
@@ -134,11 +137,33 @@ func (n *Network) Send(from, to NodeID, msg any) {
 		n.dropped++
 		return
 	}
-	if n.lossRate > 0 && n.sched.Rand().Float64() < n.lossRate {
-		n.dropped++
-		return
+	var delay time.Duration
+	if l := n.links[linkKey{from, to}]; l != nil {
+		drop, d, dup, dupDelay := l.plan(n)
+		if drop {
+			n.dropped++
+			return
+		}
+		delay = d
+		if dup {
+			// The duplicate is an extra message on the wire: count it as
+			// sent so sent == delivered + dropped + in-flight holds.
+			n.sent++
+			n.scheduleDelivery(from, to, msg, dupDelay)
+		}
+	} else {
+		if n.lossRate > 0 && n.sched.Rand().Float64() < n.lossRate {
+			n.dropped++
+			return
+		}
+		delay = n.latency.sample(n.sched)
 	}
-	delay := n.latency.sample(n.sched)
+	n.scheduleDelivery(from, to, msg, delay)
+}
+
+// scheduleDelivery queues one delivery attempt after delay, re-checking
+// liveness and partitions at delivery time.
+func (n *Network) scheduleDelivery(from, to NodeID, msg any, delay time.Duration) {
 	n.sched.After(delay, func() {
 		ep := n.endpoints[to]
 		if ep == nil || n.downNodes[to] {
