@@ -595,6 +595,50 @@ func BenchmarkQueryFleetQuery(b *testing.B) {
 	}
 }
 
+// BenchmarkFleetLoad runs a scaled-down open-loop Zipf load comparison per
+// op — baseline fleet vs the full serving stack (coalesce, hot cache,
+// admission) at equal replicas — reporting the aggregate QPS speedup,
+// cache-hit rate, and layered p99. The wall time per op is dominated by the
+// modeled execution sleeps (deterministic across machines), so the ns/op is
+// gated by cmd/benchgate against BENCH_BASELINE.json: a regression means
+// the serving layers stopped absorbing the overload. The full-size run is
+// `bench -fig fleetload`.
+func BenchmarkFleetLoad(b *testing.B) {
+	cfg := experiments.FleetLoadConfig{
+		Seed:         7,
+		Replicas:     2,
+		Requests:     240,
+		OfferedQPS:   400,
+		Addresses:    32,
+		ZipfS:        1.5,
+		Blocks:       10,
+		ExecRate:     2e8,
+		PageLimit:    8,
+		SlowEvery:    40,
+		SlowLimit:    40,
+		BurstEvery:   60,
+		BurstLen:     10,
+		TipMoveEvery: 250 * time.Millisecond,
+		CacheEntries: 256,
+		Budgets: map[canister.CostClass]queryfleet.Budget{
+			canister.CostScan: {Rate: 40, Burst: 10},
+		},
+		SLO: 300 * time.Millisecond,
+	}
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFleetLoad(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Layered.CacheHits == 0 {
+			b.Fatal("layered pass never hit the hot cache")
+		}
+		b.ReportMetric(res.Speedup, "speedup-x")
+		b.ReportMetric(100*float64(res.Layered.CacheHits)/float64(res.Layered.Requests), "cache-hit-%")
+		b.ReportMetric(float64(res.Layered.P99.Milliseconds()), "p99-ms")
+	}
+}
+
 // BenchmarkQueryFleetScaling runs the full 1→8 replica sweep (the
 // `bench -fig queryfleet` table) once per iteration, reporting the
 // 8-replica speedup as a custom metric.

@@ -1,0 +1,16 @@
+// Command apidoc prints the canister API reference table generated from the
+// typed method registry (internal/canister/registry.go). Paste its output
+// under README.md's "API reference" heading; the canister package's
+// TestAPIReferenceInREADME fails whenever the README copy drifts from the
+// registry.
+package main
+
+import (
+	"fmt"
+
+	"icbtc/internal/canister"
+)
+
+func main() {
+	fmt.Print(canister.APIReferenceMarkdown())
+}

@@ -15,6 +15,7 @@
 //	bench -fig snapshot     # snapshot codec: size, encode/decode, fast-sync
 //	bench -fig ingest       # serial vs pipelined block ingest + sharded hydration
 //	bench -fig queryfleet   # read-replica fleet QPS/latency scaling 1→8
+//	bench -fig fleetload    # open-loop Zipf load vs the serving layers (coalesce/cache/admission)
 //	bench -fig chaos        # fault-scenario recovery (rounds to reconverge)
 //	bench -fig degrade      # recovery vs adapter-link loss rate sweep
 //	bench -fig ablations    # δ / τ / sync-mode ablations
@@ -31,7 +32,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate (3, 5, 6, 7, latency, cost, eclipse, downtime, readpath, snapshot, ingest, queryfleet, chaos, degrade, ablations, scaling, all)")
+	fig := flag.String("fig", "all", "figure to regenerate (3, 5, 6, 7, latency, cost, eclipse, downtime, readpath, snapshot, ingest, queryfleet, fleetload, chaos, degrade, ablations, scaling, all)")
 	seed := flag.Int64("seed", 7, "simulation seed")
 	scale := flag.Int("scale", 10, "population scale divisor for Fig 7 / latency (1 = paper's full 1000 addresses)")
 	trials := flag.Int("trials", 50_000, "Monte Carlo trials for the security lemmas")
@@ -123,6 +124,16 @@ func run(fig string, seed int64, scale, trials int) error {
 		cfg := experiments.DefaultQueryFleetConfig()
 		cfg.Seed = seed
 		res, err := experiments.RunQueryFleet(cfg)
+		if err != nil {
+			return err
+		}
+		res.Print(out)
+	}
+	if all || fig == "fleetload" {
+		section("Fleet load: serving layers under open-loop overload")
+		cfg := experiments.DefaultFleetLoadConfig()
+		cfg.Seed = seed
+		res, err := experiments.RunFleetLoad(cfg)
 		if err != nil {
 			return err
 		}

@@ -76,54 +76,26 @@ type HealthStatus struct {
 	Degraded bool
 }
 
-// Update implements ic.Canister for replicated calls.
+// Update implements ic.Canister for replicated calls. Dispatch derives from
+// the typed method registry (registry.go) — every registered method is
+// servable on the replicated path.
 func (c *BitcoinCanister) Update(ctx *ic.CallContext, method string, arg any) (any, error) {
-	switch method {
-	case "get_utxos":
-		args, ok := arg.(GetUTXOsArgs)
-		if !ok {
-			return nil, fmt.Errorf("canister: get_utxos wants GetUTXOsArgs, got %T", arg)
-		}
-		return c.GetUTXOs(ctx, args)
-	case "get_balance":
-		args, ok := arg.(GetBalanceArgs)
-		if !ok {
-			return nil, fmt.Errorf("canister: get_balance wants GetBalanceArgs, got %T", arg)
-		}
-		return c.GetBalance(ctx, args)
-	case "send_transaction":
-		args, ok := arg.(SendTransactionArgs)
-		if !ok {
-			return nil, fmt.Errorf("canister: send_transaction wants SendTransactionArgs, got %T", arg)
-		}
-		return nil, c.SendTransaction(ctx, args)
-	case "get_current_fee_percentiles":
-		return c.GetCurrentFeePercentiles(ctx)
-	case "get_block_headers":
-		args, ok := arg.(GetBlockHeadersArgs)
-		if !ok {
-			return nil, fmt.Errorf("canister: get_block_headers wants GetBlockHeadersArgs, got %T", arg)
-		}
-		return c.GetBlockHeaders(ctx, args)
-	case "get_tip":
-		return c.tipNode().Hash, nil
-	case "get_health":
-		return c.GetHealth(ctx)
-	default:
+	m, ok := methodByName[method]
+	if !ok {
 		return nil, fmt.Errorf("canister: no update method %q", method)
 	}
+	return m.handle(c, ctx, arg)
 }
 
-// Query implements ic.Canister for non-replicated calls; the read-only
-// endpoints are the same.
+// Query implements ic.Canister for non-replicated calls. The servable set —
+// formerly a hand-maintained string list mirroring the Update switch — is
+// the registry's read-only methods.
 func (c *BitcoinCanister) Query(ctx *ic.CallContext, method string, arg any) (any, error) {
-	switch method {
-	case "get_utxos", "get_balance", "get_tip", "get_current_fee_percentiles",
-		"get_block_headers", "get_health":
-		return c.Update(ctx, method, arg)
-	default:
+	m, ok := methodByName[method]
+	if !ok || m.Kind != MethodReadOnly {
 		return nil, fmt.Errorf("canister: no query method %q", method)
 	}
+	return m.handle(c, ctx, arg)
 }
 
 // GetHealth serves the get_health endpoint. It deliberately skips
@@ -544,4 +516,5 @@ var (
 	_ ic.Canister         = (*BitcoinCanister)(nil)
 	_ ic.PayloadProcessor = (*BitcoinCanister)(nil)
 	_ ic.Snapshotter      = (*BitcoinCanister)(nil)
+	_ ic.MethodTable      = (*BitcoinCanister)(nil)
 )

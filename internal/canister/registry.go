@@ -1,0 +1,295 @@
+package canister
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"strings"
+
+	"icbtc/internal/ic"
+	"icbtc/internal/statecodec"
+)
+
+// The typed method registry is the single source of truth for the
+// canister's API surface. Every endpoint is one MethodDesc: its name, its
+// dispatch kind (read-only endpoints serve on both the replicated and the
+// query path; mutating ones on the replicated path only), its admission
+// cost class, a typed argument codec over statecodec (the canonical
+// request-key encoder the fleet's coalescer and hot-response cache key on),
+// and its handler. Update/Query dispatch, the query-method list, the
+// subnet's routing table (ic.MethodTable), the fleet's serving layers, and
+// the README API reference all derive from this table — the stringly-typed
+// switches it replaced could (and did) drift apart.
+
+// MethodKind classifies how a method may be dispatched.
+type MethodKind uint8
+
+const (
+	// MethodReadOnly methods serve on both execution paths: replicated
+	// calls (certified, slow) and non-replicated queries (fast).
+	MethodReadOnly MethodKind = iota
+	// MethodUpdateOnly methods mutate state and serve on the replicated
+	// path exclusively.
+	MethodUpdateOnly
+)
+
+// String renders the kind for the generated API reference.
+func (k MethodKind) String() string {
+	switch k {
+	case MethodReadOnly:
+		return "query+update"
+	case MethodUpdateOnly:
+		return "update"
+	default:
+		return fmt.Sprintf("MethodKind(%d)", uint8(k))
+	}
+}
+
+// CostClass groups methods by execution cost for the fleet's admission
+// control: each class gets its own budget, so a flood in one class (e.g.
+// paginated get_utxos scans) cannot starve another (get_balance lookups).
+type CostClass uint8
+
+const (
+	// CostCheap: O(1)-ish lookups off maintained state.
+	CostCheap CostClass = iota
+	// CostScan: work proportional to a page, a range, or the unstable
+	// suffix.
+	CostScan
+	// CostWrite: state-mutating calls on the replicated path.
+	CostWrite
+)
+
+// String renders the cost class for budgets, errors, and the API reference.
+func (c CostClass) String() string {
+	switch c {
+	case CostCheap:
+		return "cheap"
+	case CostScan:
+		return "scan"
+	case CostWrite:
+		return "write"
+	default:
+		return fmt.Sprintf("CostClass(%d)", uint8(c))
+	}
+}
+
+// MethodDesc describes one canister endpoint.
+type MethodDesc struct {
+	// Name is the wire-level method name.
+	Name string
+	// Kind selects the dispatch paths the method serves on.
+	Kind MethodKind
+	// Cost is the admission-control cost class.
+	Cost CostClass
+	// Cacheable marks responses servable from the fleet's certified
+	// hot-response cache keyed by (method, canonical args, tip). Only pure
+	// functions of the chain state qualify; get_health is live telemetry
+	// and stays uncached.
+	Cacheable bool
+	// ArgsDoc/ResultDoc name the typed argument and result shapes for the
+	// generated API reference ("-" when none).
+	ArgsDoc, ResultDoc string
+
+	// encodeArgs appends the canonical statecodec encoding of a typed
+	// argument value — the request-key payload. It rejects wrong-typed
+	// arguments with the same error the handler would.
+	encodeArgs func(e *statecodec.Encoder, arg any) error
+	// handle executes the endpoint.
+	handle func(c *BitcoinCanister, ctx *ic.CallContext, arg any) (any, error)
+}
+
+// requestKeyMagic versions the canonical request-key encoding.
+const requestKeyMagic = "icbtc-reqkey"
+
+// RequestKey computes the canonical key of one request: a SHA-256 over the
+// method name and the statecodec encoding of the typed arguments. Equal
+// requests always produce equal keys; any differing argument field (page
+// cursor, min_confirmations, address, ...) produces a different key — the
+// property the fleet's coalescer and response cache rely on. A wrong-typed
+// argument is rejected with the handler's own error.
+func (m *MethodDesc) RequestKey(arg any) ([32]byte, error) {
+	e := statecodec.NewEncoder(requestKeyMagic, 1, 64)
+	e.String(m.Name)
+	if err := m.encodeArgs(e, arg); err != nil {
+		return [32]byte{}, err
+	}
+	return sha256.Sum256(e.Finish()), nil
+}
+
+// typedMethod builds a MethodDesc whose argument codec and handler share
+// one typed coercion, so the request-key encoder and the dispatch path can
+// never disagree about what arguments a method takes.
+func typedMethod[A any](
+	name string, kind MethodKind, cost CostClass, cacheable bool,
+	argsDoc, resultDoc string,
+	encode func(e *statecodec.Encoder, args A),
+	handle func(c *BitcoinCanister, ctx *ic.CallContext, args A) (any, error),
+) *MethodDesc {
+	coerce := func(arg any) (A, error) {
+		args, ok := arg.(A)
+		if !ok {
+			var zero A
+			return zero, fmt.Errorf("canister: %s wants %T, got %T", name, zero, arg)
+		}
+		return args, nil
+	}
+	return &MethodDesc{
+		Name: name, Kind: kind, Cost: cost, Cacheable: cacheable,
+		ArgsDoc: argsDoc, ResultDoc: resultDoc,
+		encodeArgs: func(e *statecodec.Encoder, arg any) error {
+			args, err := coerce(arg)
+			if err != nil {
+				return err
+			}
+			encode(e, args)
+			return nil
+		},
+		handle: func(c *BitcoinCanister, ctx *ic.CallContext, arg any) (any, error) {
+			args, err := coerce(arg)
+			if err != nil {
+				return nil, err
+			}
+			return handle(c, ctx, args)
+		},
+	}
+}
+
+// nullaryMethod builds a MethodDesc for an endpoint without arguments; the
+// argument value is ignored (callers pass nil), and the request key is a
+// function of the method name alone.
+func nullaryMethod(
+	name string, kind MethodKind, cost CostClass, cacheable bool, resultDoc string,
+	handle func(c *BitcoinCanister, ctx *ic.CallContext) (any, error),
+) *MethodDesc {
+	return &MethodDesc{
+		Name: name, Kind: kind, Cost: cost, Cacheable: cacheable,
+		ArgsDoc: "-", ResultDoc: resultDoc,
+		encodeArgs: func(e *statecodec.Encoder, arg any) error { return nil },
+		handle: func(c *BitcoinCanister, ctx *ic.CallContext, arg any) (any, error) {
+			return handle(c, ctx)
+		},
+	}
+}
+
+// methodTable is the registry, in API-reference order.
+var methodTable = []*MethodDesc{
+	typedMethod("get_utxos", MethodReadOnly, CostScan, true,
+		"GetUTXOsArgs", "*GetUTXOsResult",
+		func(e *statecodec.Encoder, a GetUTXOsArgs) {
+			e.String(a.Address)
+			e.I64(int64(a.Network))
+			e.I64(a.MinConfirmations)
+			e.Bytes(a.Page)
+			e.I64(int64(a.Limit))
+		},
+		func(c *BitcoinCanister, ctx *ic.CallContext, a GetUTXOsArgs) (any, error) {
+			return c.GetUTXOs(ctx, a)
+		}),
+	typedMethod("get_balance", MethodReadOnly, CostCheap, true,
+		"GetBalanceArgs", "int64",
+		func(e *statecodec.Encoder, a GetBalanceArgs) {
+			e.String(a.Address)
+			e.I64(int64(a.Network))
+			e.I64(a.MinConfirmations)
+		},
+		func(c *BitcoinCanister, ctx *ic.CallContext, a GetBalanceArgs) (any, error) {
+			return c.GetBalance(ctx, a)
+		}),
+	typedMethod("get_block_headers", MethodReadOnly, CostScan, true,
+		"GetBlockHeadersArgs", "*GetBlockHeadersResult",
+		func(e *statecodec.Encoder, a GetBlockHeadersArgs) {
+			e.I64(a.StartHeight)
+			e.I64(a.EndHeight)
+		},
+		func(c *BitcoinCanister, ctx *ic.CallContext, a GetBlockHeadersArgs) (any, error) {
+			return c.GetBlockHeaders(ctx, a)
+		}),
+	nullaryMethod("get_current_fee_percentiles", MethodReadOnly, CostScan, true,
+		"[]int64",
+		func(c *BitcoinCanister, ctx *ic.CallContext) (any, error) {
+			return c.GetCurrentFeePercentiles(ctx)
+		}),
+	nullaryMethod("get_tip", MethodReadOnly, CostCheap, true,
+		"btc.Hash",
+		func(c *BitcoinCanister, ctx *ic.CallContext) (any, error) {
+			return c.tipNode().Hash, nil
+		}),
+	nullaryMethod("get_health", MethodReadOnly, CostCheap, false,
+		"*HealthStatus",
+		func(c *BitcoinCanister, ctx *ic.CallContext) (any, error) {
+			return c.GetHealth(ctx)
+		}),
+	typedMethod("send_transaction", MethodUpdateOnly, CostWrite, false,
+		"SendTransactionArgs", "-",
+		func(e *statecodec.Encoder, a SendTransactionArgs) {
+			e.Bytes(a.RawTx)
+			e.I64(int64(a.Network))
+		},
+		func(c *BitcoinCanister, ctx *ic.CallContext, a SendTransactionArgs) (any, error) {
+			return nil, c.SendTransaction(ctx, a)
+		}),
+}
+
+// methodByName indexes the registry.
+var methodByName = func() map[string]*MethodDesc {
+	idx := make(map[string]*MethodDesc, len(methodTable))
+	for _, m := range methodTable {
+		if _, dup := idx[m.Name]; dup {
+			panic("canister: duplicate method " + m.Name)
+		}
+		idx[m.Name] = m
+	}
+	return idx
+}()
+
+// Methods returns the registry in API-reference order. The returned slice
+// must not be mutated.
+func Methods() []*MethodDesc { return methodTable }
+
+// MethodByName looks one method up.
+func MethodByName(name string) (*MethodDesc, bool) {
+	m, ok := methodByName[name]
+	return m, ok
+}
+
+// QueryMethodNames returns the names servable on the query path, derived
+// from the registry (the hardcoded string list this replaced once drifted
+// one endpoint behind the Update switch).
+func QueryMethodNames() []string {
+	names := make([]string, 0, len(methodTable))
+	for _, m := range methodTable {
+		if m.Kind == MethodReadOnly {
+			names = append(names, m.Name)
+		}
+	}
+	return names
+}
+
+// MethodSpec implements ic.MethodTable: the subnet's routing layer rejects
+// calls on a dispatch path the registry does not declare, before any
+// execution resources are spent.
+func (c *BitcoinCanister) MethodSpec(method string) (ic.MethodSpec, bool) {
+	m, ok := methodByName[method]
+	if !ok {
+		return ic.MethodSpec{}, false
+	}
+	return ic.MethodSpec{Query: m.Kind == MethodReadOnly, Update: true}, true
+}
+
+// APIReferenceMarkdown renders the registry as the README's API reference
+// table (cmd/apidoc regenerates it; a canister test pins the README copy to
+// this output so the docs cannot drift from the code).
+func APIReferenceMarkdown() string {
+	var b strings.Builder
+	b.WriteString("| method | kind | args | result | cost class | cacheable |\n")
+	b.WriteString("|---|---|---|---|---|---|\n")
+	for _, m := range methodTable {
+		cacheable := "no"
+		if m.Cacheable {
+			cacheable = "yes"
+		}
+		fmt.Fprintf(&b, "| `%s` | %s | `%s` | `%s` | %s | %s |\n",
+			m.Name, m.Kind, m.ArgsDoc, m.ResultDoc, m.Cost, cacheable)
+	}
+	return b.String()
+}

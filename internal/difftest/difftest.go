@@ -74,6 +74,15 @@ type Config struct {
 	// CertifyEvery, when > 0, threshold-signs one routed query every
 	// CertifyEvery steps and verifies it via Subnet.VerifyCertified.
 	CertifyEvery int
+	// ServeLayers, when true, enables the fleet's serving layers (request
+	// coalescing and the certified hot-response cache) and differentially
+	// verifies them: a repeat at an unchanged stream generation must be
+	// served from the cache byte-identical to a fresh execution, any
+	// generation change must invalidate (the cache never serves across a
+	// tip move), and a cache-served certified envelope must still verify
+	// under the subnet key. Admission control stays off — a shed query has
+	// no authoritative counterpart to differ against.
+	ServeLayers bool
 	// LossyLink, when true, routes every payload through a seeded simnet
 	// link with loss, duplication, and reordering (mildLossProfile) under a
 	// stop-and-wait at-least-once resend protocol before any canister sees
@@ -101,7 +110,7 @@ func DefaultConfig(seed int64) Config {
 	return Config{
 		Seed: seed, Steps: 100, Delta: 6, Addresses: 10, SnapshotEvery: 5,
 		FleetReplicas: 3, FleetMaxLag: 3, HydrateEvery: 9, CertifyEvery: 20,
-		Pipelined: true,
+		Pipelined: true, ServeLayers: true,
 	}
 }
 
@@ -138,6 +147,12 @@ type Stats struct {
 	FleetHydrations    int    // mid-run snapshot re-hydrations
 	FleetForwardChecks int    // too-stale forwards verified against the authority
 	FleetCertified     int    // certified responses verified under the subnet key
+	// Serving-layer counters (zero when Config.ServeLayers is off).
+	FleetServeChecks   int    // same-generation cache-hit batches verified byte-identical
+	FleetGenMisses     int    // cross-generation routes verified to bypass the cache
+	FleetCertifiedHits int    // cache-served certified envelopes verified under the subnet key
+	FleetCacheHits     uint64 // fleet-reported hot-cache hits over the run
+	FleetCoalesced     uint64 // fleet-reported coalesced followers over the run
 }
 
 // Harness drives the two canisters.
@@ -182,6 +197,14 @@ type Harness struct {
 	// probe would dominate the run).
 	subnet *ic.Subnet
 	signer queryfleet.SignFunc
+	// lastServe remembers the request the previous serving-layer check
+	// cached and the stream generation it was cached at, so the next check
+	// can assert the entry is never served once the generation has moved.
+	lastServe struct {
+		ok   bool
+		args canister.GetUTXOsArgs
+		gen  uint64
+	}
 
 	stats Stats
 }
@@ -245,6 +268,14 @@ func (h *Harness) setupFleet() {
 		Replicas:     h.cfg.FleetReplicas,
 		MaxLagBlocks: h.cfg.FleetMaxLag,
 		StalePolicy:  queryfleet.StaleForward,
+	}
+	if h.cfg.ServeLayers {
+		// Coalescing and the hot-response cache sit in front of every routed
+		// query, so the whole randomized workload runs against them; no
+		// Budgets — admission shedding would replace answers the harness
+		// must compare byte-for-byte against the authority.
+		fcfg.Coalesce = true
+		fcfg.CacheEntries = 128
 	}
 	if h.cfg.CertifyEvery > 0 {
 		// A minimal committee-backed subnet supplies threshold signing and
@@ -791,36 +822,47 @@ func sameError(a, b error) error {
 	return nil
 }
 
-// probeDigests answers the fixed probe set on one canister and returns the
-// canonical digest of every response (value and error alike). The set
-// covers every read endpoint: balances (filtered and unfiltered, known and
-// unknown addresses), a paginated UTXO page, the fee percentiles, and the
-// full header range.
+// probeSpec is one entry of the fixed probe set: a registry method name
+// plus its argument. Expressing probes by name keeps the set checkable
+// against the canister's method registry — TestProbesCoverRegistryQuery
+// asserts every read-only registry method is probed.
+type probeSpec struct {
+	method string
+	arg    any
+}
+
+// probeSpecs returns the fixed probe set. It covers every read endpoint in
+// the registry: balances (filtered and unfiltered, known and unknown
+// addresses), a paginated UTXO page, the fee percentiles, the full header
+// range, the health summary (chain-derived apart from the adapter's
+// always-zero-in-this-harness self-report), and the exact tip hash.
+func (h *Harness) probeSpecs() []probeSpec {
+	a0 := h.addrs[0].address
+	a1 := h.addrs[1%len(h.addrs)].address
+	return []probeSpec{
+		{"get_balance", canister.GetBalanceArgs{Address: a0}},
+		{"get_balance", canister.GetBalanceArgs{Address: a1}},
+		{"get_balance", canister.GetBalanceArgs{Address: "unknown-address"}},
+		{"get_balance", canister.GetBalanceArgs{Address: a0, MinConfirmations: h.cfg.Delta}},
+		{"get_utxos", canister.GetUTXOsArgs{Address: a0, Limit: 5}},
+		{"get_utxos", canister.GetUTXOsArgs{Address: a1, Limit: 5}},
+		{"get_current_fee_percentiles", nil},
+		{"get_block_headers", canister.GetBlockHeadersArgs{}},
+		{"get_health", nil},
+		{"get_tip", nil},
+	}
+}
+
+// probeDigests answers the fixed probe set on one canister — dispatched by
+// method name through the registry, the same path fleet queries take — and
+// returns the canonical digest of every response (value and error alike).
 func (h *Harness) probeDigests(c *canister.BitcoinCanister) []probeDigest {
-	qctx := func() *ic.CallContext { return ic.NewCallContext(ic.KindQuery, h.now) }
-	out := make([]probeDigest, 0, 8)
-	record := func(v any, err error) {
+	specs := h.probeSpecs()
+	out := make([]probeDigest, 0, len(specs))
+	for _, p := range specs {
+		v, err := c.Query(ic.NewCallContext(ic.KindQuery, h.now), p.method, p.arg)
 		out = append(out, probeDigest(ic.ResponseDigest(v, err)))
 	}
-	for _, addr := range []string{h.addrs[0].address, h.addrs[1%len(h.addrs)].address, "unknown-address"} {
-		v, err := c.GetBalance(qctx(), canister.GetBalanceArgs{Address: addr})
-		record(v, err)
-	}
-	v, err := c.GetBalance(qctx(), canister.GetBalanceArgs{Address: h.addrs[0].address, MinConfirmations: h.cfg.Delta})
-	record(v, err)
-	for _, addr := range []string{h.addrs[0].address, h.addrs[1%len(h.addrs)].address} {
-		u, err := c.GetUTXOs(qctx(), canister.GetUTXOsArgs{Address: addr, Limit: 5})
-		record(u, err)
-	}
-	fees, err := c.GetCurrentFeePercentiles(qctx())
-	record(fees, err)
-	hdrs, err := c.GetBlockHeaders(qctx(), canister.GetBlockHeadersArgs{})
-	record(hdrs, err)
-	// get_health is chain-derived apart from the adapter's (always-zero in
-	// this harness) self-report: tip/anchor/available heights and the synced
-	// flag must track the replica's exact frame like every other probe.
-	hv, err := c.GetHealth(qctx())
-	record(hv, err)
 	return out
 }
 
@@ -865,12 +907,93 @@ func (h *Harness) fleetStep() error {
 	if err := h.checkStaleForwarding(); err != nil {
 		return err
 	}
+	// Every seventh step (not every step: the check catches all replicas
+	// up, and doing so each step would collapse the random lag distribution
+	// the history checks exist for) the serving layers are verified.
+	if h.cfg.ServeLayers && h.stats.Steps%7 == 0 {
+		if err := h.checkServingLayers(); err != nil {
+			return err
+		}
+	}
 	if h.cfg.CertifyEvery > 0 && h.stats.Steps%h.cfg.CertifyEvery == 0 {
 		if err := h.checkCertification(); err != nil {
 			return err
 		}
 	}
-	h.stats.FleetFrames = h.fleet.Stats().Frames
+	fs := h.fleet.Stats()
+	h.stats.FleetFrames = fs.Frames
+	h.stats.FleetCacheHits = fs.CacheHits
+	h.stats.FleetCoalesced = fs.Coalesced
+	return nil
+}
+
+// checkServingLayers differentially verifies the fleet's serving layers.
+// Cross-generation first: the request the previous check cached must not be
+// served from the cache once any frame has moved the stream generation —
+// the "never serve across a tip change" contract. Then same-generation:
+// with every replica caught up (so the fill provably belongs to the current
+// generation) a repeated get_utxos must be served from the cache and be
+// byte-identical to both its first execution and a fresh authoritative one.
+// Finally a concurrent burst of identical balance queries — whatever mix of
+// coalesced followers, cache hits, and executions it resolves to — must fan
+// out the one authoritative answer.
+func (h *Harness) checkServingLayers() error {
+	if h.lastServe.ok && h.fleet.LastSeq() != h.lastServe.gen {
+		hits := h.fleet.Stats().CacheHits
+		rq := h.fleet.RouteQuery("get_utxos", h.lastServe.args, "difftest", h.now)
+		if got := h.fleet.Stats().CacheHits; got != hits {
+			return fmt.Errorf("cache served across a generation change (%d -> %d)",
+				h.lastServe.gen, h.fleet.LastSeq())
+		}
+		if rq.Err != nil {
+			return fmt.Errorf("cross-generation get_utxos: %w", rq.Err)
+		}
+		h.stats.FleetGenMisses++
+	}
+	if err := h.fleet.CatchUpAll(); err != nil {
+		return err
+	}
+	addr := h.addrs[h.rng.Intn(len(h.addrs))].address
+	args := canister.GetUTXOsArgs{Address: addr, Limit: 4}
+	first := h.fleet.RouteQuery("get_utxos", args, "difftest", h.now)
+	if first.Err != nil {
+		return fmt.Errorf("serve-layers get_utxos(%s): %w", addr, first.Err)
+	}
+	hits := h.fleet.Stats().CacheHits
+	second := h.fleet.RouteQuery("get_utxos", args, "difftest", h.now)
+	if got := h.fleet.Stats().CacheHits; got != hits+1 {
+		return fmt.Errorf("repeat get_utxos(%s) at an unchanged generation not served from the cache (hits %d -> %d)",
+			addr, hits, got)
+	}
+	auth, authErr := h.overlay.GetUTXOs(h.ctx(ic.KindQuery), args)
+	d := ic.ResponseDigest(second.Value, second.Err)
+	if d != ic.ResponseDigest(first.Value, first.Err) {
+		return fmt.Errorf("cached get_utxos(%s) differs from its first execution", addr)
+	}
+	if d != ic.ResponseDigest(auth, authErr) {
+		return fmt.Errorf("cached get_utxos(%s) differs from a fresh authoritative execution", addr)
+	}
+	h.lastServe.ok = true
+	h.lastServe.args = args
+	h.lastServe.gen = h.fleet.LastSeq()
+
+	bargs := canister.GetBalanceArgs{Address: addr}
+	want, wantErr := h.overlay.GetBalance(h.ctx(ic.KindQuery), bargs)
+	const burst = 4
+	results := make(chan ic.RoutedQuery, burst)
+	for i := 0; i < burst; i++ {
+		go func() { results <- h.fleet.RouteQuery("get_balance", bargs, "difftest", h.now) }()
+	}
+	for i := 0; i < burst; i++ {
+		rq := <-results
+		if err := sameError(rq.Err, wantErr); err != nil {
+			return fmt.Errorf("burst get_balance(%s): %w", addr, err)
+		}
+		if rq.Err == nil && ic.ResponseDigest(rq.Value, nil) != ic.ResponseDigest(want, nil) {
+			return fmt.Errorf("burst get_balance(%s) diverged from the authoritative answer", addr)
+		}
+	}
+	h.stats.FleetServeChecks++
 	return nil
 }
 
@@ -945,8 +1068,16 @@ func (h *Harness) checkCertification() error {
 	addr := h.addrs[h.rng.Intn(len(h.addrs))].address
 	args := canister.GetUTXOsArgs{Address: addr, Limit: 3}
 	h.fleet.SetSigner(h.signer)
+	defer h.fleet.SetSigner(nil)
+	if h.cfg.ServeLayers {
+		// Catch the replicas up so the signed response is served at — and
+		// therefore cached under — the current stream generation, making the
+		// repeat below provably a cache hit.
+		if err := h.fleet.CatchUpAll(); err != nil {
+			return err
+		}
+	}
 	rq := h.fleet.RouteQuery("get_utxos", args, "difftest", h.now)
-	h.fleet.SetSigner(nil)
 	if rq.Signature == nil {
 		return fmt.Errorf("fleet returned an uncertified response with signing enabled")
 	}
@@ -965,6 +1096,31 @@ func (h *Harness) checkCertification() error {
 		return fmt.Errorf("certification verified after tampering with the bound tip height")
 	}
 	h.stats.FleetCertified++
+	if !h.cfg.ServeLayers {
+		return nil
+	}
+	// The repeat must come out of the hot cache carrying the *same*
+	// threshold signature bytes, and that cache-served envelope must verify
+	// under the subnet key exactly as the fresh one did.
+	hits := h.fleet.Stats().CacheHits
+	hit := h.fleet.RouteQuery("get_utxos", args, "difftest", h.now)
+	if got := h.fleet.Stats().CacheHits; got != hits+1 {
+		return fmt.Errorf("signed repeat get_utxos(%s) not served from the hot cache (hits %d -> %d)", addr, hits, got)
+	}
+	if !bytes.Equal(hit.Signature, rq.Signature) {
+		return fmt.Errorf("cache-served get_utxos(%s) carries different signature bytes", addr)
+	}
+	henv := ic.CertifiedQuery{
+		Method:       "get_utxos",
+		Value:        hit.Value,
+		ErrText:      ic.ErrText(hit.Err),
+		AnchorHeight: hit.AnchorHeight,
+		TipHeight:    hit.TipHeight,
+	}
+	if !h.subnet.VerifyCertified(henv, nil, hit.Signature) {
+		return fmt.Errorf("cache-served certified get_utxos(%s) did not verify under the subnet key", addr)
+	}
+	h.stats.FleetCertifiedHits++
 	return nil
 }
 

@@ -4,6 +4,8 @@ import (
 	"flag"
 	"runtime"
 	"testing"
+
+	"icbtc/internal/canister"
 )
 
 // seedFlag replays a single failing seed — the one-liner every difftest
@@ -36,6 +38,11 @@ func TestDifferentialOverlayVsReplay(t *testing.T) {
 		agg.FleetHydrations += stats.FleetHydrations
 		agg.FleetForwardChecks += stats.FleetForwardChecks
 		agg.FleetCertified += stats.FleetCertified
+		agg.FleetServeChecks += stats.FleetServeChecks
+		agg.FleetGenMisses += stats.FleetGenMisses
+		agg.FleetCertifiedHits += stats.FleetCertifiedHits
+		agg.FleetCacheHits += stats.FleetCacheHits
+		agg.FleetCoalesced += stats.FleetCoalesced
 		agg.PipelinedChecks += stats.PipelinedChecks
 		agg.PipelinedRestores += stats.PipelinedRestores
 		agg.PipelinedSerial += stats.PipelinedSerial
@@ -79,6 +86,23 @@ func TestDifferentialOverlayVsReplay(t *testing.T) {
 	}
 	if agg.FleetCertified < 10 {
 		t.Fatalf("only %d certified responses verified, want >= 10", agg.FleetCertified)
+	}
+	// Serving-layer dimension: same-generation repeats served from the
+	// certified hot cache byte-identical to fresh executions, generation
+	// changes always invalidating, and cache-served certified envelopes
+	// verifying under the subnet key.
+	if agg.FleetServeChecks < 100 {
+		t.Fatalf("only %d serving-layer check batches, want >= 100", agg.FleetServeChecks)
+	}
+	if agg.FleetGenMisses < 100 {
+		t.Fatalf("only %d cross-generation invalidation checks, want >= 100", agg.FleetGenMisses)
+	}
+	if agg.FleetCertifiedHits != agg.FleetCertified {
+		t.Fatalf("%d of %d certification checks re-verified the cache-served envelope",
+			agg.FleetCertifiedHits, agg.FleetCertified)
+	}
+	if agg.FleetCacheHits == 0 {
+		t.Fatal("the hot-response cache never served a hit across the battery")
 	}
 	// Pipelined-ingest dimension: the third canister must have been
 	// verified byte-identical to the serial oracle at every step, with the
@@ -179,6 +203,50 @@ func TestDifferentialLossyLink(t *testing.T) {
 		}
 		t.Logf("seed %d: %d retransmits, %d dup/stale drops over %d blocks, state byte-identical",
 			seed, stats.LinkRetransmits, stats.LinkStaleDrops, stats.BlocksMined)
+	}
+}
+
+// TestProbesCoverRegistryQuery asserts the differential probe set covers
+// exactly the canister registry's read-only methods: every query method is
+// probed (a registry addition without a probe fails here), and no probe
+// targets a method the registry does not serve as a query.
+func TestProbesCoverRegistryQuery(t *testing.T) {
+	h := New(DefaultConfig(1))
+	probed := make(map[string]bool)
+	for _, p := range h.probeSpecs() {
+		probed[p.method] = true
+	}
+	for _, name := range canister.QueryMethodNames() {
+		if !probed[name] {
+			t.Errorf("registry query method %q has no differential probe", name)
+		}
+	}
+	for name := range probed {
+		m, ok := canister.MethodByName(name)
+		if !ok {
+			t.Errorf("probe targets %q, which is not in the method registry", name)
+			continue
+		}
+		if m.Kind != canister.MethodReadOnly {
+			t.Errorf("probe targets %q, which the registry does not serve as a query", name)
+		}
+	}
+}
+
+// TestDifferentialServeLayersOff pins the plain routing path: with the
+// serving layers disabled the harness must still pass, and the layer
+// counters must stay at zero.
+func TestDifferentialServeLayersOff(t *testing.T) {
+	cfg := DefaultConfig(19)
+	cfg.ServeLayers = false
+	cfg.Steps = 60
+	h := New(cfg)
+	stats, err := h.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.FleetServeChecks != 0 || stats.FleetCacheHits != 0 || stats.FleetCoalesced != 0 {
+		t.Fatalf("serving layers were exercised while disabled: %+v", stats)
 	}
 }
 

@@ -1,0 +1,362 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"icbtc/internal/btc"
+	"icbtc/internal/canister"
+	"icbtc/internal/queryfleet"
+)
+
+// Fleet load: the internet-scale serving experiment. An open-loop traffic
+// generator — arrivals fire on a precomputed schedule whether or not earlier
+// requests finished, the way real traffic does — drives a Zipf-popular
+// address population (a few hot addresses draw most requests), periodic
+// burst windows (BurstLen arrivals compressed to one instant), and a
+// slow-client lane (full-page scans, the most expensive request the API
+// serves) against the query fleet. Periodic tip moves invalidate the hot
+// cache mid-run, so the measured hit rate includes refill transients.
+//
+// The same schedule runs twice at an equal replica count: once against the
+// bare fleet (no coalescing, no cache, no admission — every request pays
+// full modeled execution) and once against the full serving stack. The
+// result reports completed QPS, latency percentiles from *scheduled
+// arrival* (queueing delay counts, as an open-loop client experiences it)
+// against an SLO, cache-hit/coalesce rates, and the aggregate speedup.
+
+// FleetLoadConfig parameterizes the load experiment.
+type FleetLoadConfig struct {
+	Seed     int64
+	Replicas int
+	// Requests is the schedule length; OfferedQPS its open-loop arrival
+	// rate. Offered load should exceed the bare fleet's modeled capacity —
+	// the point of the experiment is what the serving layers do under
+	// overload the replicas alone cannot absorb.
+	Requests   int
+	OfferedQPS float64
+	// Addresses is the query population size; ZipfS its skew exponent
+	// (s > 1; higher concentrates more traffic on fewer addresses).
+	Addresses int
+	ZipfS     float64
+	// Blocks is the preloaded chain length.
+	Blocks int
+	// ExecRate is the modeled replica execution speed (instructions/s).
+	ExecRate float64
+	// PageLimit caps normal get_utxos pages; SlowEvery makes every Nth
+	// request a slow-client full page of SlowLimit UTXOs.
+	PageLimit, SlowEvery, SlowLimit int
+	// BurstEvery compresses every Nth arrival and the BurstLen-1 after it
+	// onto one instant.
+	BurstEvery, BurstLen int
+	// TipMoveEvery is the wall-clock interval between authoritative blocks
+	// fed mid-measurement (each invalidates the hot cache).
+	TipMoveEvery time.Duration
+	// CacheEntries and Budgets configure the layered pass; the baseline
+	// pass ignores them.
+	CacheEntries int
+	Budgets      map[canister.CostClass]queryfleet.Budget
+	// SLO is the latency target the percentiles are reported against.
+	SLO time.Duration
+}
+
+// DefaultFleetLoadConfig returns the reference load: offered traffic ~5-6x
+// the bare fleet's modeled capacity, Zipf-concentrated on a hot set the
+// cache can hold.
+func DefaultFleetLoadConfig() FleetLoadConfig {
+	return FleetLoadConfig{
+		Seed:         7,
+		Replicas:     4,
+		Requests:     1800,
+		OfferedQPS:   600,
+		Addresses:    64,
+		ZipfS:        1.5,
+		Blocks:       30,
+		ExecRate:     2e8,
+		PageLimit:    10,
+		SlowEvery:    50,
+		SlowLimit:    100,
+		BurstEvery:   150,
+		BurstLen:     25,
+		TipMoveEvery: 700 * time.Millisecond,
+		CacheEntries: 512,
+		Budgets: map[canister.CostClass]queryfleet.Budget{
+			canister.CostScan: {Rate: 45, Burst: 15},
+		},
+		SLO: 300 * time.Millisecond,
+	}
+}
+
+// loadReq is one scheduled arrival.
+type loadReq struct {
+	at     time.Duration
+	method string
+	addr   int // population index; -1 for argless methods
+	limit  int
+}
+
+// FleetLoadPass is one measured pass over the schedule.
+type FleetLoadPass struct {
+	Name           string
+	Requests       int
+	OK             int
+	Shed           int
+	Elapsed        time.Duration // schedule start to last completion
+	QPS            float64       // OK / Elapsed
+	P50, P99, P999 time.Duration
+	CacheHits      uint64
+	Coalesced      uint64
+	TipMoves       int
+}
+
+// FleetLoadResult is the completed two-pass comparison.
+type FleetLoadResult struct {
+	OfferedQPS float64
+	Replicas   int
+	SLO        time.Duration
+	Baseline   FleetLoadPass
+	Layered    FleetLoadPass
+	// Speedup is the layered pass's completed QPS over the baseline's at
+	// the equal replica count.
+	Speedup float64
+}
+
+// RunFleetLoad executes the open-loop schedule against the bare fleet and
+// the full serving stack and returns the comparison.
+func RunFleetLoad(cfg FleetLoadConfig) (*FleetLoadResult, error) {
+	sched := buildFleetLoadSchedule(cfg)
+	base, err := runFleetLoadPass(cfg, "baseline", false, sched)
+	if err != nil {
+		return nil, err
+	}
+	layered, err := runFleetLoadPass(cfg, "layered", true, sched)
+	if err != nil {
+		return nil, err
+	}
+	res := &FleetLoadResult{
+		OfferedQPS: cfg.OfferedQPS,
+		Replicas:   cfg.Replicas,
+		SLO:        cfg.SLO,
+		Baseline:   base,
+		Layered:    layered,
+	}
+	if base.QPS > 0 {
+		res.Speedup = layered.QPS / base.QPS
+	}
+	return res, nil
+}
+
+// buildFleetLoadSchedule precomputes the arrival sequence: Zipf addresses,
+// a 60/30/10 scan/balance/fees mix, every SlowEvery-th request a full-page
+// slow-client scan, and every BurstEvery-th arrival opening a BurstLen
+// window compressed onto one instant.
+func buildFleetLoadSchedule(cfg FleetLoadConfig) []loadReq {
+	rng := rand.New(rand.NewSource(cfg.Seed * 31))
+	zipf := rand.NewZipf(rng, cfg.ZipfS, 1, uint64(cfg.Addresses-1))
+	interval := time.Duration(float64(time.Second) / cfg.OfferedQPS)
+	sched := make([]loadReq, 0, cfg.Requests)
+	var cursor time.Duration
+	burstLeft := 0
+	for i := 0; i < cfg.Requests; i++ {
+		if cfg.BurstEvery > 0 && i > 0 && i%cfg.BurstEvery == 0 {
+			burstLeft = cfg.BurstLen
+		}
+		if burstLeft > 0 {
+			burstLeft-- // arrivals pile onto the current cursor instant
+		} else {
+			cursor += interval
+		}
+		r := loadReq{at: cursor, addr: int(zipf.Uint64())}
+		switch {
+		case cfg.SlowEvery > 0 && i%cfg.SlowEvery == cfg.SlowEvery-1:
+			r.method, r.limit = "get_utxos", cfg.SlowLimit
+		case rng.Intn(10) < 6:
+			r.method, r.limit = "get_utxos", cfg.PageLimit
+		case rng.Intn(10) < 9:
+			r.method = "get_balance"
+		default:
+			r.method, r.addr = "get_current_fee_percentiles", -1
+		}
+		sched = append(sched, r)
+	}
+	return sched
+}
+
+// runFleetLoadPass builds a fresh canister + fleet (identical state both
+// passes: same seed, same blocks) and fires the schedule.
+func runFleetLoadPass(cfg FleetLoadConfig, name string, layered bool, sched []loadReq) (FleetLoadPass, error) {
+	feeder := NewFeeder(btc.Regtest, 6, cfg.Seed)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	addrs := make([]string, cfg.Addresses)
+	scripts := make([][]byte, cfg.Addresses)
+	for i := range addrs {
+		var h [20]byte
+		rng.Read(h[:])
+		a := btc.NewP2PKHAddress(h, btc.Regtest)
+		addrs[i], scripts[i] = a.String(), btc.PayToAddrScript(a)
+	}
+	for b := 0; b < cfg.Blocks; b++ {
+		var specs []TxSpec
+		for i := range addrs {
+			specs = append(specs, TxSpec{Outputs: PayN(scripts[i], 4, 600+int64(rng.Intn(3000)))})
+		}
+		if _, err := feeder.FeedBlock(specs); err != nil {
+			return FleetLoadPass{}, err
+		}
+	}
+	auth := feeder.Canister
+
+	qcfg := queryfleet.Config{
+		Replicas:         cfg.Replicas,
+		MaxLagBlocks:     -1, // replicas serve through tip moves; no forwarding
+		QueryConcurrency: 1,  // IC canisters execute queries sequentially
+		ExecRate:         cfg.ExecRate,
+	}
+	if layered {
+		qcfg.Coalesce = true
+		qcfg.CacheEntries = cfg.CacheEntries
+		qcfg.Budgets = cfg.Budgets
+	}
+	fleet, err := queryfleet.New(auth, qcfg)
+	if err != nil {
+		return FleetLoadPass{}, err
+	}
+	defer fleet.Close()
+	auth.SetStreamSink(fleet.Feed)
+
+	// Tip mover: feed one paying block every TipMoveEvery until the
+	// schedule drains; each published frame invalidates the hot cache.
+	var (
+		moveMu   sync.Mutex
+		tipMoves int
+		stop     = make(chan struct{})
+		moverWG  sync.WaitGroup
+	)
+	if cfg.TipMoveEvery > 0 {
+		moverWG.Add(1)
+		go func() {
+			defer moverWG.Done()
+			tick := time.NewTicker(cfg.TipMoveEvery)
+			defer tick.Stop()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				case <-tick.C:
+				}
+				moveMu.Lock()
+				_, ferr := feeder.FeedBlock([]TxSpec{{Outputs: PayN(scripts[i%len(scripts)], 2, 700)}})
+				if ferr == nil {
+					ferr = fleet.CatchUpAll()
+				}
+				if ferr == nil {
+					tipMoves++
+				}
+				moveMu.Unlock()
+			}
+		}()
+	}
+
+	lats := make([]time.Duration, len(sched))
+	okFlags := make([]bool, len(sched))
+	shedFlags := make([]bool, len(sched))
+	var (
+		errMu    sync.Mutex
+		firstErr error
+	)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := range sched {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			req := sched[i]
+			target := start.Add(req.at)
+			if d := time.Until(target); d > 0 {
+				time.Sleep(d)
+			}
+			var arg any
+			switch req.method {
+			case "get_utxos":
+				arg = canister.GetUTXOsArgs{Address: addrs[req.addr], Limit: req.limit}
+			case "get_balance":
+				arg = canister.GetBalanceArgs{Address: addrs[req.addr]}
+			}
+			rq := fleet.RouteQuery(req.method, arg, "loadgen", time.Now())
+			// Open-loop latency: measured from the scheduled arrival, so
+			// queueing behind saturated replicas counts in full.
+			lats[i] = time.Since(target)
+			switch {
+			case rq.Err == nil:
+				okFlags[i] = true
+			case errors.Is(rq.Err, queryfleet.ErrBusy):
+				shedFlags[i] = true
+			default:
+				errMu.Lock()
+				if firstErr == nil {
+					firstErr = rq.Err
+				}
+				errMu.Unlock()
+			}
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(stop)
+	moverWG.Wait()
+	if firstErr != nil {
+		return FleetLoadPass{}, fmt.Errorf("experiments: fleetload %s pass: %w", name, firstErr)
+	}
+
+	pass := FleetLoadPass{Name: name, Requests: len(sched), Elapsed: elapsed}
+	var okLats []time.Duration
+	for i := range sched {
+		switch {
+		case okFlags[i]:
+			pass.OK++
+			okLats = append(okLats, lats[i])
+		case shedFlags[i]:
+			pass.Shed++
+		}
+	}
+	if pass.OK == 0 {
+		return FleetLoadPass{}, fmt.Errorf("experiments: fleetload %s pass completed zero requests", name)
+	}
+	sort.Slice(okLats, func(i, j int) bool { return okLats[i] < okLats[j] })
+	pass.QPS = float64(pass.OK) / elapsed.Seconds()
+	pass.P50 = okLats[len(okLats)/2]
+	pass.P99 = okLats[len(okLats)*99/100]
+	pass.P999 = okLats[len(okLats)*999/1000]
+	st := fleet.Stats()
+	pass.CacheHits = st.CacheHits
+	pass.Coalesced = st.Coalesced
+	moveMu.Lock()
+	pass.TipMoves = tipMoves
+	moveMu.Unlock()
+	return pass, nil
+}
+
+// Print renders the comparison.
+func (r *FleetLoadResult) Print(w io.Writer) {
+	fmt.Fprintf(w, "Fleet load: open-loop Zipf workload, %d requests offered at %.0f QPS, %d replicas, SLO %v\n",
+		r.Baseline.Requests, r.OfferedQPS, r.Replicas, r.SLO)
+	fmt.Fprintf(w, "%-9s %6s %6s %9s %9s %10s %10s %10s %10s %10s\n",
+		"pass", "ok", "shed", "elapsed", "QPS", "p50", "p99", "p99.9", "cache-hit", "coalesced")
+	for _, p := range []FleetLoadPass{r.Baseline, r.Layered} {
+		fmt.Fprintf(w, "%-9s %6d %6d %9s %9.0f %10v %10v %10v %9.1f%% %10d\n",
+			p.Name, p.OK, p.Shed, p.Elapsed.Round(10*time.Millisecond), p.QPS,
+			p.P50.Round(time.Millisecond), p.P99.Round(time.Millisecond), p.P999.Round(time.Millisecond),
+			100*float64(p.CacheHits)/float64(p.Requests), p.Coalesced)
+	}
+	slo := "within"
+	if r.Layered.P99 > r.SLO {
+		slo = "OVER"
+	}
+	fmt.Fprintf(w, "aggregate QPS speedup at equal replicas: %.1fx; layered p99 %s the %v SLO (%d tip-move invalidations)\n",
+		r.Speedup, slo, r.SLO, r.Layered.TipMoves)
+}

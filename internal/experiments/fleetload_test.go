@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"icbtc/internal/canister"
+	"icbtc/internal/queryfleet"
+)
+
+// TestFleetLoadSmoke runs a scaled-down open-loop load comparison end to
+// end: the offered rate exceeds the bare fleet's modeled capacity, so the
+// layered pass must complete more QPS, the cache and coalescer must
+// actually fire, and the baseline pass must never touch either layer.
+func TestFleetLoadSmoke(t *testing.T) {
+	cfg := FleetLoadConfig{
+		Seed:         11,
+		Replicas:     2,
+		Requests:     150,
+		OfferedQPS:   500,
+		Addresses:    16,
+		ZipfS:        1.5,
+		Blocks:       6,
+		ExecRate:     5e8,
+		PageLimit:    8,
+		SlowEvery:    30,
+		SlowLimit:    30,
+		BurstEvery:   50,
+		BurstLen:     10,
+		TipMoveEvery: 100 * time.Millisecond,
+		CacheEntries: 128,
+		Budgets: map[canister.CostClass]queryfleet.Budget{
+			canister.CostScan: {Rate: 200, Burst: 50},
+		},
+		SLO: time.Second,
+	}
+	res, err := RunFleetLoad(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []FleetLoadPass{res.Baseline, res.Layered} {
+		if p.OK == 0 {
+			t.Fatalf("%s pass completed zero requests", p.Name)
+		}
+		if p.OK+p.Shed != p.Requests {
+			t.Fatalf("%s pass: %d ok + %d shed != %d requests", p.Name, p.OK, p.Shed, p.Requests)
+		}
+	}
+	if res.Baseline.CacheHits != 0 || res.Baseline.Coalesced != 0 || res.Baseline.Shed != 0 {
+		t.Fatalf("baseline pass touched the serving layers: %+v", res.Baseline)
+	}
+	if res.Layered.CacheHits == 0 {
+		t.Fatal("layered pass never hit the hot cache")
+	}
+	if res.Speedup <= 1 {
+		t.Fatalf("serving layers did not beat the saturated bare fleet: speedup %.2fx (baseline %.0f QPS, layered %.0f QPS)",
+			res.Speedup, res.Baseline.QPS, res.Layered.QPS)
+	}
+}
+
+// TestFleetLoadScheduleShape pins the generator's structure: the schedule
+// is Zipf-skewed onto a hot head, burst windows compress arrivals onto one
+// instant, and the slow-client lane asks full pages.
+func TestFleetLoadScheduleShape(t *testing.T) {
+	cfg := DefaultFleetLoadConfig()
+	cfg.Requests = 1200
+	sched := buildFleetLoadSchedule(cfg)
+	if len(sched) != cfg.Requests {
+		t.Fatalf("schedule has %d entries, want %d", len(sched), cfg.Requests)
+	}
+	counts := make(map[int]int)
+	slow, bursty := 0, 0
+	at := make(map[time.Duration]int)
+	for _, r := range sched {
+		if r.addr >= 0 {
+			counts[r.addr]++
+		}
+		if r.method == "get_utxos" && r.limit == cfg.SlowLimit {
+			slow++
+		}
+		at[r.at]++
+	}
+	for _, n := range at {
+		if n >= cfg.BurstLen {
+			bursty++
+		}
+	}
+	if slow == 0 {
+		t.Fatal("no slow-client full-page requests in the schedule")
+	}
+	if bursty == 0 {
+		t.Fatalf("no burst window compressed >= %d arrivals onto one instant", cfg.BurstLen)
+	}
+	// Zipf skew: the single hottest address must draw far more than a
+	// uniform share of the traffic.
+	top, total := 0, 0
+	for _, n := range counts {
+		total += n
+		if n > top {
+			top = n
+		}
+	}
+	if uniform := total / cfg.Addresses; top < 4*uniform {
+		t.Fatalf("hottest address drew %d of %d requests; not Zipf-skewed (uniform share %d)", top, total, uniform)
+	}
+}

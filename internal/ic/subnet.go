@@ -430,6 +430,8 @@ func (s *Subnet) executeUpdate(call *pendingCall, blockTime time.Time, metrics *
 	res := Result{Certified: true}
 	if can == nil {
 		res.Err = fmt.Errorf("ic: canister %s not found", call.canister)
+	} else if err := checkDispatch(can, call.method, KindUpdate); err != nil {
+		res.Err = err
 	} else {
 		ctx := &CallContext{Meter: meter, Time: blockTime, Caller: call.caller, Kind: KindUpdate, subnet: s}
 		res.Value, res.Err = can.Update(ctx, call.method, call.arg)
@@ -513,6 +515,8 @@ func (s *Subnet) Query(canister CanisterID, method string, arg any, caller strin
 			meter := NewMeter()
 			if can == nil {
 				res.Err = fmt.Errorf("ic: canister %s not found", canister)
+			} else if err := checkDispatch(can, method, KindQuery); err != nil {
+				res.Err = err
 			} else {
 				ctx := &CallContext{Meter: meter, Time: s.sched.Now(), Caller: caller, Kind: KindQuery, subnet: s}
 				res.Value, res.Err = can.Query(ctx, method, arg)

@@ -129,6 +129,20 @@ type Config struct {
 	// ingest.DefaultWorkers(); 1 forces serial. Applied state is identical
 	// either way.
 	PrepareWorkers int
+	// Coalesce collapses concurrent identical queries (same canonical
+	// request key from the canister's method registry) into one execution
+	// whose response — signature included — fans out to every waiter.
+	Coalesce bool
+	// CacheEntries bounds the certified hot-response cache (0 disables):
+	// responses to cacheable methods are served without re-execution until
+	// the next stream frame invalidates them (see serving.go).
+	CacheEntries int
+	// Budgets, when non-empty, enables cost-aware admission control:
+	// executions are charged against their method's cost-class token
+	// bucket; the overflow is shed with ErrBusy. Unlisted classes are
+	// never shed. Refill is driven by the virtual timestamps queries
+	// carry, so it must only be enabled by drivers that advance `now`.
+	Budgets map[canister.CostClass]Budget
 }
 
 // DefaultConfig returns a 4-replica fleet with a 2-block staleness bound
@@ -144,6 +158,9 @@ type Stats struct {
 	Rejected  uint64 // queries failed with ErrTooStale
 	Certified uint64 // responses that carry a certification
 	Frames    uint64 // stream frames distributed
+	Coalesced uint64 // queries served as followers of a coalesced flight
+	CacheHits uint64 // queries served from the certified response cache
+	Shed      uint64 // queries shed by admission control (ErrBusy)
 }
 
 // Fleet distributes the canister's delta stream to its replicas and routes
@@ -160,6 +177,10 @@ type Fleet struct {
 	seq    uint64 // last distributed frame seq (under feedMu)
 
 	authTip atomic.Int64
+	// gen mirrors seq for the serving layers: the stream generation cached
+	// responses and coalesced flights are keyed on. Bumped on every
+	// distributed frame (under feedMu), read lock-free on the query path.
+	gen atomic.Uint64
 	// degraded caches the adapter health carried on the last distributed
 	// frame: while true, every routed response is annotated as possibly
 	// stale (the explicit degraded-mode serving contract).
@@ -180,6 +201,13 @@ type Fleet struct {
 	rejected  atomic.Uint64
 	certified atomic.Uint64
 	frames    atomic.Uint64
+	coalesced atomic.Uint64
+	cacheHits atomic.Uint64
+	shed      atomic.Uint64
+
+	// serving holds the coalesce/cache/admission layer state; nil when
+	// every layer is disabled (the pre-existing zero-overhead path).
+	serving *serving
 
 	// lastApplyErr records the first background frame-application failure
 	// (auto mode); surfaced via Err.
@@ -210,6 +238,7 @@ func New(auth Authority, cfg Config) (*Fleet, error) {
 		return nil, fmt.Errorf("queryfleet: fleet needs at least one replica, got %d", cfg.Replicas)
 	}
 	f := &Fleet{cfg: cfg, auth: auth, sign: cfg.Sign, closed: make(chan struct{})}
+	f.serving = newServing(cfg)
 	f.authMu.Lock()
 	if src, ok := auth.(StreamSource); ok {
 		src.SetStreamSink(f.Feed)
@@ -251,6 +280,9 @@ func (f *Fleet) Stats() Stats {
 		Rejected:  f.rejected.Load(),
 		Certified: f.certified.Load(),
 		Frames:    f.frames.Load(),
+		Coalesced: f.coalesced.Load(),
+		CacheHits: f.cacheHits.Load(),
+		Shed:      f.shed.Load(),
 	}
 }
 
@@ -288,6 +320,7 @@ func (f *Fleet) Feed(frame *canister.Frame) {
 	f.feedMu.Lock()
 	f.seq++
 	frame.Seq = f.seq
+	f.gen.Store(f.seq)
 	raw := canister.EncodeFrame(frame)
 	f.authTip.Store(frame.TipHeight)
 	f.degraded.Store(frame.Health.State == adapter.StateDegraded)
@@ -376,12 +409,32 @@ func (f *Fleet) CatchUpAll() error {
 	return nil
 }
 
-// RouteQuery implements ic.QueryRouter: pick a healthy replica
-// round-robin, apply the bounded-staleness policy, execute, certify.
-// Quarantined replicas (failed frame application) are skipped; if every
-// replica is quarantined the query goes to the authoritative canister.
+// RouteQuery implements ic.QueryRouter. With serving layers enabled the
+// query runs coalesce → cache → admit → execute (serving.go); otherwise it
+// goes straight to execution: pick a healthy replica round-robin, apply the
+// bounded-staleness policy, execute, certify.
 func (f *Fleet) RouteQuery(method string, arg any, caller string, now time.Time) ic.RoutedQuery {
 	_ = caller // principals do not affect read-only routing
+	if f.serving != nil {
+		if m, ok := canister.MethodByName(method); ok {
+			return f.routeLayered(m, method, arg, now)
+		}
+		// Unregistered method: fall through so the replica reports the
+		// canonical dispatch error.
+	}
+	rq, _, _ := f.executeQuery(method, arg, now)
+	return rq
+}
+
+// executeQuery is the execution layer: pick a healthy replica round-robin,
+// apply the bounded-staleness policy, execute, certify. Quarantined
+// replicas (failed frame application) are skipped; if every replica is
+// quarantined the query goes to the authoritative canister. servedSeq is
+// the stream position of the replica state the response was computed at
+// (0 for forwarded and rejected queries — the forwarded flag disambiguates),
+// which is what lets the cache layer prove a response belongs to the
+// current generation.
+func (f *Fleet) executeQuery(method string, arg any, now time.Time) (rq ic.RoutedQuery, servedSeq uint64, forwarded bool) {
 	var r *Replica
 	for probe := 0; probe < len(f.replicas); probe++ {
 		// Modulo in uint64 space: a truncating int() conversion could go
@@ -393,7 +446,7 @@ func (f *Fleet) RouteQuery(method string, arg any, caller string, now time.Time)
 		}
 	}
 	if r == nil {
-		return f.forward(method, arg, now)
+		return f.forward(method, arg, now), 0, true
 	}
 
 	if f.cfg.MaxLagBlocks >= 0 {
@@ -401,13 +454,13 @@ func (f *Fleet) RouteQuery(method string, arg any, caller string, now time.Time)
 			if f.cfg.StalePolicy == StaleReject {
 				f.rejected.Add(1)
 				return ic.RoutedQuery{Err: fmt.Errorf("%w: replica %d lags %d blocks (bound %d)",
-					ErrTooStale, r.index, lag, f.cfg.MaxLagBlocks)}
+					ErrTooStale, r.index, lag, f.cfg.MaxLagBlocks)}, 0, false
 			}
-			return f.forward(method, arg, now)
+			return f.forward(method, arg, now), 0, true
 		}
 	}
 
-	value, err, instructions, tip, anchor := r.serve(method, arg, now)
+	value, err, instructions, tip, anchor, seq := r.serve(method, arg, now)
 	f.served.Add(1)
 	return f.certify(ic.RoutedQuery{
 		Value:        value,
@@ -416,8 +469,11 @@ func (f *Fleet) RouteQuery(method string, arg any, caller string, now time.Time)
 		AnchorHeight: anchor,
 		TipHeight:    tip,
 		Degraded:     f.degraded.Load(),
-	}, method)
+	}, method), seq, false
 }
+
+// CacheSize returns the number of resident response-cache entries.
+func (f *Fleet) CacheSize() int { return f.serving.CacheSize() }
 
 // Degraded reports whether the last distributed frame carried a degraded
 // adapter health report.

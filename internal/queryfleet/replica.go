@@ -280,8 +280,9 @@ func (r *Replica) runWorker(closed <-chan struct{}) {
 // read-lock the state, execute, then hold the slot for the metered
 // execution time (ExecRate) before releasing it. The returned chain
 // position is the one the response was computed at — what its
-// certification binds.
-func (r *Replica) serve(method string, arg any, now time.Time) (value any, err error, instructions uint64, tip, anchor int64) {
+// certification binds; seq is that state's stream position, read under the
+// same lock, which the cache layer compares against the fleet generation.
+func (r *Replica) serve(method string, arg any, now time.Time) (value any, err error, instructions uint64, tip, anchor int64, seq uint64) {
 	<-r.execSlots
 	start := time.Now()
 
@@ -289,6 +290,7 @@ func (r *Replica) serve(method string, arg any, now time.Time) (value any, err e
 	r.mu.RLock()
 	value, err = r.can.Query(ctx, method, arg)
 	tip, anchor = r.can.StreamPosition()
+	seq = r.seq
 	r.mu.RUnlock()
 	instructions = ctx.Meter.Total()
 	r.served.Add(1)
@@ -300,7 +302,7 @@ func (r *Replica) serve(method string, arg any, now time.Time) (value any, err e
 		}
 	}
 	r.execSlots <- struct{}{}
-	return value, err, instructions, tip, anchor
+	return value, err, instructions, tip, anchor, seq
 }
 
 // Served returns how many queries this replica has executed.

@@ -1,0 +1,315 @@
+package queryfleet
+
+// serving.go implements the fleet's serving layers, the path one query
+// takes before (or instead of) reaching a replica:
+//
+//	coalesce → cache → admit → execute
+//
+// Coalescing collapses concurrent identical queries — same canonical
+// request key from the canister's method registry — into one execution
+// whose result (including its certification signature) fans out to every
+// waiter. The certified hot-response cache serves threshold-signed
+// envelopes without re-execution for as long as the fleet's stream
+// generation (the last distributed frame) is unchanged; any frame — new
+// block, reorg, header advance — bumps the generation and implicitly
+// invalidates every entry, so the cache can never serve across a tip or
+// anchor move. Admission control charges each execution against its
+// method's cost-class token bucket and sheds the overflow with ErrBusy, so
+// a paginated-scan flood cannot starve cheap balance traffic.
+//
+// All layer state is keyed or guarded such that a response served from any
+// layer is byte-identical to some fresh execution against the same stream
+// generation — the property the differential harness asserts.
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"icbtc/internal/canister"
+	"icbtc/internal/ic"
+)
+
+// ErrBusy reports a query shed by admission control: the cost-class budget
+// is exhausted. Clients back off and retry; the error is explicit so they
+// can distinguish shedding from a failed execution.
+var ErrBusy = errors.New("queryfleet: shed by admission control")
+
+// Budget is one cost class's admission budget: a token bucket refilled at
+// Rate executions per second up to Burst. Refill is driven by the virtual
+// `now` each query carries, so shedding is deterministic under a seeded
+// scheduler.
+type Budget struct {
+	Rate  float64
+	Burst float64
+}
+
+// cacheEntry is one certified hot response, valid only while the fleet's
+// stream generation still equals gen.
+type cacheEntry struct {
+	gen uint64
+	rq  ic.RoutedQuery
+}
+
+// flightKey identifies one in-flight coalesced execution: the canonical
+// request key bound to the stream generation it was started under, so a
+// late waiter can never be handed a response computed before a tip move it
+// already observed.
+type flightKey struct {
+	gen uint64
+	key [32]byte
+}
+
+// flight is one coalesced execution: the leader executes, followers wait on
+// done and return rq verbatim (same value, same signature bytes).
+type flight struct {
+	done    chan struct{}
+	rq      ic.RoutedQuery
+	waiters int
+}
+
+// bucket is one cost class's token-bucket state.
+type bucket struct {
+	rate, burst float64
+	level       float64
+	last        time.Time
+	primed      bool
+}
+
+// serving holds the fleet's layer state. Nil on fleets with no layer
+// enabled — the zero-cost configuration every pre-existing caller gets.
+type serving struct {
+	coalesce bool
+	cacheCap int
+
+	cacheMu sync.Mutex
+	cache   map[[32]byte]cacheEntry
+
+	flightMu sync.Mutex
+	flights  map[flightKey]*flight
+
+	budgetMu sync.Mutex
+	buckets  map[canister.CostClass]*bucket
+}
+
+// newServing builds the layer state for a config, or returns nil when every
+// layer is disabled.
+func newServing(cfg Config) *serving {
+	if !cfg.Coalesce && cfg.CacheEntries <= 0 && len(cfg.Budgets) == 0 {
+		return nil
+	}
+	s := &serving{coalesce: cfg.Coalesce, cacheCap: cfg.CacheEntries}
+	if cfg.CacheEntries > 0 {
+		s.cache = make(map[[32]byte]cacheEntry, cfg.CacheEntries)
+	}
+	if cfg.Coalesce {
+		s.flights = make(map[flightKey]*flight)
+	}
+	if len(cfg.Budgets) > 0 {
+		s.buckets = make(map[canister.CostClass]*bucket, len(cfg.Budgets))
+		for class, b := range cfg.Budgets {
+			s.buckets[class] = &bucket{rate: b.Rate, burst: b.Burst}
+		}
+	}
+	return s
+}
+
+// cacheGet returns the cached response for key if it was filled at the
+// current stream generation. A stale-generation entry is never served: the
+// generation bumps on every distributed frame, so a hit proves neither the
+// tip nor the anchor has moved since the fill.
+func (s *serving) cacheGet(gen uint64, key [32]byte) (ic.RoutedQuery, bool) {
+	if s.cache == nil {
+		return ic.RoutedQuery{}, false
+	}
+	s.cacheMu.Lock()
+	e, ok := s.cache[key]
+	s.cacheMu.Unlock()
+	if !ok || e.gen != gen {
+		return ic.RoutedQuery{}, false
+	}
+	return e.rq, true
+}
+
+// cacheFill stores one certified response under the generation it was
+// computed at. Under capacity pressure, entries from older generations are
+// swept first (they can never be served again); if the cache is full of
+// current-generation entries the fill is skipped — deterministic, and the
+// hot keys that filled first stay resident.
+func (s *serving) cacheFill(gen uint64, key [32]byte, rq ic.RoutedQuery) {
+	if s.cache == nil {
+		return
+	}
+	s.cacheMu.Lock()
+	if _, exists := s.cache[key]; !exists && len(s.cache) >= s.cacheCap {
+		for k, e := range s.cache {
+			if e.gen != gen {
+				delete(s.cache, k)
+			}
+		}
+		if len(s.cache) >= s.cacheCap {
+			s.cacheMu.Unlock()
+			return
+		}
+	}
+	s.cache[key] = cacheEntry{gen: gen, rq: rq}
+	s.cacheMu.Unlock()
+}
+
+// CacheSize returns the number of resident cache entries (observability).
+func (s *serving) CacheSize() int {
+	if s == nil || s.cache == nil {
+		return 0
+	}
+	s.cacheMu.Lock()
+	defer s.cacheMu.Unlock()
+	return len(s.cache)
+}
+
+// join registers interest in one flight. The first caller per key becomes
+// the leader (leader true, a fresh flight to complete); followers receive
+// the existing flight to wait on.
+func (s *serving) join(fk flightKey) (*flight, bool) {
+	s.flightMu.Lock()
+	if fl, ok := s.flights[fk]; ok {
+		fl.waiters++
+		s.flightMu.Unlock()
+		return fl, false
+	}
+	fl := &flight{done: make(chan struct{})}
+	s.flights[fk] = fl
+	s.flightMu.Unlock()
+	return fl, true
+}
+
+// finish publishes the leader's result and releases the flight's waiters.
+func (s *serving) finish(fk flightKey, fl *flight, rq ic.RoutedQuery) {
+	s.flightMu.Lock()
+	fl.rq = rq
+	delete(s.flights, fk)
+	s.flightMu.Unlock()
+	close(fl.done)
+}
+
+// flightWaiters reports how many followers are parked on one flight (test
+// observability; 0 when no flight is open for the key).
+func (s *serving) flightWaiters(fk flightKey) int {
+	s.flightMu.Lock()
+	defer s.flightMu.Unlock()
+	if fl, ok := s.flights[fk]; ok {
+		return fl.waiters
+	}
+	return 0
+}
+
+// admit charges one execution against the method's cost-class bucket.
+// Unbudgeted classes always admit. The bucket primes to its full burst on
+// first use and refills from the virtual timestamps queries carry — no wall
+// clock, so a seeded scheduler replays the same shed decisions.
+func (s *serving) admit(class canister.CostClass, now time.Time) bool {
+	if s.buckets == nil {
+		return true
+	}
+	s.budgetMu.Lock()
+	defer s.budgetMu.Unlock()
+	b := s.buckets[class]
+	if b == nil {
+		return true
+	}
+	if !b.primed {
+		b.level = b.burst
+		b.last = now
+		b.primed = true
+	}
+	if dt := now.Sub(b.last); dt > 0 {
+		b.level += dt.Seconds() * b.rate
+		if b.level > b.burst {
+			b.level = b.burst
+		}
+		b.last = now
+	}
+	if b.level >= 1 {
+		b.level--
+		return true
+	}
+	return false
+}
+
+// FlightWaiters reports how many followers are parked on the open
+// coalesced flight for one request at the current stream generation (0
+// when none) — observability for tests and load drivers.
+func (f *Fleet) FlightWaiters(method string, arg any) int {
+	s := f.serving
+	if s == nil || !s.coalesce {
+		return 0
+	}
+	m, ok := canister.MethodByName(method)
+	if !ok {
+		return 0
+	}
+	key, err := m.RequestKey(arg)
+	if err != nil {
+		return 0
+	}
+	return s.flightWaiters(flightKey{gen: f.gen.Load(), key: key})
+}
+
+// routeLayered is RouteQuery's path on fleets with serving layers enabled:
+// coalesce → cache → admit → execute (with a lock-free-ish cache fast path
+// ahead of flight registration — same semantics, no flight allocation on
+// the hot hit path).
+func (f *Fleet) routeLayered(m *canister.MethodDesc, method string, arg any, now time.Time) ic.RoutedQuery {
+	s := f.serving
+	key, err := m.RequestKey(arg)
+	if err != nil {
+		// Wrong-typed argument: skip the layers and let the canister
+		// report its canonical error.
+		rq, _, _ := f.executeQuery(method, arg, now)
+		return rq
+	}
+	gen := f.gen.Load()
+	cacheable := m.Cacheable && s.cache != nil
+	if cacheable {
+		if rq, ok := s.cacheGet(gen, key); ok {
+			f.cacheHits.Add(1)
+			return rq
+		}
+	}
+	if s.coalesce {
+		fk := flightKey{gen: gen, key: key}
+		fl, leader := s.join(fk)
+		if !leader {
+			<-fl.done
+			f.coalesced.Add(1)
+			return fl.rq
+		}
+		rq := f.admitAndExecute(m, method, arg, now, gen, key, cacheable)
+		s.finish(fk, fl, rq)
+		return rq
+	}
+	return f.admitAndExecute(m, method, arg, now, gen, key, cacheable)
+}
+
+// admitAndExecute is the tail of the layered path: charge admission, run
+// the query, and fill the cache when the response provably belongs to the
+// generation the caller keyed on.
+func (f *Fleet) admitAndExecute(m *canister.MethodDesc, method string, arg any, now time.Time, gen uint64, key [32]byte, cacheable bool) ic.RoutedQuery {
+	if !f.serving.admit(m.Cost, now) {
+		f.shed.Add(1)
+		return ic.RoutedQuery{Err: fmt.Errorf("%w: %s (cost class %s)", ErrBusy, method, m.Cost)}
+	}
+	rq, servedSeq, forwarded := f.executeQuery(method, arg, now)
+	// Fill conditions: a clean response, computed either by the
+	// authoritative canister (forwarded) or by a replica that had applied
+	// exactly the frames of this generation (servedSeq == gen; tip-height
+	// equality is NOT enough — a header-only frame moves the tip hash
+	// without moving its height), and no frame has been distributed since
+	// the caller loaded gen. A frame racing past the last check is still
+	// safe: the entry is stored under gen, and cacheGet never serves an
+	// entry whose generation is not current.
+	if cacheable && rq.Err == nil && (forwarded || servedSeq == gen) && f.gen.Load() == gen {
+		f.serving.cacheFill(gen, key, rq)
+	}
+	return rq
+}

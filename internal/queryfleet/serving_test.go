@@ -1,0 +1,293 @@
+package queryfleet_test
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"time"
+
+	"icbtc/internal/btc"
+	"icbtc/internal/canister"
+	"icbtc/internal/ic"
+	"icbtc/internal/queryfleet"
+	"icbtc/internal/simnet"
+)
+
+// TestCacheServesIdenticalCertifiedEnvelope fills the hot-response cache
+// with a signed get_utxos response and asserts the hit serves the same
+// envelope — value digest and signature bytes — without re-execution, and
+// that the cache-served signature still verifies under the subnet key.
+func TestCacheServesIdenticalCertifiedEnvelope(t *testing.T) {
+	sched := simnet.NewScheduler(7)
+	scfg := ic.DefaultConfig()
+	scfg.N = 4
+	scfg.Seed = 7
+	subnet, err := ic.NewSubnet(sched, scfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := queryfleet.DefaultConfig()
+	cfg.Replicas = 2
+	cfg.CacheEntries = 64
+	cfg.Sign = queryfleet.CommitteeSigner(subnet.Committee())
+	r := newRig(t, cfg, 10)
+
+	args := canister.GetUTXOsArgs{Address: r.addr.String(), Limit: 5}
+	fresh := r.fleet.RouteQuery("get_utxos", args, "client", r.now)
+	if fresh.Err != nil {
+		t.Fatal(fresh.Err)
+	}
+	if fresh.Signature == nil {
+		t.Fatal("fresh response is not certified")
+	}
+	if r.fleet.Stats().CacheHits != 0 {
+		t.Fatal("first request hit the cache")
+	}
+	if r.fleet.CacheSize() != 1 {
+		t.Fatalf("cache size %d after fill, want 1", r.fleet.CacheSize())
+	}
+
+	served := r.fleet.Replica(0).Served() + r.fleet.Replica(1).Served()
+	hit := r.fleet.RouteQuery("get_utxos", args, "client", r.now)
+	if r.fleet.Stats().CacheHits != 1 {
+		t.Fatalf("CacheHits = %d, want 1", r.fleet.Stats().CacheHits)
+	}
+	if got := r.fleet.Replica(0).Served() + r.fleet.Replica(1).Served(); got != served {
+		t.Fatalf("cache hit re-executed: replica served count %d -> %d", served, got)
+	}
+	if ic.ResponseDigest(hit.Value, hit.Err) != ic.ResponseDigest(fresh.Value, fresh.Err) {
+		t.Fatal("cache hit served a different response")
+	}
+	if !bytes.Equal(hit.Signature, fresh.Signature) {
+		t.Fatal("cache hit served different signature bytes")
+	}
+	// The acceptance criterion: VerifyCertified passes on the cache-served
+	// envelope exactly as on a fresh one.
+	env := ic.CertifiedQuery{
+		Method:       "get_utxos",
+		Value:        hit.Value,
+		ErrText:      ic.ErrText(hit.Err),
+		AnchorHeight: hit.AnchorHeight,
+		TipHeight:    hit.TipHeight,
+	}
+	if !subnet.VerifyCertified(env, nil, hit.Signature) {
+		t.Fatal("cache-served envelope failed threshold verification")
+	}
+
+	// A differing argument field must miss (distinct canonical key).
+	other := canister.GetUTXOsArgs{Address: r.addr.String(), Limit: 6}
+	if rq := r.fleet.RouteQuery("get_utxos", other, "client", r.now); rq.Err != nil {
+		t.Fatal(rq.Err)
+	}
+	if r.fleet.Stats().CacheHits != 1 {
+		t.Fatal("request with a different Limit hit the hot entry")
+	}
+}
+
+// TestCacheInvalidatedByFrames asserts every distributed frame invalidates
+// the cache — the "never serve across a tip change" contract — and that
+// serving resumes with a fresh fill afterwards.
+func TestCacheInvalidatedByFrames(t *testing.T) {
+	cfg := queryfleet.DefaultConfig()
+	cfg.Replicas = 2
+	cfg.CacheEntries = 64
+	r := newRig(t, cfg, 10)
+
+	args := canister.GetBalanceArgs{Address: r.addr.String()}
+	first := r.fleet.RouteQuery("get_balance", args, "client", r.now)
+	if first.Err != nil {
+		t.Fatal(first.Err)
+	}
+	if hits := r.fleet.Stats().CacheHits; hits != 0 {
+		t.Fatalf("CacheHits = %d before any repeat", hits)
+	}
+
+	// Tip moves: the entry must not be served even though the key matches.
+	r.feedBlock()
+	if err := r.fleet.CatchUpAll(); err != nil {
+		t.Fatal(err)
+	}
+	second := r.fleet.RouteQuery("get_balance", args, "client", r.now)
+	if second.Err != nil {
+		t.Fatal(second.Err)
+	}
+	if hits := r.fleet.Stats().CacheHits; hits != 0 {
+		t.Fatalf("CacheHits = %d across a tip move, want 0", hits)
+	}
+	if second.Value.(int64) == first.Value.(int64) {
+		t.Fatal("balance unchanged after a paying block; invalidation test is vacuous")
+	}
+	if want := r.authBalance(); second.Value.(int64) != want {
+		t.Fatalf("post-frame response %d, authoritative %d", second.Value.(int64), want)
+	}
+
+	// Same generation again: now it hits, serving the refreshed value.
+	third := r.fleet.RouteQuery("get_balance", args, "client", r.now)
+	if hits := r.fleet.Stats().CacheHits; hits != 1 {
+		t.Fatalf("CacheHits = %d after repeat at stable tip, want 1", hits)
+	}
+	if third.Value.(int64) != second.Value.(int64) {
+		t.Fatal("cache hit served a stale value")
+	}
+}
+
+// TestCacheNotFilledFromLaggingReplica feeds a frame the replicas have not
+// applied and asserts responses computed from the lagging state are not
+// cached: a fill is only sound when the serving state provably matches the
+// current stream generation.
+func TestCacheNotFilledFromLaggingReplica(t *testing.T) {
+	cfg := queryfleet.DefaultConfig()
+	cfg.Replicas = 2
+	cfg.MaxLagBlocks = -1 // allow serving from the lagging state
+	cfg.CacheEntries = 64
+	r := newRig(t, cfg, 10)
+
+	r.feedBlock() // enqueued on replicas, deliberately not applied
+	rq := r.fleet.RouteQuery("get_balance", canister.GetBalanceArgs{Address: r.addr.String()}, "client", r.now)
+	if rq.Err != nil {
+		t.Fatal(rq.Err)
+	}
+	if rq.Forwarded {
+		t.Fatal("query was forwarded; lagging-replica path not exercised")
+	}
+	if size := r.fleet.CacheSize(); size != 0 {
+		t.Fatalf("lagging-replica response was cached (size %d)", size)
+	}
+
+	// Once the replicas catch up, the same request fills normally.
+	if err := r.fleet.CatchUpAll(); err != nil {
+		t.Fatal(err)
+	}
+	if rq := r.fleet.RouteQuery("get_balance", canister.GetBalanceArgs{Address: r.addr.String()}, "client", r.now); rq.Err != nil {
+		t.Fatal(rq.Err)
+	}
+	if size := r.fleet.CacheSize(); size != 1 {
+		t.Fatalf("cache size %d after caught-up fill, want 1", size)
+	}
+}
+
+// TestCoalesceFansOutOneExecution parks a leader inside the signing stage,
+// piles followers onto the same canonical request, and asserts exactly one
+// execution happened whose response — signature bytes included — fanned
+// out to every waiter.
+func TestCoalesceFansOutOneExecution(t *testing.T) {
+	const followers = 8
+
+	block := make(chan struct{})
+	entered := make(chan struct{}, 1)
+	var signMu sync.Mutex
+	signCount := 0
+	cfg := queryfleet.DefaultConfig()
+	cfg.Replicas = 2
+	cfg.Coalesce = true
+	cfg.Sign = func(digest []byte) ([]byte, error) {
+		select {
+		case entered <- struct{}{}:
+		default:
+		}
+		<-block
+		signMu.Lock()
+		signCount++
+		signMu.Unlock()
+		sig := make([]byte, 64)
+		copy(sig, digest)
+		copy(sig[32:], digest)
+		return sig, nil
+	}
+	r := newRig(t, cfg, 10)
+
+	args := canister.GetUTXOsArgs{Address: r.addr.String(), Limit: 5}
+	results := make(chan ic.RoutedQuery, followers+1)
+	go func() { results <- r.fleet.RouteQuery("get_utxos", args, "client", r.now) }()
+	<-entered // leader is executing, parked in the signer
+
+	for i := 0; i < followers; i++ {
+		go func() { results <- r.fleet.RouteQuery("get_utxos", args, "client", r.now) }()
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for r.fleet.FlightWaiters("get_utxos", args) < followers {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d of %d followers joined the flight", r.fleet.FlightWaiters("get_utxos", args), followers)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(block)
+
+	first := <-results
+	if first.Err != nil {
+		t.Fatal(first.Err)
+	}
+	for i := 0; i < followers; i++ {
+		rq := <-results
+		if rq.Err != nil {
+			t.Fatal(rq.Err)
+		}
+		if ic.ResponseDigest(rq.Value, rq.Err) != ic.ResponseDigest(first.Value, first.Err) {
+			t.Fatal("coalesced follower got a different response")
+		}
+		if !bytes.Equal(rq.Signature, first.Signature) {
+			t.Fatal("coalesced follower got different signature bytes")
+		}
+	}
+	signMu.Lock()
+	defer signMu.Unlock()
+	if signCount != 1 {
+		t.Fatalf("coalesced burst signed %d times, want 1", signCount)
+	}
+	st := r.fleet.Stats()
+	if st.Coalesced != followers {
+		t.Fatalf("Stats.Coalesced = %d, want %d", st.Coalesced, followers)
+	}
+	if st.Served != 1 {
+		t.Fatalf("Stats.Served = %d, want 1 (one execution for the burst)", st.Served)
+	}
+}
+
+// TestLayeredUnknownMethodStillErrors pins the fall-through: an
+// unregistered method bypasses the layers and reports the canister's
+// canonical dispatch error.
+func TestLayeredUnknownMethodStillErrors(t *testing.T) {
+	cfg := queryfleet.DefaultConfig()
+	cfg.Replicas = 1
+	cfg.Coalesce = true
+	cfg.CacheEntries = 16
+	r := newRig(t, cfg, 5)
+	rq := r.fleet.RouteQuery("no_such_method", nil, "client", r.now)
+	if rq.Err == nil || rq.Err.Error() != `canister: no query method "no_such_method"` {
+		t.Fatalf("unknown method error = %v", rq.Err)
+	}
+	// A wrong-typed argument skips the layers but reports the typed error.
+	rq = r.fleet.RouteQuery("get_utxos", canister.GetBalanceArgs{}, "client", r.now)
+	if rq.Err == nil {
+		t.Fatal("wrong-typed argument did not error")
+	}
+	if r.fleet.CacheSize() != 0 {
+		t.Fatal("error responses were cached")
+	}
+}
+
+// TestNetworkFieldChangesCacheKey guards the property end to end on the
+// serving path: requests differing only in an argument field never share a
+// cache entry.
+func TestNetworkFieldChangesCacheKey(t *testing.T) {
+	cfg := queryfleet.DefaultConfig()
+	cfg.Replicas = 1
+	cfg.CacheEntries = 16
+	r := newRig(t, cfg, 5)
+
+	a := canister.GetBalanceArgs{Address: r.addr.String()}
+	b := canister.GetBalanceArgs{Address: r.addr.String(), Network: btc.Regtest}
+	if rq := r.fleet.RouteQuery("get_balance", a, "client", r.now); rq.Err != nil {
+		t.Fatal(rq.Err)
+	}
+	if rq := r.fleet.RouteQuery("get_balance", b, "client", r.now); rq.Err != nil {
+		t.Fatal(rq.Err)
+	}
+	if hits := r.fleet.Stats().CacheHits; hits != 0 {
+		t.Fatalf("distinct Network fields shared a cache entry (%d hits)", hits)
+	}
+	if size := r.fleet.CacheSize(); size != 2 {
+		t.Fatalf("cache size %d, want 2 distinct entries", size)
+	}
+}
