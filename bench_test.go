@@ -21,6 +21,7 @@ import (
 	"icbtc/internal/experiments"
 	"icbtc/internal/ic"
 	"icbtc/internal/ingest"
+	"icbtc/internal/obs"
 	"icbtc/internal/queryfleet"
 	"icbtc/internal/secp256k1"
 	"icbtc/internal/simnet"
@@ -712,6 +713,31 @@ func BenchmarkConsensusRound(b *testing.B) {
 		sched.RunFor(time.Second) // one consensus round of virtual time
 	}
 	b.ReportMetric(float64(subnet.Round())/float64(b.N), "rounds/iter")
+}
+
+// BenchmarkObsCounterAdd pins the cost of the hot-path metric primitive:
+// every instrumented request pays at least one of these, so the gate keeps
+// it in the tens-of-nanoseconds regime.
+func BenchmarkObsCounterAdd(b *testing.B) {
+	reg := obs.NewRegistry()
+	c := reg.Counter("bench_counter_total")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+}
+
+// BenchmarkObsHistogramObserve pins the per-observation cost of the
+// fixed-bucket histogram used on every ingest stage and serving layer.
+func BenchmarkObsHistogramObserve(b *testing.B) {
+	reg := obs.NewRegistry()
+	h := reg.Histogram("bench_latency_ns", obs.DurationBuckets)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i%1_000_000) * 1000)
+	}
 }
 
 func benchTx(rng *rand.Rand, nIn, nOut int) *btc.Transaction {

@@ -25,10 +25,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 
 	"icbtc/internal/btc"
 	"icbtc/internal/chain"
 	"icbtc/internal/experiments"
+	"icbtc/internal/obs"
 )
 
 func main() {
@@ -36,18 +38,90 @@ func main() {
 	seed := flag.Int64("seed", 7, "simulation seed")
 	scale := flag.Int("scale", 10, "population scale divisor for Fig 7 / latency (1 = paper's full 1000 addresses)")
 	trials := flag.Int("trials", 50_000, "Monte Carlo trials for the security lemmas")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	metrics := flag.String("metrics", "", "write the run's obs metrics (Prometheus text) to this file ('-' for stdout)")
+	obstrace := flag.String("obstrace", "", "write the fleetload passes' obs event traces to this file (enables tracing)")
 	flag.Parse()
 
-	if err := run(*fig, *seed, *scale, *trials); err != nil {
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if err := run(*fig, *seed, *scale, *trials, *metrics, *obstrace); err != nil {
 		fmt.Fprintln(os.Stderr, "bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(fig string, seed int64, scale, trials int) error {
+// obsDump accumulates observability output across the figures that expose
+// it: metric snapshots are merged into one Prometheus-text dump, event
+// traces and pre-rendered texts are appended as labeled sections.
+type obsDump struct {
+	snaps  []*obs.Snapshot
+	texts  []string // pre-rendered Prometheus sections (e.g. chaos runs)
+	traces []string
+}
+
+func (d *obsDump) writeMetrics(path string) error {
+	if path == "" || (len(d.snaps) == 0 && len(d.texts) == 0) {
+		return nil
+	}
+	w := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if len(d.snaps) > 0 {
+		merged, err := obs.Merge(d.snaps...)
+		if err != nil {
+			return err
+		}
+		if err := merged.WriteProm(w); err != nil {
+			return err
+		}
+	}
+	for _, t := range d.texts {
+		if _, err := fmt.Fprint(w, t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (d *obsDump) writeTraces(path string) error {
+	if path == "" || len(d.traces) == 0 {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	for _, t := range d.traces {
+		if _, err := fmt.Fprint(f, t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func run(fig string, seed int64, scale, trials int, metrics, obstrace string) error {
 	all := fig == "all"
 	out := os.Stdout
 	section := func(name string) { fmt.Fprintf(out, "\n===== %s =====\n", name) }
+	var dump obsDump
 
 	if all || fig == "3" {
 		section("Figure 3")
@@ -133,11 +207,18 @@ func run(fig string, seed int64, scale, trials int) error {
 		section("Fleet load: serving layers under open-loop overload")
 		cfg := experiments.DefaultFleetLoadConfig()
 		cfg.Seed = seed
+		cfg.TraceEvents = obstrace != ""
 		res, err := experiments.RunFleetLoad(cfg)
 		if err != nil {
 			return err
 		}
 		res.Print(out)
+		dump.snaps = append(dump.snaps, res.Baseline.Obs, res.Layered.Obs)
+		for _, p := range []experiments.FleetLoadPass{res.Baseline, res.Layered} {
+			if p.TraceText != "" {
+				dump.traces = append(dump.traces, fmt.Sprintf("# pass %s\n%s", p.Name, p.TraceText))
+			}
+		}
 	}
 	if all || fig == "chaos" {
 		section("Chaos: fault-scenario recovery")
@@ -148,6 +229,9 @@ func run(fig string, seed int64, scale, trials int) error {
 			return err
 		}
 		res.Print(out)
+		if res.LastMetricsText != "" {
+			dump.texts = append(dump.texts, "# chaos (last scenario)\n"+res.LastMetricsText)
+		}
 	}
 	if all || fig == "degrade" {
 		section("Degradation: recovery vs adapter-link loss rate")
@@ -208,6 +292,12 @@ func run(fig string, seed int64, scale, trials int) error {
 			return err
 		}
 		tres.Print(out)
+	}
+	if err := dump.writeMetrics(metrics); err != nil {
+		return fmt.Errorf("writing metrics dump: %w", err)
+	}
+	if err := dump.writeTraces(obstrace); err != nil {
+		return fmt.Errorf("writing obs trace: %w", err)
 	}
 	return nil
 }

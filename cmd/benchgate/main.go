@@ -35,6 +35,10 @@ type Baseline struct {
 	Comment string `json:"comment"`
 	// NsPerOp maps benchmark name (no -cpu suffix) to reference ns/op.
 	NsPerOp map[string]float64 `json:"ns_per_op"`
+	// Thresholds overrides the -threshold multiplier per benchmark, for
+	// hot paths gated tighter than the generous default (e.g. 1.05 pins a
+	// <5% regression budget on BenchmarkFleetLoad).
+	Thresholds map[string]float64 `json:"thresholds"`
 }
 
 func main() {
@@ -58,7 +62,7 @@ func main() {
 	if err != nil {
 		fatal("parsing bench output: %v", err)
 	}
-	problems := gate(base.NsPerOp, results, *threshold)
+	problems := gate(base, results, *threshold)
 	names := make([]string, 0, len(base.NsPerOp))
 	for name := range base.NsPerOp {
 		names = append(names, name)
@@ -132,16 +136,27 @@ func parseBenchOutput(r io.Reader) (map[string]float64, error) {
 }
 
 // gate returns one problem string per baseline benchmark that is missing
-// from the results or regressed past baseline×threshold.
-func gate(baseline, results map[string]float64, threshold float64) []string {
+// from the results or regressed past baseline×threshold. A per-benchmark
+// entry in the baseline's "thresholds" map overrides the default.
+func gate(base Baseline, results map[string]float64, threshold float64) []string {
 	var problems []string
-	names := make([]string, 0, len(baseline))
-	for name := range baseline {
+	names := make([]string, 0, len(base.NsPerOp))
+	for name := range base.NsPerOp {
 		names = append(names, name)
 	}
 	sort.Strings(names)
+	for name := range base.Thresholds {
+		if _, ok := base.NsPerOp[name]; !ok {
+			problems = append(problems,
+				fmt.Sprintf("%s: threshold override without a ns_per_op baseline entry", name))
+		}
+	}
 	for _, name := range names {
-		want := baseline[name]
+		want := base.NsPerOp[name]
+		limit := threshold
+		if t, ok := base.Thresholds[name]; ok {
+			limit = t
+		}
 		got, ok := results[name]
 		switch {
 		case !ok:
@@ -150,11 +165,15 @@ func gate(baseline, results map[string]float64, threshold float64) []string {
 		case want <= 0:
 			problems = append(problems,
 				fmt.Sprintf("%s: baseline %v is not positive", name, want))
-		case got > want*threshold:
+		case limit <= 0:
+			problems = append(problems,
+				fmt.Sprintf("%s: threshold %v is not positive", name, limit))
+		case got > want*limit:
 			problems = append(problems,
 				fmt.Sprintf("%s: %.0f ns/op exceeds baseline %.0f × %.2g = %.0f",
-					name, got, want, threshold, want*threshold))
+					name, got, want, limit, want*limit))
 		}
 	}
+	sort.Strings(problems)
 	return problems
 }

@@ -38,10 +38,10 @@ func TestParseBenchOutput(t *testing.T) {
 }
 
 func TestGate(t *testing.T) {
-	baseline := map[string]float64{
+	baseline := Baseline{NsPerOp: map[string]float64{
 		"BenchmarkFast": 100,
 		"BenchmarkSlow": 1000,
-	}
+	}}
 	// Within threshold: no problems.
 	if p := gate(baseline, map[string]float64{"BenchmarkFast": 150, "BenchmarkSlow": 1900}, 2.0); len(p) != 0 {
 		t.Fatalf("unexpected problems: %v", p)
@@ -55,5 +55,30 @@ func TestGate(t *testing.T) {
 	p = gate(baseline, map[string]float64{"BenchmarkFast": 100}, 2.0)
 	if len(p) != 1 || !strings.Contains(p[0], "BenchmarkSlow") {
 		t.Fatalf("want one missing-benchmark problem, got %v", p)
+	}
+}
+
+func TestGateThresholdOverride(t *testing.T) {
+	baseline := Baseline{
+		NsPerOp:    map[string]float64{"BenchmarkPinned": 1000, "BenchmarkLoose": 1000},
+		Thresholds: map[string]float64{"BenchmarkPinned": 1.05},
+	}
+	// 4% over baseline passes the 1.05 override; 10% over fails it while
+	// the non-overridden benchmark still enjoys the default 2.0.
+	if p := gate(baseline, map[string]float64{"BenchmarkPinned": 1040, "BenchmarkLoose": 1900}, 2.0); len(p) != 0 {
+		t.Fatalf("unexpected problems: %v", p)
+	}
+	p := gate(baseline, map[string]float64{"BenchmarkPinned": 1100, "BenchmarkLoose": 1900}, 2.0)
+	if len(p) != 1 || !strings.Contains(p[0], "BenchmarkPinned") {
+		t.Fatalf("want one BenchmarkPinned problem, got %v", p)
+	}
+	// An override naming an unknown benchmark is a config error, not a skip.
+	bad := Baseline{
+		NsPerOp:    map[string]float64{"BenchmarkFast": 100},
+		Thresholds: map[string]float64{"BenchmarkTypo": 1.05},
+	}
+	p = gate(bad, map[string]float64{"BenchmarkFast": 100}, 2.0)
+	if len(p) != 1 || !strings.Contains(p[0], "BenchmarkTypo") {
+		t.Fatalf("want one stale-override problem, got %v", p)
 	}
 }

@@ -10,10 +10,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"sort"
 	"time"
 
 	"icbtc/internal/ic"
+	"icbtc/internal/obs"
 	"icbtc/internal/simnet"
 )
 
@@ -38,14 +38,15 @@ func main() {
 	calls := flag.Int("calls", 50, "replicated calls to issue")
 	byzantine := flag.Int("byzantine", 0, "byzantine replicas (must be < n/3)")
 	seed := flag.Int64("seed", 1, "simulation seed")
+	metrics := flag.String("metrics", "", "write the run's obs metrics (Prometheus text) to this file ('-' for stdout)")
 	flag.Parse()
-	if err := run(*n, *calls, *byzantine, *seed); err != nil {
+	if err := run(*n, *calls, *byzantine, *seed, *metrics); err != nil {
 		fmt.Fprintln(os.Stderr, "icsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(n, calls, byzantine int, seed int64) error {
+func run(n, calls, byzantine int, seed int64, metrics string) error {
 	sched := simnet.NewScheduler(seed)
 	cfg := ic.DefaultConfig()
 	cfg.N = n
@@ -59,8 +60,20 @@ func run(n, calls, byzantine int, seed int64) error {
 	}
 	subnet.InstallCanister("demo", &demoCanister{})
 
+	// Run-local registry on the scheduler's virtual clock: same seed,
+	// same flags, bit-identical dump.
+	reg := obs.NewRegistry()
+	reg.SetClock(sched.Now)
+	updates := reg.Counter("icsim_updates_total")
+	queries := reg.Counter("icsim_queries_total")
+	updateLatency := reg.Histogram("icsim_update_latency_ns", obs.DurationBuckets)
+	rounds := reg.Counter("icsim_rounds_total")
+
 	makerCounts := make(map[int]int)
-	subnet.OnRound(func(_ int64, maker *ic.Replica) { makerCounts[maker.Index]++ })
+	subnet.OnRound(func(_ int64, maker *ic.Replica) {
+		rounds.Inc()
+		makerCounts[maker.Index]++
+	})
 	subnet.Start()
 
 	var latencies []time.Duration
@@ -69,6 +82,8 @@ func run(n, calls, byzantine int, seed int64) error {
 		i := i
 		sched.After(time.Duration(i)*700*time.Millisecond, func() {
 			subnet.SubmitUpdate("demo", "add", 1, "cli", func(r ic.Result) {
+				updates.Inc()
+				updateLatency.ObserveDuration(r.Latency)
 				latencies = append(latencies, r.Latency)
 				done++
 			})
@@ -82,19 +97,15 @@ func run(n, calls, byzantine int, seed int64) error {
 		return fmt.Errorf("only %d/%d calls completed", done, calls)
 	}
 
-	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
-	var sum time.Duration
-	for _, l := range latencies {
-		sum += l
-	}
+	ls := obs.SummarizeDurations(latencies)
 	fmt.Printf("subnet n=%d f=%d, %d rounds, threshold key %x...\n",
 		n, subnet.F(), subnet.Round(), subnet.Committee().PublicKey().SerializeCompressed()[:8])
 	fmt.Printf("replicated calls: %d  min=%v avg=%v p90=%v max=%v\n",
 		len(latencies),
-		latencies[0].Round(time.Millisecond),
-		(sum / time.Duration(len(latencies))).Round(time.Millisecond),
-		latencies[len(latencies)*9/10].Round(time.Millisecond),
-		latencies[len(latencies)-1].Round(time.Millisecond))
+		ls.Min.Round(time.Millisecond),
+		ls.Mean.Round(time.Millisecond),
+		ls.P90.Round(time.Millisecond),
+		ls.Max.Round(time.Millisecond))
 
 	// Block-maker fairness.
 	min, max := 1<<30, 0
@@ -116,6 +127,22 @@ func run(n, calls, byzantine int, seed int64) error {
 	for !got {
 		sched.RunFor(100 * time.Millisecond)
 	}
-	fmt.Printf("query latency: %v (vs replicated min %v)\n", q.Latency.Round(time.Millisecond), latencies[0].Round(time.Millisecond))
+	queries.Inc()
+	fmt.Printf("query latency: %v (vs replicated min %v)\n", q.Latency.Round(time.Millisecond), ls.Min.Round(time.Millisecond))
+
+	if metrics != "" {
+		w := os.Stdout
+		if metrics != "-" {
+			f, err := os.Create(metrics)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := reg.Snapshot().WriteProm(w); err != nil {
+			return err
+		}
+	}
 	return nil
 }

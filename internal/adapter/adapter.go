@@ -176,6 +176,10 @@ type Adapter struct {
 	// stats
 	headersAccepted int
 	headersRejected int
+
+	// met is the adapter's obs instrumentation (operational, not part of
+	// any snapshot; survives Stop/Start like peerHealth does).
+	met *adapterMetrics
 }
 
 // New creates an adapter. Call Start to begin discovery and syncing.
@@ -194,6 +198,7 @@ func New(id simnet.NodeID, net *simnet.Network, params *btc.Params, dir *btcnode
 		headersPending:  make(map[simnet.NodeID]time.Time),
 		peerHealth:      make(map[simnet.NodeID]*peerHealth),
 		txCache:         make(map[btc.Hash]cachedTx),
+		met:             newAdapterMetrics(),
 	}
 	net.Register(id, a)
 	return a
@@ -208,6 +213,7 @@ func (a *Adapter) Start() {
 	a.syncGen++
 	a.lastResponse = a.net.Scheduler().Now()
 	a.degraded = false
+	a.met.stateChanges.With(StateSyncing.String()).Inc()
 	a.discover()
 	a.syncLoop(a.syncGen)
 }
@@ -220,6 +226,9 @@ func (a *Adapter) Start() {
 // running flag alone left a window where a stale tick could race a
 // not-yet-restarted loop's bookkeeping.
 func (a *Adapter) Stop() {
+	if a.running {
+		a.met.stateChanges.With(StateStopped.String()).Inc()
+	}
 	a.running = false
 	a.syncGen++
 	a.requestedBlocks = make(map[btc.Hash]*blockRequest)
@@ -452,6 +461,9 @@ func (a *Adapter) syncLoop(gen int) {
 	// network (or our whole peer set) has gone dark — honest nodes always
 	// answer getheaders, even with an empty header list.
 	if a.cfg.StallTimeout > 0 && now.Sub(a.lastResponse) >= a.cfg.StallTimeout {
+		if !a.degraded {
+			a.met.stateChanges.With(StateDegraded.String()).Inc()
+		}
 		a.degraded = true
 	}
 	locator := a.locator()
@@ -591,6 +603,7 @@ func (a *Adapter) handleHeaders(from simnet.NodeID, m btcnode.MsgHeaders) {
 	if at, ok := a.headersPending[from]; ok {
 		delete(a.headersPending, from)
 		a.peer(from).observeLatency(now.Sub(at))
+		a.met.headerLatency.ObserveDuration(now.Sub(at))
 	}
 	for i := range m.Headers {
 		h := m.Headers[i]
@@ -601,19 +614,23 @@ func (a *Adapter) handleHeaders(from simnet.NodeID, m btcnode.MsgHeaders) {
 		parent := a.tree.Get(h.PrevBlock)
 		if parent == nil {
 			a.headersRejected++
+			a.met.headersRejected.Inc()
 			continue
 		}
 		if err := chain.ValidateHeader(&h, parent, a.params, now); err != nil {
 			a.headersRejected++
+			a.met.headersRejected.Inc()
 			a.chargeInvalid(from)
 			continue
 		}
 		if _, err := a.tree.Insert(h); err != nil {
 			a.headersRejected++
+			a.met.headersRejected.Inc()
 			a.chargeInvalid(from)
 			continue
 		}
 		a.headersAccepted++
+		a.met.headersAccepted.Inc()
 	}
 }
 
@@ -640,6 +657,7 @@ func (a *Adapter) handleBlock(from simnet.NodeID, m btcnode.MsgBlock) {
 	}
 	delete(a.requestedBlocks, hash)
 	a.blocks[hash] = m.Block
+	a.met.blocksStored.Inc()
 }
 
 // getBlock returns the block for a header if available, otherwise requests
@@ -667,6 +685,10 @@ func (a *Adapter) requestBlock(hash btc.Hash) {
 	}
 	req.attempts++
 	req.issue++
+	a.met.requests.Inc()
+	if req.attempts > 1 {
+		a.met.retries.Inc()
+	}
 	req.sentAt = a.net.Scheduler().Now()
 	req.peer = ""
 	msg := btcnode.MsgGetData{BlockHashes: []btc.Hash{hash}}
@@ -785,6 +807,7 @@ func (a *Adapter) HandleRequest(req Request) Response {
 	if !a.running {
 		return Response{Health: Health{State: StateStopped}}
 	}
+	a.met.reg.Trace("adapter.request", "")
 	// Lines 1-3: cache and advertise outbound transactions.
 	for _, raw := range req.Txs {
 		tx, err := btc.ParseTransaction(raw)

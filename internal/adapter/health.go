@@ -156,6 +156,7 @@ func (a *Adapter) Health() Health {
 
 // chargeTimeout records a missed deadline against a peer.
 func (a *Adapter) chargeTimeout(id simnet.NodeID) {
+	a.met.timeouts.Inc()
 	ph := a.peer(id)
 	ph.timeouts++
 	a.maybeBan(id, ph)
@@ -163,6 +164,7 @@ func (a *Adapter) chargeTimeout(id simnet.NodeID) {
 
 // chargeInvalid records an invalid header/block served by a peer.
 func (a *Adapter) chargeInvalid(id simnet.NodeID) {
+	a.met.invalid.Inc()
 	ph := a.peer(id)
 	ph.invalid++
 	a.maybeBan(id, ph)
@@ -176,6 +178,7 @@ func (a *Adapter) maybeBan(id simnet.NodeID, ph *peerHealth) {
 	if a.cfg.PeerBanScore <= 0 || ph.score() < a.cfg.PeerBanScore {
 		return
 	}
+	a.met.bans.Inc()
 	ph.banUntil = a.net.Scheduler().Now().Add(a.cfg.PeerCooldown)
 	ph.timeouts, ph.invalid = 0, 0
 	ph.latencyEWMA, ph.hasLatency = 0, false
@@ -188,11 +191,13 @@ func (a *Adapter) maybeBan(id simnet.NodeID, ph *peerHealth) {
 // degraded state re-kicks every pending block download: backoff clocks that
 // grew long during the stall must not delay recovery after heal.
 func (a *Adapter) noteResponse(from simnet.NodeID) {
+	a.met.responses.Inc()
 	now := a.net.Scheduler().Now()
 	a.lastResponse = now
 	a.peer(from).lastSeen = now
 	if a.degraded {
 		a.degraded = false
+		a.met.stateChanges.With(StateSyncing.String()).Inc()
 		a.rekickPendingBlocks()
 	}
 }

@@ -1,0 +1,55 @@
+package adapter
+
+import "icbtc/internal/obs"
+
+// adapterMetrics is the adapter's obs instrumentation: the request/retry
+// lifecycle, peer-health strikes (timeouts, invalid data, bans), header
+// intake, and coarse state transitions. Everything here counts events that
+// are deterministic under the seeded scheduler; the one duration metric
+// (getheaders latency) is measured between two scheduler timestamps, so a
+// same-seed run reproduces it bit for bit.
+type adapterMetrics struct {
+	reg *obs.Registry
+
+	// requests counts getdata issues for blocks; retries the subset that
+	// re-issued after a deadline miss.
+	requests *obs.Counter
+	retries  *obs.Counter
+	// timeouts / invalid / bans mirror the peer-health strike ledger.
+	timeouts *obs.Counter
+	invalid  *obs.Counter
+	bans     *obs.Counter
+	// responses counts every liveness-bearing peer message (noteResponse).
+	responses       *obs.Counter
+	headersAccepted *obs.Counter
+	headersRejected *obs.Counter
+	blocksStored    *obs.Counter
+	// stateChanges counts entries INTO each state (label "state"), bumped
+	// only on an actual transition — the stall detector re-asserting
+	// degraded every tick does not inflate it.
+	stateChanges *obs.Family
+	// headerLatency is the getheaders round-trip, scheduler-clocked.
+	headerLatency *obs.Histogram
+}
+
+func newAdapterMetrics() *adapterMetrics {
+	r := obs.NewRegistry()
+	return &adapterMetrics{
+		reg:             r,
+		requests:        r.Counter("adapter_block_requests_total"),
+		retries:         r.Counter("adapter_block_retries_total"),
+		timeouts:        r.Counter("adapter_peer_timeouts_total"),
+		invalid:         r.Counter("adapter_peer_invalid_total"),
+		bans:            r.Counter("adapter_peer_bans_total"),
+		responses:       r.Counter("adapter_responses_total"),
+		headersAccepted: r.Counter("adapter_headers_accepted_total"),
+		headersRejected: r.Counter("adapter_headers_rejected_total"),
+		blocksStored:    r.Counter("adapter_blocks_stored_total"),
+		stateChanges:    r.Family("adapter_state_transitions_total", "state"),
+		headerLatency:   r.Histogram("adapter_getheaders_latency_ns", obs.DurationBuckets),
+	}
+}
+
+// Metrics returns the adapter's obs registry. Seeded drivers install the
+// scheduler clock on it; the adapter itself never reads wall time.
+func (a *Adapter) Metrics() *obs.Registry { return a.met.reg }

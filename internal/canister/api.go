@@ -84,7 +84,10 @@ func (c *BitcoinCanister) Update(ctx *ic.CallContext, method string, arg any) (a
 	if !ok {
 		return nil, fmt.Errorf("canister: no update method %q", method)
 	}
-	return m.handle(c, ctx, arg)
+	before := ctx.Meter.Total()
+	out, err := m.handle(c, ctx, arg)
+	c.recordDispatch(method, ctx.Meter, before)
+	return out, err
 }
 
 // Query implements ic.Canister for non-replicated calls. The servable set —
@@ -95,7 +98,10 @@ func (c *BitcoinCanister) Query(ctx *ic.CallContext, method string, arg any) (an
 	if !ok || m.Kind != MethodReadOnly {
 		return nil, fmt.Errorf("canister: no query method %q", method)
 	}
-	return m.handle(c, ctx, arg)
+	before := ctx.Meter.Total()
+	out, err := m.handle(c, ctx, arg)
+	c.recordDispatch(method, ctx.Meter, before)
+	return out, err
 }
 
 // GetHealth serves the get_health endpoint. It deliberately skips

@@ -181,6 +181,11 @@ type BitcoinCanister struct {
 	rejectedHeaders int
 	anchorHeight    int64
 	applyErrors     int
+
+	// met is the obs instrumentation (registry plus precomputed counters).
+	// Like adapterHealth it is operational state, not chain state: excluded
+	// from the snapshot and reset by restore.
+	met *canisterMetrics
 }
 
 // New creates a canister anchored at the network genesis.
@@ -194,6 +199,7 @@ func New(cfg Config) *BitcoinCanister {
 		blocks:       make(map[btc.Hash]*btc.Block),
 		scriptIDs:    btc.NewScriptIDCache(cfg.Network),
 		balanceCache: make(map[balanceKey]int64),
+		met:          newCanisterMetrics(),
 	}
 	c.stableHeaders = append(c.stableHeaders, params.GenesisHeader)
 	// A fresh canister is trivially synced (maxHeight(T) == anchor height);
@@ -310,6 +316,13 @@ func (c *BitcoinCanister) ProcessPayload(ctx *ic.CallContext, payload any) error
 	if !ok {
 		return fmt.Errorf("canister: unexpected payload type %T", payload)
 	}
+	start := c.met.reg.Now()
+	defer func() {
+		c.met.payloads.Inc()
+		d := c.met.reg.Now().Sub(start)
+		c.met.payloadDuration.ObserveDuration(d)
+		c.met.reg.Trace("canister.payload", d.String())
+	}()
 	c.ageOutgoing()
 	c.adapterHealth = resp.Health
 	// Anything in the payload can change the considered chain (new blocks,
@@ -325,6 +338,7 @@ func (c *BitcoinCanister) ProcessPayload(ctx *ic.CallContext, payload any) error
 	for _, bw := range resp.Blocks {
 		if err := c.acceptBlock(ctx, bw, nil); err != nil {
 			c.rejectedBlocks++
+			c.met.blocksRejected.Inc()
 			continue
 		}
 		c.advanceAnchor(ctx)
@@ -334,6 +348,7 @@ func (c *BitcoinCanister) ProcessPayload(ctx *ic.CallContext, payload any) error
 		h := resp.Next[i]
 		if err := c.acceptHeader(ctx, h); err != nil {
 			c.rejectedHeaders++
+			c.met.headersRejected.Inc()
 		}
 	}
 	// Lines 21-22: recompute the synced flag.
@@ -402,6 +417,7 @@ func (c *BitcoinCanister) acceptBlock(ctx *ic.CallContext, bw adapter.BlockWithH
 	node := c.tree.Get(hash)
 	c.storeBlock(node, bw.Block)
 	c.ingestedBlocks++
+	c.met.blocksIngested.Inc()
 	// Compute the block's address-indexed delta once, now, and attach it to
 	// the tree node: the overlay read path merges these instead of
 	// rescanning blocks, and pruning (reorg, anchor advance) discards them
@@ -506,6 +522,7 @@ func (c *BitcoinCanister) stabilizeNode(ctx *ic.CallContext, next *chain.Node) e
 	if err := c.tree.Reroot(next); err != nil {
 		// Cannot happen: next is in the tree. Record and stop.
 		c.applyErrors++
+		c.met.applyErrors.Inc()
 		return err
 	}
 	// The new anchor's transactions now live in the stable set; its delta
@@ -516,6 +533,7 @@ func (c *BitcoinCanister) stabilizeNode(ctx *ic.CallContext, next *chain.Node) e
 	c.invalidateChain()
 	c.stableHeaders = append(c.stableHeaders, next.Header)
 	c.anchorHeight = next.Height
+	c.met.anchorAdvances.Inc()
 	c.emit(StreamEvent{Kind: EventAnchorAdvanced, Hash: next.Hash})
 	return nil
 }
@@ -544,6 +562,7 @@ func (c *BitcoinCanister) ingestStableBlock(ctx *ic.CallContext, block *btc.Bloc
 	ctx.Meter.Charge(uint64(st.OutputsInterned)*ic.CostPerOutputInsertInterned, "insert_outputs")
 	ctx.Meter.Charge(uint64(st.OutputsFresh)*ic.CostPerOutputInsert, "insert_outputs")
 	c.applyErrors += st.Errors
+	c.met.applyErrors.Add(uint64(st.Errors))
 }
 
 // ageOutgoing decrements rebroadcast budgets and drops exhausted entries.

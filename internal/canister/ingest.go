@@ -63,6 +63,9 @@ func (c *BitcoinCanister) ProcessPayloadPipelined(ctx *ic.CallContext, payload a
 	if !ok {
 		return fmt.Errorf("canister: unexpected payload type %T", payload)
 	}
+	if cfg.Obs == nil {
+		cfg.Obs = c.met.reg // pipeline stages land in the canister registry
+	}
 	c.ageOutgoing()
 	c.adapterHealth = resp.Health
 	if len(resp.Blocks) > 0 || len(resp.Next) > 0 {
@@ -118,6 +121,9 @@ func (c *BitcoinCanister) SyncWire(ctx *ic.CallContext, wire [][]byte, cfg inges
 	var stats SyncStats
 	if len(wire) == 0 {
 		return stats, nil
+	}
+	if cfg.Obs == nil {
+		cfg.Obs = c.met.reg
 	}
 	c.ageOutgoing()
 	c.invalidateReadCaches()

@@ -219,6 +219,11 @@ var methodTable = []*MethodDesc{
 		func(c *BitcoinCanister, ctx *ic.CallContext) (any, error) {
 			return c.GetHealth(ctx)
 		}),
+	nullaryMethod("get_metrics", MethodReadOnly, CostCheap, false,
+		"*MetricsResult",
+		func(c *BitcoinCanister, ctx *ic.CallContext) (any, error) {
+			return c.GetMetrics(ctx)
+		}),
 	typedMethod("send_transaction", MethodUpdateOnly, CostWrite, false,
 		"SendTransactionArgs", "-",
 		func(e *statecodec.Encoder, a SendTransactionArgs) {

@@ -77,7 +77,7 @@ func validArgFor(t *testing.T, method string) any {
 		return GetBlockHeadersArgs{StartHeight: 0, EndHeight: 1}
 	case "send_transaction":
 		return SendTransactionArgs{RawTx: []byte{0x01}}
-	case "get_current_fee_percentiles", "get_tip", "get_health":
+	case "get_current_fee_percentiles", "get_tip", "get_health", "get_metrics":
 		return nil
 	default:
 		t.Fatalf("registry method %q has no test argument; extend validArgFor", method)

@@ -76,6 +76,7 @@ func decodeHeader(d *statecodec.Decoder) btc.BlockHeader {
 
 // Snapshot serializes the complete canister state deterministically.
 func (c *BitcoinCanister) Snapshot() ([]byte, error) {
+	start := c.met.reg.Now()
 	hint := c.stable.Len()*60 + len(c.blocks)*(2<<10) + len(c.stableHeaders)*80 + 1024
 	e := statecodec.NewEncoder(snapshotMagic, SnapshotVersion, hint)
 
@@ -158,7 +159,10 @@ func (c *BitcoinCanister) Snapshot() ([]byte, error) {
 		e.Raw(c.outgoing[i].txid[:])
 		e.I64(int64(c.outgoing[i].rounds))
 	}
-	return e.Finish(), nil
+	out := e.Finish()
+	c.met.snapshotNanos.ObserveDuration(c.met.reg.Now().Sub(start))
+	c.met.snapshotBytes.Set(int64(len(out)))
+	return out, nil
 }
 
 // RestoreSnapshot reconstructs a canister from a snapshot produced by
@@ -202,6 +206,7 @@ func restoreSnapshot(data []byte, workers int) (*BitcoinCanister, error) {
 		blocks:       make(map[btc.Hash]*btc.Block),
 		scriptIDs:    btc.NewScriptIDCache(cfg.Network),
 		balanceCache: make(map[balanceKey]int64),
+		met:          newCanisterMetrics(),
 	}
 	c.ingestedBlocks = int(d.I64())
 	c.rejectedBlocks = int(d.I64())
@@ -358,5 +363,6 @@ func restoreSnapshot(data []byte, workers int) (*BitcoinCanister, error) {
 	// Derived state: the sync flag and available height fall out of the
 	// restored tree and have list exactly as after a processed payload.
 	c.updateSynced()
+	c.met.restores.Inc()
 	return c, nil
 }

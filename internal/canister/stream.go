@@ -127,6 +127,7 @@ func (c *BitcoinCanister) flushFrame() {
 	}
 	c.events = nil
 	c.lastSentHealth = c.adapterHealth
+	c.met.framesPublished.Inc()
 	c.stream(f)
 }
 
@@ -260,23 +261,28 @@ func (f *Frame) Prepare(cfg ingest.Config) {
 // concurrent use with queries; the caller (the fleet replica) serializes
 // frame application behind its write lock.
 func (c *BitcoinCanister) ApplyFrame(f *Frame) error {
+	start := c.met.reg.Now()
 	ctx := ic.NewCallContext(ic.KindUpdate, time0)
 	for i := range f.Events {
 		ev := &f.Events[i]
 		switch ev.Kind {
 		case EventHeaderAttached:
 			if err := c.applyHeaderEvent(ev); err != nil {
+				c.met.applyErrors.Inc()
 				return err
 			}
 		case EventBlockAttached:
 			if err := c.applyBlockEvent(ev); err != nil {
+				c.met.applyErrors.Inc()
 				return err
 			}
 		case EventAnchorAdvanced:
 			if err := c.applyAnchorEvent(ctx, ev); err != nil {
+				c.met.applyErrors.Inc()
 				return err
 			}
 		default:
+			c.met.applyErrors.Inc()
 			return fmt.Errorf("canister: apply frame: unknown event kind %d", ev.Kind)
 		}
 	}
@@ -284,6 +290,8 @@ func (c *BitcoinCanister) ApplyFrame(f *Frame) error {
 	c.lastSentHealth = f.Health
 	c.updateSynced()
 	c.WarmQueryState()
+	c.met.framesApplied.Inc()
+	c.met.frameApplyNanos.ObserveDuration(c.met.reg.Now().Sub(start))
 	return nil
 }
 
@@ -333,6 +341,7 @@ func (c *BitcoinCanister) applyBlockEvent(ev *StreamEvent) error {
 	c.storeBlock(node, block)
 	node.SetAux(ev.Delta)
 	c.ingestedBlocks++
+	c.met.blocksIngested.Inc()
 	c.invalidateChain()
 	c.invalidateReadCaches()
 	return nil

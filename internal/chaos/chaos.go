@@ -25,8 +25,10 @@ package chaos
 
 import (
 	"bytes"
+	"crypto/sha256"
 	"fmt"
 	"math/rand"
+	"strings"
 	"time"
 
 	"icbtc/internal/adapter"
@@ -35,6 +37,7 @@ import (
 	"icbtc/internal/canister"
 	"icbtc/internal/ic"
 	"icbtc/internal/ingest"
+	"icbtc/internal/obs"
 	"icbtc/internal/queryfleet"
 	"icbtc/internal/simnet"
 )
@@ -94,6 +97,15 @@ type Result struct {
 	FinalHeight int64
 	// SnapshotBytes is the size of the final state snapshot.
 	SnapshotBytes int
+	// MetricsText is the merged observability snapshot of the run — the
+	// canister, adapter, and fleet registries in Prometheus text form — for
+	// humans and soak artifacts.
+	MetricsText string
+	// MetricsDigest is the SHA-256 of the canonical encoding of the
+	// deterministic subset of that snapshot (see World.metricsView for what
+	// is excluded and why). Same seed ⇒ same digest: the telemetry extension
+	// of the harness's "same seed, same run" promise.
+	MetricsDigest [32]byte
 }
 
 // World is the live stack a scenario injects faults into. Scenario steps
@@ -150,6 +162,9 @@ func (w *World) UpgradeCanister() error {
 		return err
 	}
 	w.Canister().SetStreamSink(w.Fleet.Feed)
+	// The restored instance carries a fresh metrics registry; re-install the
+	// virtual clock so post-upgrade timings stay on scheduler time.
+	w.Canister().Metrics().SetClock(w.Sched.Now)
 	return nil
 }
 
@@ -247,6 +262,13 @@ func newWorld(cfg Config) (*World, error) {
 	if cfg.CertifyEvery > 0 {
 		w.signer = queryfleet.CommitteeSigner(subnet.Committee())
 	}
+	// Every obs registry in the world runs on the scheduler's virtual clock:
+	// same seed, same timestamps, bit-identical metrics snapshots. Installed
+	// BEFORE the fleet exists — replica hydration takes an authority
+	// snapshot, and that snapshot's timing must already be virtual.
+	w.Canister().Metrics().SetClock(sched.Now)
+	w.Oracle.Metrics().SetClock(sched.Now)
+	ad.Metrics().SetClock(sched.Now)
 	fleet, err := queryfleet.New(chaosAuthority{w}, queryfleet.Config{
 		Replicas:     cfg.Replicas,
 		MaxLagBlocks: 3,
@@ -256,6 +278,7 @@ func newWorld(cfg Config) (*World, error) {
 		return nil, fmt.Errorf("fleet: %w", err)
 	}
 	w.Fleet = fleet
+	fleet.Metrics().SetClock(sched.Now)
 	// The proxy authority is not a StreamSource; install the sink by hand
 	// (and again after every upgrade — UpgradeCanister does).
 	w.Canister().SetStreamSink(fleet.Feed)
@@ -335,6 +358,10 @@ func Run(s Scenario, cfg Config) (Result, error) {
 		return fail(cfg.Rounds-1, fmt.Errorf("final state diverged from the oracle: %d vs %d snapshot bytes",
 			len(chaosSnap), len(oracleSnap)))
 	}
+	metricsText, metricsDigest, err := w.metricsView()
+	if err != nil {
+		return fail(cfg.Rounds-1, err)
+	}
 	return Result{
 		Scenario:        name,
 		Seed:            cfg.Seed,
@@ -345,7 +372,49 @@ func Run(s Scenario, cfg Config) (Result, error) {
 		OracleIdentical: identical,
 		FinalHeight:     w.Sim.Nodes[0].Height(),
 		SnapshotBytes:   len(chaosSnap),
+		MetricsText:     metricsText,
+		MetricsDigest:   metricsDigest,
 	}, nil
+}
+
+// metricsView merges the world's per-subsystem obs registries into the
+// run's telemetry result: the full merged snapshot as Prometheus text, and
+// a SHA-256 digest of the canonical (statecodec) encoding of its
+// deterministic subset.
+//
+// The digest keeps everything the scheduler goroutine drives — all canister
+// and adapter metrics (their durations are virtual-clock deltas measured on
+// the harness goroutine, so they reproduce bit for bit per seed) and the
+// fleet's serving-path counters and families. It excludes what the fleet's
+// async apply workers touch: the frame apply-lag histogram and the replica
+// ingest pipeline metrics, whose observation timing races worker goroutines
+// against virtual-time advancement (and whose final tallies can land after
+// this snapshot — Close does not join the workers).
+func (w *World) metricsView() (string, [32]byte, error) {
+	canSnap := w.Canister().Metrics().Snapshot()
+	adSnap := w.Adapter.Metrics().Snapshot()
+	fleetSnap := w.Fleet.Metrics().Snapshot()
+
+	full, err := obs.Merge(canSnap, adSnap, fleetSnap)
+	if err != nil {
+		return "", [32]byte{}, fmt.Errorf("merge metrics: %w", err)
+	}
+	var text strings.Builder
+	if err := full.WriteProm(&text); err != nil {
+		return "", [32]byte{}, fmt.Errorf("render metrics: %w", err)
+	}
+
+	detFleet := &obs.Snapshot{Families: fleetSnap.Families}
+	for _, c := range fleetSnap.Counters {
+		if strings.HasPrefix(c.Name, "fleet_") {
+			detFleet.Counters = append(detFleet.Counters, c)
+		}
+	}
+	det, err := obs.Merge(canSnap, adSnap, detFleet)
+	if err != nil {
+		return "", [32]byte{}, fmt.Errorf("merge deterministic metrics: %w", err)
+	}
+	return text.String(), sha256.Sum256(det.Encode()), nil
 }
 
 // payloadsPerRound is how many consensus payloads execute per harness round.
@@ -448,31 +517,41 @@ func (w *World) checkInvariants(round int) error {
 	return nil
 }
 
-// checkCertification routes one signed query through the fleet and verifies
-// the certification under the subnet key, including a tamper check.
+// checkCertification routes signed queries through the fleet and verifies
+// each certification under the subnet key, including a tamper check. Both a
+// chain query (get_tip) and the telemetry endpoint (get_metrics) are
+// exercised: the metrics snapshot rides the same certification envelope as
+// any other response, so a client can prove the telemetry it reads came
+// from the subnet.
 func (w *World) checkCertification() error {
 	w.Fleet.SetSigner(w.signer)
-	rq := w.Fleet.RouteQuery("get_tip", nil, "chaos", w.Sched.Now())
+	tip := w.Fleet.RouteQuery("get_tip", nil, "chaos", w.Sched.Now())
+	met := w.Fleet.RouteQuery("get_metrics", nil, "chaos", w.Sched.Now())
 	w.Fleet.SetSigner(nil)
-	if rq.Err != nil {
-		return fmt.Errorf("certified get_tip: %w", rq.Err)
-	}
-	if rq.Signature == nil {
-		return fmt.Errorf("fleet returned an uncertified response with signing enabled")
-	}
-	env := ic.CertifiedQuery{
-		Method:       "get_tip",
-		Value:        rq.Value,
-		ErrText:      ic.ErrText(rq.Err),
-		AnchorHeight: rq.AnchorHeight,
-		TipHeight:    rq.TipHeight,
-	}
-	if !w.Subnet.VerifyCertified(env, nil, rq.Signature) {
-		return fmt.Errorf("certified get_tip did not verify under the subnet key")
-	}
-	env.TipHeight++
-	if w.Subnet.VerifyCertified(env, nil, rq.Signature) {
-		return fmt.Errorf("certification verified after tampering with the bound tip height")
+	for _, c := range []struct {
+		method string
+		rq     ic.RoutedQuery
+	}{{"get_tip", tip}, {"get_metrics", met}} {
+		if c.rq.Err != nil {
+			return fmt.Errorf("certified %s: %w", c.method, c.rq.Err)
+		}
+		if c.rq.Signature == nil {
+			return fmt.Errorf("fleet returned an uncertified %s response with signing enabled", c.method)
+		}
+		env := ic.CertifiedQuery{
+			Method:       c.method,
+			Value:        c.rq.Value,
+			ErrText:      ic.ErrText(c.rq.Err),
+			AnchorHeight: c.rq.AnchorHeight,
+			TipHeight:    c.rq.TipHeight,
+		}
+		if !w.Subnet.VerifyCertified(env, nil, c.rq.Signature) {
+			return fmt.Errorf("certified %s did not verify under the subnet key", c.method)
+		}
+		env.TipHeight++
+		if w.Subnet.VerifyCertified(env, nil, c.rq.Signature) {
+			return fmt.Errorf("%s certification verified after tampering with the bound tip height", c.method)
+		}
 	}
 	return nil
 }

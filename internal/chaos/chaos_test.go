@@ -2,6 +2,7 @@ package chaos
 
 import (
 	"flag"
+	"os"
 	"testing"
 	"time"
 
@@ -15,6 +16,10 @@ var (
 	// chaosSeed replays one failing seed — the one-liner every chaos failure
 	// message prints.
 	chaosSeed = flag.Int64("chaos.seed", 0, "override the scenario seed (0 = default battery seed)")
+	// soakMetrics writes the final soak run's merged obs metrics dump
+	// (Prometheus text) to a file — CI uploads it as an artifact next to the
+	// failing-seed log.
+	soakMetrics = flag.String("soak.metrics", "", "path to write the soak's final metrics dump (empty = skip)")
 )
 
 // TestChaosScenarios is the short, seeded tier-1 variant: every registered
@@ -78,13 +83,26 @@ func TestChaosDeterminism(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	if first.MetricsDigest == ([32]byte{}) {
+		t.Fatal("run produced an empty metrics digest")
+	}
 	for i := 0; i < 2; i++ {
 		again, err := Run(s, cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if again != first {
-			t.Fatalf("replay %d diverged:\nfirst %+v\nagain %+v", i+1, first, again)
+		// The telemetry extension of the same-seed promise: the encoded obs
+		// snapshot (canister + adapter + fleet serving counters) must be
+		// bit-identical, compared by digest so a failure does not dump the
+		// full Prometheus text.
+		if again.MetricsDigest != first.MetricsDigest {
+			t.Fatalf("replay %d: metrics snapshot diverged: digest %x vs %x",
+				i+1, again.MetricsDigest, first.MetricsDigest)
+		}
+		a, f := again, first
+		a.MetricsText, f.MetricsText = "", ""
+		if a != f {
+			t.Fatalf("replay %d diverged:\nfirst %+v\nagain %+v", i+1, f, a)
 		}
 	}
 }
@@ -98,6 +116,7 @@ func TestChaosSoak(t *testing.T) {
 	}
 	deadline := time.Now().Add(*soakFlag)
 	runs := 0
+	var lastMetrics string
 	for seed := int64(1); time.Now().Before(deadline); seed++ {
 		for _, name := range Names() {
 			if !time.Now().Before(deadline) {
@@ -112,7 +131,13 @@ func TestChaosSoak(t *testing.T) {
 			if res.ConvergedRound < 0 {
 				t.Fatalf("chaos: scenario %q seed %d: did not reconverge: %+v", name, seed, res)
 			}
+			lastMetrics = res.MetricsText
 			runs++
+		}
+	}
+	if *soakMetrics != "" && lastMetrics != "" {
+		if err := os.WriteFile(*soakMetrics, []byte(lastMetrics), 0o644); err != nil {
+			t.Errorf("writing soak metrics dump: %v", err)
 		}
 	}
 	t.Logf("soak complete: %d scenario runs", runs)

@@ -39,6 +39,7 @@ import (
 	"icbtc/internal/canister"
 	"icbtc/internal/ic"
 	"icbtc/internal/ingest"
+	"icbtc/internal/obs"
 	"icbtc/internal/queryfleet"
 	"icbtc/internal/simnet"
 )
@@ -849,6 +850,7 @@ func (h *Harness) probeSpecs() []probeSpec {
 		{"get_current_fee_percentiles", nil},
 		{"get_block_headers", canister.GetBlockHeadersArgs{}},
 		{"get_health", nil},
+		{"get_metrics", nil},
 		{"get_tip", nil},
 	}
 }
@@ -856,14 +858,46 @@ func (h *Harness) probeSpecs() []probeSpec {
 // probeDigests answers the fixed probe set on one canister — dispatched by
 // method name through the registry, the same path fleet queries take — and
 // returns the canonical digest of every response (value and error alike).
+//
+// get_metrics is the one probe whose raw response legitimately differs
+// between equivalent canisters: request counters depend on how often each
+// canister has been probed, and a hydrated replica's counters restart at its
+// hydration point. Its digest is therefore restricted to the deterministic
+// gauge subset — the chain-derived values every canister at the same frame
+// must agree on.
 func (h *Harness) probeDigests(c *canister.BitcoinCanister) []probeDigest {
 	specs := h.probeSpecs()
 	out := make([]probeDigest, 0, len(specs))
 	for _, p := range specs {
 		v, err := c.Query(ic.NewCallContext(ic.KindQuery, h.now), p.method, p.arg)
+		if p.method == "get_metrics" && err == nil {
+			v = deterministicMetricsView(v)
+		}
 		out = append(out, probeDigest(ic.ResponseDigest(v, err)))
 	}
 	return out
+}
+
+// deterministicMetricsView reduces a get_metrics response to the gauges in
+// canister.DeterministicMetricGauges, in that list's (sorted) order.
+func deterministicMetricsView(v any) any {
+	res, ok := v.(*canister.MetricsResult)
+	if !ok {
+		return v
+	}
+	snap, err := obs.DecodeSnapshot(res.Encoded)
+	if err != nil {
+		return fmt.Sprintf("difftest: undecodable metrics snapshot: %v", err)
+	}
+	byName := make(map[string]int64, len(snap.Gauges))
+	for _, g := range snap.Gauges {
+		byName[g.Name] = g.Value
+	}
+	view := make([]obs.GaugePoint, 0, len(canister.DeterministicMetricGauges))
+	for _, name := range canister.DeterministicMetricGauges {
+		view = append(view, obs.GaugePoint{Name: name, Value: byName[name]})
+	}
+	return view
 }
 
 // OverlaySnapshot exposes the overlay canister's snapshot bytes, so tests

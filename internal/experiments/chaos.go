@@ -35,6 +35,9 @@ type ChaosRow struct {
 type ChaosResult struct {
 	Seed int64
 	Rows []ChaosRow
+	// LastMetricsText is the final scenario run's merged obs dump
+	// (Prometheus text), for `bench -metrics`.
+	LastMetricsText string
 }
 
 // RunChaos runs every selected scenario under the harness's full invariant
@@ -59,6 +62,7 @@ func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
 			FinalHeight:     r.FinalHeight,
 			SnapshotBytes:   r.SnapshotBytes,
 		})
+		res.LastMetricsText = r.MetricsText
 	}
 	return res, nil
 }

@@ -9,6 +9,7 @@ import (
 	"icbtc/internal/btc"
 	"icbtc/internal/canister"
 	"icbtc/internal/ic"
+	"icbtc/internal/obs"
 	"icbtc/internal/simnet"
 )
 
@@ -219,20 +220,9 @@ func (r *Fig7Result) Print(w io.Writer) {
 	}
 }
 
-func medianDur(d []time.Duration) time.Duration {
-	if len(d) == 0 {
-		return 0
-	}
-	s := append([]time.Duration(nil), d...)
-	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
-	return s[len(s)/2]
-}
+// medianDur and medianU64 delegate to the obs order-statistic helpers (the
+// single home of the nearest-rank rule the reports have always used). Both
+// sort the sample slice in place.
+func medianDur(d []time.Duration) time.Duration { return obs.SummarizeDurations(d).P50 }
 
-func medianU64(d []uint64) uint64 {
-	if len(d) == 0 {
-		return 0
-	}
-	s := append([]uint64(nil), d...)
-	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
-	return s[len(s)/2]
-}
+func medianU64(d []uint64) uint64 { return obs.MedianU64(d) }

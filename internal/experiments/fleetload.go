@@ -5,12 +5,13 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
-	"sort"
+	"strings"
 	"sync"
 	"time"
 
 	"icbtc/internal/btc"
 	"icbtc/internal/canister"
+	"icbtc/internal/obs"
 	"icbtc/internal/queryfleet"
 )
 
@@ -63,6 +64,9 @@ type FleetLoadConfig struct {
 	Budgets      map[canister.CostClass]queryfleet.Budget
 	// SLO is the latency target the percentiles are reported against.
 	SLO time.Duration
+	// TraceEvents enables the fleet registry's event tracer for each pass;
+	// the recorded events land in FleetLoadPass.TraceText (bench -obstrace).
+	TraceEvents bool
 }
 
 // DefaultFleetLoadConfig returns the reference load: offered traffic ~5-6x
@@ -112,6 +116,13 @@ type FleetLoadPass struct {
 	CacheHits      uint64
 	Coalesced      uint64
 	TipMoves       int
+	// Obs is the fleet's metrics snapshot at the end of the pass — the full
+	// registry view (cache misses/fills, per-class sheds, apply lag) behind
+	// the headline columns above.
+	Obs *obs.Snapshot
+	// TraceText is the pass's recorded event trace (one event per line),
+	// empty unless FleetLoadConfig.TraceEvents was set.
+	TraceText string
 }
 
 // FleetLoadResult is the completed two-pass comparison.
@@ -228,6 +239,9 @@ func runFleetLoadPass(cfg FleetLoadConfig, name string, layered bool, sched []lo
 	}
 	defer fleet.Close()
 	auth.SetStreamSink(fleet.Feed)
+	if cfg.TraceEvents {
+		fleet.Metrics().Tracer().SetEnabled(true)
+	}
 
 	// Tip mover: feed one paying block every TipMoveEvery until the
 	// schedule drains; each published frame invalidates the hot cache.
@@ -327,11 +341,16 @@ func runFleetLoadPass(cfg FleetLoadConfig, name string, layered bool, sched []lo
 	if pass.OK == 0 {
 		return FleetLoadPass{}, fmt.Errorf("experiments: fleetload %s pass completed zero requests", name)
 	}
-	sort.Slice(okLats, func(i, j int) bool { return okLats[i] < okLats[j] })
+	ls := obs.SummarizeDurations(okLats)
 	pass.QPS = float64(pass.OK) / elapsed.Seconds()
-	pass.P50 = okLats[len(okLats)/2]
-	pass.P99 = okLats[len(okLats)*99/100]
-	pass.P999 = okLats[len(okLats)*999/1000]
+	pass.P50, pass.P99, pass.P999 = ls.P50, ls.P99, ls.P999
+	pass.Obs = fleet.Metrics().Snapshot()
+	if cfg.TraceEvents {
+		var tb strings.Builder
+		if err := fleet.Metrics().Tracer().WriteText(&tb); err == nil {
+			pass.TraceText = tb.String()
+		}
+	}
 	st := fleet.Stats()
 	pass.CacheHits = st.CacheHits
 	pass.Coalesced = st.Coalesced

@@ -3,11 +3,11 @@ package experiments
 import (
 	"fmt"
 	"io"
-	"sort"
 	"time"
 
 	"icbtc/internal/canister"
 	"icbtc/internal/ic"
+	"icbtc/internal/obs"
 	"icbtc/internal/simnet"
 )
 
@@ -93,25 +93,13 @@ func RunLatency(cfg LatencyConfig) (*LatencyResult, error) {
 		QueryBalanceN:     len(qBalance),
 		QueryUTXOsCount:   len(qUTXOs),
 	}
-	res.ReplicatedMin, res.ReplicatedAvg, res.ReplicatedP90 = stats(replicated)
-	res.QueryBalanceMedian = medianDur(qBalance)
-	_, _, res.QueryBalanceP90 = stats(qBalance)
-	res.QueryUTXOsMedian = medianDur(qUTXOs)
-	_, _, res.QueryUTXOsP90 = stats(qUTXOs)
+	rs := obs.SummarizeDurations(replicated)
+	res.ReplicatedMin, res.ReplicatedAvg, res.ReplicatedP90 = rs.Min, rs.Mean, rs.P90
+	bs := obs.SummarizeDurations(qBalance)
+	res.QueryBalanceMedian, res.QueryBalanceP90 = bs.P50, bs.P90
+	us := obs.SummarizeDurations(qUTXOs)
+	res.QueryUTXOsMedian, res.QueryUTXOsP90 = us.P50, us.P90
 	return res, nil
-}
-
-func stats(d []time.Duration) (min, avg, p90 time.Duration) {
-	if len(d) == 0 {
-		return 0, 0, 0
-	}
-	s := append([]time.Duration(nil), d...)
-	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
-	var sum time.Duration
-	for _, v := range s {
-		sum += v
-	}
-	return s[0], sum / time.Duration(len(s)), s[len(s)*9/10]
 }
 
 // Print renders the distribution next to the paper's numbers.

@@ -4,12 +4,12 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
-	"sort"
 	"sync"
 	"time"
 
 	"icbtc/internal/btc"
 	"icbtc/internal/canister"
+	"icbtc/internal/obs"
 	"icbtc/internal/queryfleet"
 )
 
@@ -229,12 +229,12 @@ func measureFleet(fleet *queryfleet.Fleet, cfg QueryFleetConfig, hot, cold []str
 	if len(all) == 0 {
 		return QueryFleetRow{}, fmt.Errorf("experiments: queryfleet window completed zero queries")
 	}
-	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	ls := obs.SummarizeDurations(all)
 	return QueryFleetRow{
 		Queries: len(all),
 		QPS:     float64(len(all)) / elapsed.Seconds(),
-		P50:     all[len(all)/2],
-		P99:     all[len(all)*99/100],
+		P50:     ls.P50,
+		P99:     ls.P99,
 	}, nil
 }
 

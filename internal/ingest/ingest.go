@@ -23,6 +23,8 @@ import (
 	"fmt"
 	"runtime"
 	"sync/atomic"
+
+	"icbtc/internal/obs"
 )
 
 // Config parameterizes a pipeline run.
@@ -35,6 +37,14 @@ type Config struct {
 	// produced but not yet consumed) at once; it is the prefetch depth K.
 	// <= 0 defaults to 2×Workers.
 	Window int
+	// Obs, when non-nil, receives pipeline instrumentation: items consumed,
+	// per-item produce/consume durations (measured on the registry clock,
+	// so seeded runs stay bit-identical), and the configured prefetch depth.
+	// The depth gauge reports the window the run was CONFIGURED with, never
+	// live channel occupancy — sampling goroutine-scheduling state would
+	// leak real-process nondeterminism into deterministic snapshots. Nil
+	// (the default) adds zero overhead.
+	Obs *obs.Registry
 }
 
 // DefaultWorkers returns the worker count used when a consumer asks for
@@ -76,6 +86,32 @@ func (c Config) normalized() (workers, window int) {
 	return workers, window
 }
 
+// instrumented wraps a run's produce and consume with obs recording on
+// registry r: ingest_produce_duration_ns is observed on worker goroutines
+// (Observe is atomic), ingest_consume_duration_ns and ingest_items_total on
+// the sequential consumer, and ingest_window_depth reports the configured
+// prefetch window.
+func instrumented[T any](r *obs.Registry, window int,
+	produce func(worker, i int) T, consume func(i int, v T) error,
+) (func(worker, i int) T, func(i int, v T) error) {
+	r.Gauge("ingest_window_depth").Set(int64(window))
+	items := r.Counter("ingest_items_total")
+	produceNS := r.Histogram("ingest_produce_duration_ns", obs.DurationBuckets)
+	consumeNS := r.Histogram("ingest_consume_duration_ns", obs.DurationBuckets)
+	return func(worker, i int) T {
+			start := r.Now()
+			v := produce(worker, i)
+			produceNS.ObserveDuration(r.Now().Sub(start))
+			return v
+		}, func(i int, v T) error {
+			start := r.Now()
+			err := consume(i, v)
+			consumeNS.ObserveDuration(r.Now().Sub(start))
+			items.Inc()
+			return err
+		}
+}
+
 // Map runs produce(i) for every i in [0, n) on cfg.Workers goroutines with
 // at most cfg.Window items in flight, and feeds the results to consume in
 // strict index order on the calling goroutine. It returns the first
@@ -91,6 +127,9 @@ func Map[T any](n int, cfg Config, produce func(worker, i int) T, consume func(i
 		return nil
 	}
 	workers, window := cfg.normalized()
+	if cfg.Obs != nil {
+		produce, consume = instrumented(cfg.Obs, window, produce, consume)
+	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
 			if err := consume(i, produce(0, i)); err != nil {

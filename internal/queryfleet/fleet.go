@@ -196,14 +196,10 @@ type Fleet struct {
 	signMu sync.RWMutex
 	sign   SignFunc
 
-	served    atomic.Uint64
-	forwarded atomic.Uint64
-	rejected  atomic.Uint64
-	certified atomic.Uint64
-	frames    atomic.Uint64
-	coalesced atomic.Uint64
-	cacheHits atomic.Uint64
-	shed      atomic.Uint64
+	// met holds the registry-backed counters the old ad-hoc atomics became
+	// (plus the stats lock that makes Stats() tear-free) and the fleet's obs
+	// registry.
+	met *fleetMetrics
 
 	// serving holds the coalesce/cache/admission layer state; nil when
 	// every layer is disabled (the pre-existing zero-overhead path).
@@ -237,7 +233,7 @@ func New(auth Authority, cfg Config) (*Fleet, error) {
 	if cfg.Replicas <= 0 {
 		return nil, fmt.Errorf("queryfleet: fleet needs at least one replica, got %d", cfg.Replicas)
 	}
-	f := &Fleet{cfg: cfg, auth: auth, sign: cfg.Sign, closed: make(chan struct{})}
+	f := &Fleet{cfg: cfg, auth: auth, sign: cfg.Sign, closed: make(chan struct{}), met: newFleetMetrics()}
 	f.serving = newServing(cfg)
 	f.authMu.Lock()
 	if src, ok := auth.(StreamSource); ok {
@@ -272,19 +268,13 @@ func (f *Fleet) Replicas() int { return len(f.replicas) }
 // Replica returns one replica by index (test and harness access).
 func (f *Fleet) Replica(i int) *Replica { return f.replicas[i] }
 
-// Stats returns the current counters.
-func (f *Fleet) Stats() Stats {
-	return Stats{
-		Served:    f.served.Load(),
-		Forwarded: f.forwarded.Load(),
-		Rejected:  f.rejected.Load(),
-		Certified: f.certified.Load(),
-		Frames:    f.frames.Load(),
-		Coalesced: f.coalesced.Load(),
-		CacheHits: f.cacheHits.Load(),
-		Shed:      f.shed.Load(),
-	}
-}
+// Stats returns the current counters — now a compatibility view over the
+// obs registry, read under one lock so the snapshot is consistent: counter
+// groups bumped together on the serving path (served+certified,
+// forwarded+certified) appear together or not at all. The old
+// independently-read atomics could tear mid-burst, showing a Certified
+// count with no matching Served/Forwarded.
+func (f *Fleet) Stats() Stats { return f.met.snapshotStats() }
 
 // Err returns the first background frame-application error, if any.
 func (f *Fleet) Err() error {
@@ -324,11 +314,12 @@ func (f *Fleet) Feed(frame *canister.Frame) {
 	raw := canister.EncodeFrame(frame)
 	f.authTip.Store(frame.TipHeight)
 	f.degraded.Store(frame.Health.State == adapter.StateDegraded)
+	at := f.met.reg.Now()
 	for _, r := range f.replicas {
-		r.enqueue(raw, frame.Seq)
+		r.enqueue(raw, frame.Seq, at)
 	}
 	f.feedMu.Unlock()
-	f.frames.Add(1)
+	f.met.countGroup(f.met.frames.Inc)
 }
 
 // GuardAuthority runs fn while holding the fleet's authority lock — the
@@ -452,7 +443,7 @@ func (f *Fleet) executeQuery(method string, arg any, now time.Time) (rq ic.Route
 	if f.cfg.MaxLagBlocks >= 0 {
 		if lag := f.authTip.Load() - r.TipHeight(); lag > f.cfg.MaxLagBlocks {
 			if f.cfg.StalePolicy == StaleReject {
-				f.rejected.Add(1)
+				f.met.countGroup(f.met.rejected.Inc)
 				return ic.RoutedQuery{Err: fmt.Errorf("%w: replica %d lags %d blocks (bound %d)",
 					ErrTooStale, r.index, lag, f.cfg.MaxLagBlocks)}, 0, false
 			}
@@ -461,15 +452,22 @@ func (f *Fleet) executeQuery(method string, arg any, now time.Time) (rq ic.Route
 	}
 
 	value, err, instructions, tip, anchor, seq := r.serve(method, arg, now)
-	f.served.Add(1)
-	return f.certify(ic.RoutedQuery{
+	f.met.reg.Trace("fleet.execute", method)
+	rq, certified := f.certify(ic.RoutedQuery{
 		Value:        value,
 		Err:          err,
 		Instructions: instructions,
 		AnchorHeight: anchor,
 		TipHeight:    tip,
 		Degraded:     f.degraded.Load(),
-	}, method), seq, false
+	}, method)
+	f.met.countGroup(func() {
+		f.met.served.Inc()
+		if certified {
+			f.met.certified.Inc()
+		}
+	})
+	return rq, seq, false
 }
 
 // CacheSize returns the number of resident response-cache entries.
@@ -487,8 +485,7 @@ func (f *Fleet) forward(method string, arg any, now time.Time) ic.RoutedQuery {
 	value, err := f.auth.Query(ctx, method, arg)
 	tip, anchor := f.auth.TipHeight(), f.auth.AnchorHeight()
 	f.authMu.Unlock()
-	f.forwarded.Add(1)
-	return f.certify(ic.RoutedQuery{
+	rq, certified := f.certify(ic.RoutedQuery{
 		Value:        value,
 		Err:          err,
 		Instructions: ctx.Meter.Total(),
@@ -497,6 +494,13 @@ func (f *Fleet) forward(method string, arg any, now time.Time) ic.RoutedQuery {
 		Forwarded:    true,
 		Degraded:     f.degraded.Load(),
 	}, method)
+	f.met.countGroup(func() {
+		f.met.forwarded.Inc()
+		if certified {
+			f.met.certified.Inc()
+		}
+	})
+	return rq
 }
 
 // SetSigner replaces the certification signer (nil disables
@@ -509,13 +513,15 @@ func (f *Fleet) SetSigner(sign SignFunc) {
 
 // certify threshold-signs the canonical digest of the response's
 // CertifiedQuery envelope, binding it to the anchor and tip heights it was
-// served at.
-func (f *Fleet) certify(rq ic.RoutedQuery, method string) ic.RoutedQuery {
+// served at. It reports rather than counts success: the caller bumps the
+// certified counter inside the same counter group as its served/forwarded
+// bump, so a Stats snapshot can never observe one without the other.
+func (f *Fleet) certify(rq ic.RoutedQuery, method string) (ic.RoutedQuery, bool) {
 	f.signMu.RLock()
 	sign := f.sign
 	f.signMu.RUnlock()
 	if sign == nil {
-		return rq
+		return rq, false
 	}
 	env := ic.CertifiedQuery{
 		Method:       method,
@@ -529,11 +535,10 @@ func (f *Fleet) certify(rq ic.RoutedQuery, method string) ic.RoutedQuery {
 	if err != nil {
 		// A failed signing round leaves the response uncertified rather
 		// than failing the query; the client sees the missing signature.
-		return rq
+		return rq, false
 	}
 	rq.Signature = sig
-	f.certified.Add(1)
-	return rq
+	return rq, true
 }
 
 // Compile-time interface checks.

@@ -1,0 +1,90 @@
+package queryfleet
+
+import (
+	"sync"
+
+	"icbtc/internal/obs"
+)
+
+// fleetMetrics is the fleet's obs instrumentation. The old ad-hoc atomic
+// counters live here as registry-backed counters (Fleet.Stats stays as the
+// compatibility view over them), plus the metrics the atomics never had:
+// cache misses and fills, per-cost-class sheds, and the frame publish→apply
+// lag.
+//
+// statsMu fixes the snapshot tear Stats() used to have: counters that are
+// bumped together (served+certified, forwarded+certified) are incremented
+// under the READ side of the lock — shared, so concurrent queries never
+// serialize against each other — while Stats takes the WRITE side, which
+// excludes every in-flight group and yields a consistent snapshot (no
+// Certified count can exceed its Served+Forwarded).
+type fleetMetrics struct {
+	reg *obs.Registry
+
+	statsMu sync.RWMutex
+
+	served    *obs.Counter
+	forwarded *obs.Counter
+	rejected  *obs.Counter
+	certified *obs.Counter
+	frames    *obs.Counter
+	coalesced *obs.Counter
+	cacheHits *obs.Counter
+	shed      *obs.Counter
+
+	cacheMisses *obs.Counter
+	cacheFills  *obs.Counter
+	shedByClass *obs.Family
+	applyLag    *obs.Histogram
+}
+
+func newFleetMetrics() *fleetMetrics {
+	r := obs.NewRegistry()
+	return &fleetMetrics{
+		reg:       r,
+		served:    r.Counter("fleet_served_total"),
+		forwarded: r.Counter("fleet_forwarded_total"),
+		rejected:  r.Counter("fleet_rejected_total"),
+		certified: r.Counter("fleet_certified_total"),
+		frames:    r.Counter("fleet_frames_total"),
+		coalesced: r.Counter("fleet_coalesced_total"),
+		cacheHits: r.Counter("fleet_cache_hits_total"),
+		shed:      r.Counter("fleet_shed_total"),
+
+		cacheMisses: r.Counter("fleet_cache_misses_total"),
+		cacheFills:  r.Counter("fleet_cache_fills_total"),
+		shedByClass: r.Family("fleet_shed_by_class_total", "class"),
+		applyLag:    r.Histogram("fleet_frame_apply_lag_ns", obs.DurationBuckets),
+	}
+}
+
+// Metrics returns the fleet's obs registry. Seeded drivers install the
+// scheduler clock on it so the apply-lag histogram (and any traced spans)
+// measure virtual time.
+func (f *Fleet) Metrics() *obs.Registry { return f.met.reg }
+
+// countGroup runs fn under the shared side of the stats lock: every counter
+// bump inside it lands in the same Stats snapshot (or the next one) as one
+// unit. Concurrent groups proceed in parallel; only Stats excludes them.
+func (m *fleetMetrics) countGroup(fn func()) {
+	m.statsMu.RLock()
+	fn()
+	m.statsMu.RUnlock()
+}
+
+// snapshotStats reads the compatibility counters under the exclusive side
+// of the stats lock, so no half-applied group can tear the view.
+func (m *fleetMetrics) snapshotStats() Stats {
+	m.statsMu.Lock()
+	defer m.statsMu.Unlock()
+	return Stats{
+		Served:    m.served.Value(),
+		Forwarded: m.forwarded.Value(),
+		Rejected:  m.rejected.Value(),
+		Certified: m.certified.Value(),
+		Frames:    m.frames.Value(),
+		Coalesced: m.coalesced.Value(),
+		CacheHits: m.cacheHits.Value(),
+		Shed:      m.shed.Value(),
+	}
+}

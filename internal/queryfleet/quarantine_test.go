@@ -33,7 +33,7 @@ func TestReplicaQuarantineOnBadFrame(t *testing.T) {
 
 	// Inject an undecodable frame: application fails and quarantines.
 	r := fleet.Replica(0)
-	r.enqueue([]byte("not a frame"), 1)
+	r.enqueue([]byte("not a frame"), 1, time.Time{})
 	if _, err := r.ApplyPending(-1); err == nil {
 		t.Fatal("garbage frame applied without error")
 	}
@@ -116,7 +116,7 @@ func TestQuarantineStormRecovery(t *testing.T) {
 	// The storm: replica 0 hits a real poison frame, the watchdog pulls the
 	// other two (both quarantine paths in one event).
 	r0 := fleet.Replica(0)
-	r0.enqueue([]byte("poison"), r0.Seq()+1)
+	r0.enqueue([]byte("poison"), r0.Seq()+1, time.Time{})
 	if _, err := r0.ApplyPending(-1); err == nil {
 		t.Fatal("poison frame applied without error")
 	}

@@ -61,10 +61,13 @@ type Replica struct {
 }
 
 // pendingFrame is one enqueued stream frame in wire form. Replicas decode
-// their own copy so no mutable state is shared across the fleet.
+// their own copy so no mutable state is shared across the fleet. at is the
+// publish timestamp (fleet registry clock) the apply-lag histogram measures
+// from.
 type pendingFrame struct {
 	raw []byte
 	seq uint64
+	at  time.Time
 }
 
 func newReplica(index int, fleet *Fleet, snapshot []byte, seq uint64) (*Replica, error) {
@@ -136,9 +139,9 @@ func (r *Replica) Hydrate(snapshot []byte, seq uint64) error {
 }
 
 // enqueue appends one encoded frame to the replica's inbox.
-func (r *Replica) enqueue(raw []byte, seq uint64) {
+func (r *Replica) enqueue(raw []byte, seq uint64, at time.Time) {
 	r.inboxMu.Lock()
-	r.inbox = append(r.inbox, pendingFrame{raw: raw, seq: seq})
+	r.inbox = append(r.inbox, pendingFrame{raw: raw, seq: seq, at: at})
 	r.inboxMu.Unlock()
 	select {
 	case r.wake <- struct{}{}:
@@ -197,7 +200,7 @@ func (r *Replica) ApplyPending(max int) (int, error) {
 			err   error
 		}
 		var failErr error
-		err := ingest.Map(len(batch), ingest.Config{Workers: r.prepareWorkers()},
+		err := ingest.Map(len(batch), ingest.Config{Workers: r.prepareWorkers(), Obs: r.fleet.met.reg},
 			func(_, i int) decoded {
 				frame, err := canister.DecodeFrame(batch[i].raw)
 				if err != nil {
@@ -232,6 +235,9 @@ func (r *Replica) ApplyPending(max int) (int, error) {
 					failErr = fmt.Errorf("queryfleet: replica %d frame %d: %w", r.index, f.seq, err)
 					return failErr
 				}
+				// Publish→apply lag on the fleet registry clock (virtual in
+				// seeded runs, where enqueue and apply share one timeline).
+				r.fleet.met.applyLag.ObserveDuration(r.fleet.met.reg.Now().Sub(f.at))
 				applied++
 				return nil
 			})

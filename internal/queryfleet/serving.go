@@ -133,13 +133,13 @@ func (s *serving) cacheGet(gen uint64, key [32]byte) (ic.RoutedQuery, bool) {
 }
 
 // cacheFill stores one certified response under the generation it was
-// computed at. Under capacity pressure, entries from older generations are
-// swept first (they can never be served again); if the cache is full of
-// current-generation entries the fill is skipped — deterministic, and the
-// hot keys that filled first stay resident.
-func (s *serving) cacheFill(gen uint64, key [32]byte, rq ic.RoutedQuery) {
+// computed at, reporting whether the entry landed. Under capacity pressure,
+// entries from older generations are swept first (they can never be served
+// again); if the cache is full of current-generation entries the fill is
+// skipped — deterministic, and the hot keys that filled first stay resident.
+func (s *serving) cacheFill(gen uint64, key [32]byte, rq ic.RoutedQuery) bool {
 	if s.cache == nil {
-		return
+		return false
 	}
 	s.cacheMu.Lock()
 	if _, exists := s.cache[key]; !exists && len(s.cache) >= s.cacheCap {
@@ -150,11 +150,12 @@ func (s *serving) cacheFill(gen uint64, key [32]byte, rq ic.RoutedQuery) {
 		}
 		if len(s.cache) >= s.cacheCap {
 			s.cacheMu.Unlock()
-			return
+			return false
 		}
 	}
 	s.cache[key] = cacheEntry{gen: gen, rq: rq}
 	s.cacheMu.Unlock()
+	return true
 }
 
 // CacheSize returns the number of resident cache entries (observability).
@@ -272,16 +273,17 @@ func (f *Fleet) routeLayered(m *canister.MethodDesc, method string, arg any, now
 	cacheable := m.Cacheable && s.cache != nil
 	if cacheable {
 		if rq, ok := s.cacheGet(gen, key); ok {
-			f.cacheHits.Add(1)
+			f.met.countGroup(f.met.cacheHits.Inc)
 			return rq
 		}
+		f.met.cacheMisses.Inc()
 	}
 	if s.coalesce {
 		fk := flightKey{gen: gen, key: key}
 		fl, leader := s.join(fk)
 		if !leader {
 			<-fl.done
-			f.coalesced.Add(1)
+			f.met.countGroup(f.met.coalesced.Inc)
 			return fl.rq
 		}
 		rq := f.admitAndExecute(m, method, arg, now, gen, key, cacheable)
@@ -296,7 +298,8 @@ func (f *Fleet) routeLayered(m *canister.MethodDesc, method string, arg any, now
 // generation the caller keyed on.
 func (f *Fleet) admitAndExecute(m *canister.MethodDesc, method string, arg any, now time.Time, gen uint64, key [32]byte, cacheable bool) ic.RoutedQuery {
 	if !f.serving.admit(m.Cost, now) {
-		f.shed.Add(1)
+		f.met.countGroup(f.met.shed.Inc)
+		f.met.shedByClass.With(m.Cost.String()).Inc()
 		return ic.RoutedQuery{Err: fmt.Errorf("%w: %s (cost class %s)", ErrBusy, method, m.Cost)}
 	}
 	rq, servedSeq, forwarded := f.executeQuery(method, arg, now)
@@ -309,7 +312,9 @@ func (f *Fleet) admitAndExecute(m *canister.MethodDesc, method string, arg any, 
 	// safe: the entry is stored under gen, and cacheGet never serves an
 	// entry whose generation is not current.
 	if cacheable && rq.Err == nil && (forwarded || servedSeq == gen) && f.gen.Load() == gen {
-		f.serving.cacheFill(gen, key, rq)
+		if f.serving.cacheFill(gen, key, rq) {
+			f.met.cacheFills.Inc()
+		}
 	}
 	return rq
 }

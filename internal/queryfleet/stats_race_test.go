@@ -1,0 +1,99 @@
+package queryfleet_test
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"icbtc/internal/canister"
+	"icbtc/internal/queryfleet"
+)
+
+// TestStatsSnapshotConsistency hammers the serving path from many
+// goroutines while a reader snapshots Stats concurrently, asserting the
+// invariant the old independently-read atomics could violate mid-burst:
+// every certified response has a matching served or forwarded count in the
+// SAME snapshot. Run under -race this also exercises the counter-group
+// lock discipline.
+func TestStatsSnapshotConsistency(t *testing.T) {
+	cfg := queryfleet.DefaultConfig()
+	cfg.Replicas = 2
+	cfg.QueryConcurrency = 4
+	// A cheap signer so every response is certified — the coupled
+	// served+certified bump is the pair that used to tear.
+	cfg.Sign = func(digest []byte) ([]byte, error) {
+		sig := make([]byte, 8)
+		copy(sig, digest)
+		return sig, nil
+	}
+	r := newRig(t, cfg, 6)
+	if err := r.fleet.CatchUpAll(); err != nil {
+		t.Fatal(err)
+	}
+
+	const workers = 8
+	const perWorker = 300
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	// Concurrent snapshot reader: any snapshot taken mid-burst must satisfy
+	// Certified <= Served+Forwarded.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s := r.fleet.Stats()
+			if s.Certified > s.Served+s.Forwarded {
+				t.Errorf("torn stats snapshot: certified=%d > served+forwarded=%d",
+					s.Certified, s.Served+s.Forwarded)
+				return
+			}
+		}
+	}()
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				now := time.Unix(1_700_000_000+int64(w*perWorker+i), 0)
+				rq := r.fleet.RouteQuery("get_balance",
+					canister.GetBalanceArgs{Address: r.addr.String()}, "caller", now)
+				if rq.Err != nil {
+					t.Errorf("worker %d query %d: %v", w, i, rq.Err)
+					return
+				}
+				if len(rq.Signature) == 0 {
+					t.Errorf("worker %d query %d: uncertified response", w, i)
+					return
+				}
+			}
+		}(w)
+	}
+	// Release the reader once every query has been counted, then wait for
+	// all goroutines (the reader is in wg too).
+	for {
+		s := r.fleet.Stats()
+		if s.Served+s.Forwarded+s.Rejected+s.Shed >= workers*perWorker {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+
+	// End-state conservation: every query was served or forwarded (no
+	// budgets, no staleness in this rig), and all of them certified.
+	s := r.fleet.Stats()
+	if s.Served+s.Forwarded != workers*perWorker {
+		t.Fatalf("served=%d forwarded=%d, want total %d", s.Served, s.Forwarded, workers*perWorker)
+	}
+	if s.Certified != workers*perWorker {
+		t.Fatalf("certified=%d, want %d", s.Certified, workers*perWorker)
+	}
+}
