@@ -136,7 +136,21 @@ type World struct {
 	lastAnchor int64
 	healRound  int
 	converged  int
+	// recovering is set while the canister replays wire history after a
+	// checkpoint rollback (CrashUpgrade → RecoveryCheckpoint): the chaos
+	// canister legitimately trails the oracle until replay catches up, at
+	// which point byte-equality is re-required and the flag clears.
+	recovering bool
+	// streamFaulted is set while a frame-fault hook is installed
+	// (SetFrameFault): a dropped round-final frame leaves a replica
+	// legitimately stale until the next frame reveals the gap, so the
+	// freshness invariant is suspended.
+	streamFaulted bool
 }
+
+// Recovering reports whether the harness is between a checkpoint rollback
+// and the round wire replay re-reaches the oracle's state.
+func (w *World) Recovering() bool { return w.recovering }
 
 // Canister resolves the chaos canister through the subnet, so scenario
 // steps and invariants always see the post-upgrade instance.
@@ -166,6 +180,50 @@ func (w *World) UpgradeCanister() error {
 	// virtual clock so post-upgrade timings stay on scheduler time.
 	w.Canister().Metrics().SetClock(w.Sched.Now)
 	return nil
+}
+
+// CrashUpgrade runs a snapshot-reinstall upgrade with a crash armed at the
+// given point (and, for CrashMidRestore, the restore stage the install dies
+// inside). The subnet's journal recovery runs in the same call; the world is
+// rewired to whatever instance recovery installed. A checkpoint rollback
+// (RecoveredFrom == RecoveryCheckpoint) puts the harness into recovering
+// mode — the canister replays wire history toward the oracle — and
+// re-hydrates every fleet replica, whose states are ahead of the rolled-back
+// authority.
+func (w *World) CrashUpgrade(crash ic.UpgradeCrash, stage canister.RestoreStage) (ic.UpgradeReport, error) {
+	w.Subnet.ArmUpgradeCrash(crash)
+	first := true
+	err := w.Subnet.UpgradeCanister(CanisterID, func(snapshot []byte) (ic.Canister, error) {
+		if crash.Stage == ic.CrashMidRestore && first {
+			first = false
+			return canister.RestoreSnapshotCrashing(snapshot, stage)
+		}
+		first = false
+		return canister.RestoreSnapshot(snapshot)
+	})
+	rep := w.Subnet.LastUpgrade()
+	if err != nil {
+		return rep, err
+	}
+	w.Canister().SetStreamSink(w.Fleet.Feed)
+	w.Canister().Metrics().SetClock(w.Sched.Now)
+	if rep.RecoveredFrom == ic.RecoveryCheckpoint {
+		w.recovering = true
+		for i := 0; i < w.Fleet.Replicas(); i++ {
+			if err := w.Fleet.HydrateReplica(i); err != nil {
+				return rep, fmt.Errorf("re-hydrate replica %d after rollback: %w", i, err)
+			}
+		}
+	}
+	return rep, nil
+}
+
+// SetFrameFault installs (or with nil clears) a corruption hook on the
+// fleet's frame stream and tracks it for the freshness invariant (a dropped
+// frame leaves replicas legitimately stale until the stream moves again).
+func (w *World) SetFrameFault(h queryfleet.FrameFault) {
+	w.streamFaulted = h != nil
+	w.Fleet.SetFrameFault(h)
 }
 
 // IsAdversary reports whether a peer ID belongs to an adversarial node.
@@ -273,6 +331,7 @@ func newWorld(cfg Config) (*World, error) {
 		Replicas:     cfg.Replicas,
 		MaxLagBlocks: 3,
 		StalePolicy:  queryfleet.StaleForward,
+		AutoResync:   true,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("fleet: %w", err)
@@ -312,7 +371,7 @@ func Run(s Scenario, cfg Config) (Result, error) {
 	defer w.Fleet.Close()
 
 	fail := func(round int, err error) (Result, error) {
-		return Result{}, fmt.Errorf("chaos: scenario %q seed %d round %d: %w\nreproduce: go test ./internal/chaos -run 'TestChaosScenarios/%s' -chaos.seed=%d",
+		return Result{}, fmt.Errorf("chaos: scenario %q seed %d round %d: %w\nreproduce: go test ./internal/chaos -run TestChaosScenarios -chaos.scenario=%s -chaos.seed=%d",
 			name, cfg.Seed, round, err, name, cfg.Seed)
 	}
 
@@ -336,6 +395,13 @@ func Run(s Scenario, cfg Config) (Result, error) {
 		if w.converged < 0 && w.healRound >= 0 && round >= w.healRound && w.convergedWithHonestChain() {
 			w.converged = round
 		}
+	}
+
+	// A run may not end mid-recovery: a checkpoint rollback must have been
+	// replayed back to oracle equality before the last round.
+	if w.recovering {
+		return fail(cfg.Rounds-1, fmt.Errorf("still replaying after a checkpoint rollback: canister tip %d, oracle %d",
+			w.Canister().TipHeight(), w.Oracle.TipHeight()))
 	}
 
 	// Every scenario must end healed and reconverged with the honest chain.
@@ -379,17 +445,13 @@ func Run(s Scenario, cfg Config) (Result, error) {
 
 // metricsView merges the world's per-subsystem obs registries into the
 // run's telemetry result: the full merged snapshot as Prometheus text, and
-// a SHA-256 digest of the canonical (statecodec) encoding of its
-// deterministic subset.
+// a SHA-256 digest of its canonical (statecodec) encoding.
 //
-// The digest keeps everything the scheduler goroutine drives — all canister
-// and adapter metrics (their durations are virtual-clock deltas measured on
-// the harness goroutine, so they reproduce bit for bit per seed) and the
-// fleet's serving-path counters and families. It excludes what the fleet's
-// async apply workers touch: the frame apply-lag histogram and the replica
-// ingest pipeline metrics, whose observation timing races worker goroutines
-// against virtual-time advancement (and whose final tallies can land after
-// this snapshot — Close does not join the workers).
+// The digest covers EVERY metric, fleet apply-path histograms included: the
+// harness fleet has no auto-apply workers (frames apply on the driver
+// goroutine via CatchUp), Fleet.Close joins any workers a fleet does run,
+// and all durations are virtual-clock deltas — so the full snapshot
+// reproduces bit for bit per seed, with no carve-out.
 func (w *World) metricsView() (string, [32]byte, error) {
 	canSnap := w.Canister().Metrics().Snapshot()
 	adSnap := w.Adapter.Metrics().Snapshot()
@@ -403,18 +465,7 @@ func (w *World) metricsView() (string, [32]byte, error) {
 	if err := full.WriteProm(&text); err != nil {
 		return "", [32]byte{}, fmt.Errorf("render metrics: %w", err)
 	}
-
-	detFleet := &obs.Snapshot{Families: fleetSnap.Families}
-	for _, c := range fleetSnap.Counters {
-		if strings.HasPrefix(c.Name, "fleet_") {
-			detFleet.Counters = append(detFleet.Counters, c)
-		}
-	}
-	det, err := obs.Merge(canSnap, adSnap, detFleet)
-	if err != nil {
-		return "", [32]byte{}, fmt.Errorf("merge deterministic metrics: %w", err)
-	}
-	return text.String(), sha256.Sum256(det.Encode()), nil
+	return text.String(), sha256.Sum256(full.Encode()), nil
 }
 
 // payloadsPerRound is how many consensus payloads execute per harness round.
@@ -473,6 +524,31 @@ func (w *World) fleetTick() error {
 func (w *World) checkInvariants(round int) error {
 	can := w.Canister()
 
+	// While replaying wire history after a checkpoint rollback, the chaos
+	// canister legitimately trails the oracle — monotonicity and
+	// byte-equality are suspended, but the canister must never OVERTAKE the
+	// oracle, and the moment replay catches up it must be byte-identical
+	// again (recovery converges exactly, not approximately).
+	if w.recovering {
+		got, want := can.TipHeight(), w.Oracle.TipHeight()
+		if got > want {
+			return fmt.Errorf("recovering canister overtook the oracle: %d vs %d", got, want)
+		}
+		if got < want || can.AnchorHeight() < w.Oracle.AnchorHeight() ||
+			can.AvailableHeight() < w.Oracle.AvailableHeight() {
+			return nil // still replaying (headers can lead block downloads)
+		}
+		chaosSnap, oracleSnap, err := w.snapshots()
+		if err != nil {
+			return err
+		}
+		if !bytes.Equal(chaosSnap, oracleSnap) {
+			return fmt.Errorf("recovery reached the oracle tip but diverged: %d vs %d snapshot bytes",
+				len(chaosSnap), len(oracleSnap))
+		}
+		w.recovering = false
+	}
+
 	// 1. Anchor monotonicity: the δ-stable anchor never rolls back.
 	if a := can.AnchorHeight(); a < w.lastAnchor {
 		return fmt.Errorf("anchor rolled back: %d -> %d", w.lastAnchor, a)
@@ -498,7 +574,10 @@ func (w *World) checkInvariants(round int) error {
 
 	// 3. Replica freshness: a caught-up, healthy replica serves at the
 	// authoritative tip — staleness never hides behind an empty inbox.
-	for i := 0; i < w.Fleet.Replicas(); i++ {
+	// Suspended while a frame-fault hook is live: a dropped round-final
+	// frame leaves a replica stale with an empty inbox until the next frame
+	// reveals the gap and triggers its resync.
+	for i := 0; !w.streamFaulted && i < w.Fleet.Replicas(); i++ {
 		r := w.Fleet.Replica(i)
 		if r.Broken() || r.Pending() > 0 {
 			continue

@@ -16,6 +16,9 @@ var (
 	// chaosSeed replays one failing seed — the one-liner every chaos failure
 	// message prints.
 	chaosSeed = flag.Int64("chaos.seed", 0, "override the scenario seed (0 = default battery seed)")
+	// chaosScenario narrows TestChaosScenarios to one registered scenario —
+	// the other half of the failure messages' reproduction one-liner.
+	chaosScenario = flag.String("chaos.scenario", "", "run only this registered scenario (empty = the whole battery)")
 	// soakMetrics writes the final soak run's merged obs metrics dump
 	// (Prometheus text) to a file — CI uploads it as an artifact next to the
 	// failing-seed log.
@@ -33,6 +36,12 @@ func TestChaosScenarios(t *testing.T) {
 	names := Names()
 	if len(names) < 6 {
 		t.Fatalf("scenario registry holds %d scenarios, want >= 6", len(names))
+	}
+	if *chaosScenario != "" {
+		if _, ok := Lookup(*chaosScenario); !ok {
+			t.Fatalf("unknown scenario %q (registered: %v)", *chaosScenario, names)
+		}
+		names = []string{*chaosScenario}
 	}
 	for _, name := range names {
 		t.Run(name, func(t *testing.T) {

@@ -5,6 +5,9 @@ import (
 	"sort"
 	"time"
 
+	"icbtc/internal/canister"
+	"icbtc/internal/ic"
+	"icbtc/internal/queryfleet"
 	"icbtc/internal/simnet"
 )
 
@@ -342,6 +345,170 @@ func init() {
 				w.Fleet.Replica(w.Rng.Intn(w.Fleet.Replicas())).Quarantine()
 			case healRound:
 				for i := 0; i < w.Fleet.Replicas(); i++ {
+					if w.Fleet.Replica(i).Broken() {
+						if err := w.Fleet.HydrateReplica(i); err != nil {
+							return fmt.Errorf("readmit replica %d: %w", i, err)
+						}
+					}
+				}
+				w.SetHealed(healRound)
+			}
+			return nil
+		},
+	})
+
+	Register(Scenario{
+		Name: "crash-storm",
+		Description: "canister upgrades die mid-install — torn snapshot write, " +
+			"bit-flipped image, crash inside the restore; the journal detects every " +
+			"torn state and recovers from checkpoint (plus wire replay) or the " +
+			"intact pending image",
+		Step: func(w *World, round int) error {
+			switch round {
+			case 2, 10:
+				if err := w.Subnet.CommitCheckpoint(CanisterID); err != nil {
+					return fmt.Errorf("checkpoint: %w", err)
+				}
+			case 6:
+				rep, err := w.CrashUpgrade(ic.UpgradeCrash{Stage: ic.CrashTornWrite, Offset: 1 + w.Rng.Intn(1<<20)}, 0)
+				if err != nil {
+					return fmt.Errorf("torn-write upgrade: %w", err)
+				}
+				if !rep.Crashed || !rep.TornDetected || rep.RecoveredFrom != ic.RecoveryCheckpoint {
+					return fmt.Errorf("torn write not detected and recovered from checkpoint: %+v", rep)
+				}
+			case 13:
+				rep, err := w.CrashUpgrade(ic.UpgradeCrash{Stage: ic.CrashBitFlip, Offset: w.Rng.Intn(1 << 24)}, 0)
+				if err != nil {
+					return fmt.Errorf("bit-flip upgrade: %w", err)
+				}
+				if !rep.Crashed || !rep.TornDetected || rep.RecoveredFrom != ic.RecoveryCheckpoint {
+					return fmt.Errorf("bit flip not detected and recovered from checkpoint: %+v", rep)
+				}
+			case 19:
+				// The image landed intact; only the install died. Recovery must
+				// replay the pending image, NOT fall back (that would silently
+				// discard the blocks folded since the last checkpoint).
+				rep, err := w.CrashUpgrade(ic.UpgradeCrash{Stage: ic.CrashMidRestore}, canister.RestoreStageTree)
+				if err != nil {
+					return fmt.Errorf("mid-restore upgrade: %w", err)
+				}
+				if !rep.Crashed || rep.TornDetected || rep.RecoveredFrom != ic.RecoveryPending {
+					return fmt.Errorf("mid-restore crash should recover from the intact pending image: %+v", rep)
+				}
+			case healRound:
+				if w.Recovering() {
+					return fmt.Errorf("wire replay has not re-reached the oracle by the heal round")
+				}
+				w.SetHealed(healRound)
+			}
+			return nil
+		},
+	})
+
+	Register(Scenario{
+		Name: "corrupt-stream",
+		Description: "the replica delta stream suffers seeded bit-flips, truncation, " +
+			"duplication, and drops; frame checksums and strict sequencing catch every " +
+			"one and auto-resync re-hydrates the victims",
+		Step: func(w *World, round int) error {
+			switch round {
+			case injectRound:
+				w.SetFrameFault(func(replica int, seq uint64, raw []byte) [][]byte {
+					// One victim per frame (rotating), faulted about a third of
+					// the time; the RNG is only drawn for the victim so the
+					// fault schedule stays deterministic per seed.
+					if replica != int(seq%uint64(w.Cfg.Replicas)) || w.Rng.Float64() > 0.35 {
+						return [][]byte{raw}
+					}
+					switch w.Rng.Intn(4) {
+					case 0: // bit flip: checksum must catch it
+						cp := append([]byte(nil), raw...)
+						cp[w.Rng.Intn(len(cp))] ^= 1 << uint(w.Rng.Intn(8))
+						return [][]byte{cp}
+					case 1: // truncation: framing/checksum must catch it
+						return [][]byte{raw[:len(raw)/2]}
+					case 2: // duplication: strict sequencing must skip the copy
+						return [][]byte{raw, raw}
+					default: // drop: the next frame reveals the gap
+						return nil
+					}
+				})
+			case healRound:
+				w.SetFrameFault(nil)
+				st := w.Fleet.Stats()
+				if st.FrameCorrupt+st.FrameGaps+st.FrameDuplicates == 0 {
+					return fmt.Errorf("no injected corruption was ever detected (corrupt=%d gaps=%d dups=%d)",
+						st.FrameCorrupt, st.FrameGaps, st.FrameDuplicates)
+				}
+				if st.Resyncs == 0 {
+					return fmt.Errorf("corruption detected but no automatic resync happened")
+				}
+				w.SetHealed(healRound)
+			}
+			return nil
+		},
+	})
+
+	Register(Scenario{
+		Name: "byzantine-replica",
+		Description: "one replica tampers with certified envelopes after signing and " +
+			"another replays stale ones; the fleet's response audit ejects both while " +
+			"honest replicas keep every answer verifiable and fresh",
+		Step: func(w *World, round int) error {
+			if w.signer == nil {
+				return fmt.Errorf("byzantine-replica needs certification enabled (CertifyEvery > 0)")
+			}
+			switch round {
+			case injectRound:
+				w.Fleet.SetVerifier(func(env ic.CertifiedQuery, sig []byte) bool {
+					return w.Subnet.VerifyCertified(env, nil, sig)
+				})
+				w.Fleet.Replica(0).SetEquivocation(queryfleet.EquivTamper)
+			case 12:
+				w.Fleet.Replica(1).SetEquivocation(queryfleet.EquivStaleReplay)
+			}
+			if round >= injectRound && round < healRound {
+				// Clients must get verifiable, bounded-fresh answers every
+				// round no matter which replica the router tries first.
+				authTip := w.Canister().TipHeight()
+				w.Fleet.SetSigner(w.signer)
+				for k := 0; k < 2; k++ {
+					rq := w.Fleet.RouteQuery("get_tip", nil, "byzantine-probe", w.Sched.Now())
+					if rq.Err != nil {
+						return fmt.Errorf("signed get_tip %d: %w", k, rq.Err)
+					}
+					if rq.Signature == nil {
+						return fmt.Errorf("signed get_tip %d came back uncertified", k)
+					}
+					env := ic.CertifiedQuery{
+						Method:       "get_tip",
+						Value:        rq.Value,
+						ErrText:      ic.ErrText(rq.Err),
+						AnchorHeight: rq.AnchorHeight,
+						TipHeight:    rq.TipHeight,
+					}
+					if !w.Subnet.VerifyCertified(env, nil, rq.Signature) {
+						return fmt.Errorf("served get_tip %d does not verify under the subnet key", k)
+					}
+					if lag := authTip - rq.TipHeight; lag > 3 {
+						return fmt.Errorf("served get_tip %d is %d blocks stale (bound 3)", k, lag)
+					}
+				}
+				w.Fleet.SetSigner(nil)
+			}
+			if round == healRound {
+				st := w.Fleet.Stats()
+				if st.ByzantineEjected < 2 {
+					return fmt.Errorf("audit ejected %d replicas, want both equivocators", st.ByzantineEjected)
+				}
+				for i := 0; i < 2; i++ {
+					if !w.Fleet.Replica(i).Broken() {
+						return fmt.Errorf("equivocating replica %d was never quarantined", i)
+					}
+				}
+				for i := 0; i < w.Fleet.Replicas(); i++ {
+					w.Fleet.Replica(i).SetEquivocation(queryfleet.EquivNone)
 					if w.Fleet.Replica(i).Broken() {
 						if err := w.Fleet.HydrateReplica(i); err != nil {
 							return fmt.Errorf("readmit replica %d: %w", i, err)

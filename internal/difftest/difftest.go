@@ -84,6 +84,14 @@ type Config struct {
 	// under the subnet key. Admission control stays off — a shed query has
 	// no authoritative counterpart to differ against.
 	ServeLayers bool
+	// FrameFaults, when true, corrupts the fleet's delta stream with seeded
+	// bit-flips, truncations, duplications, and drops (a private RNG, so the
+	// workload sequence is identical with faults on or off) and enables the
+	// fleet's auto-resync. Every corruption must be detected — the
+	// per-failure-class counters in Stats are pinned nonzero by the test —
+	// and every replica must keep answering byte-identical to the recorded
+	// authoritative history at its frame, resyncs included.
+	FrameFaults bool
 	// LossyLink, when true, routes every payload through a seeded simnet
 	// link with loss, duplication, and reordering (mildLossProfile) under a
 	// stop-and-wait at-least-once resend protocol before any canister sees
@@ -149,6 +157,14 @@ type Stats struct {
 	FleetForwardChecks int    // too-stale forwards verified against the authority
 	FleetCertified     int    // certified responses verified under the subnet key
 	// Serving-layer counters (zero when Config.ServeLayers is off).
+	// Frame-stream corruption counters (zero when Config.FrameFaults is
+	// off): detections by failure class, and the automatic re-hydrations
+	// those detections triggered.
+	FleetFrameCorrupt    uint64
+	FleetFrameGaps       uint64
+	FleetFrameDuplicates uint64
+	FleetResyncs         uint64
+	// Serving-layer counters (zero when Config.ServeLayers is off).
 	FleetServeChecks   int    // same-generation cache-hit batches verified byte-identical
 	FleetGenMisses     int    // cross-generation routes verified to bypass the cache
 	FleetCertifiedHits int    // cache-served certified envelopes verified under the subnet key
@@ -173,6 +189,9 @@ type Harness struct {
 	now   time.Time
 	// link degrades the payload transport when Config.LossyLink is set.
 	link *lossyLink
+	// faultRng drives frame-stream corruption when Config.FrameFaults is
+	// set; a private RNG so the workload draws are identical either way.
+	faultRng *rand.Rand
 
 	// addrs is the synthetic population queries and outputs draw from.
 	addrs []popAddr
@@ -249,6 +268,9 @@ func New(cfg Config) *Harness {
 		// An offset seed: the transport's RNG must not mirror the workload's.
 		h.link = newLossyLink(cfg.Seed^0x10557, mildLossProfile())
 	}
+	if cfg.FrameFaults {
+		h.faultRng = rand.New(rand.NewSource(cfg.Seed ^ 0xf4a17))
+	}
 	for i := 0; i < cfg.Addresses; i++ {
 		var hash [20]byte
 		rng.Read(hash[:])
@@ -269,6 +291,10 @@ func (h *Harness) setupFleet() {
 		Replicas:     h.cfg.FleetReplicas,
 		MaxLagBlocks: h.cfg.FleetMaxLag,
 		StalePolicy:  queryfleet.StaleForward,
+		// Corrupted frames must heal by automatic re-hydration, not by the
+		// harness failing the run — the run fails only if a corruption goes
+		// UNdetected (the history check catches silently-applied garbage).
+		AutoResync: h.cfg.FrameFaults,
 	}
 	if h.cfg.ServeLayers {
 		// Coalescing and the hot-response cache sit in front of every routed
@@ -296,6 +322,27 @@ func (h *Harness) setupFleet() {
 		panic(fmt.Sprintf("difftest: fleet: %v", err))
 	}
 	h.fleet = fleet
+	if h.cfg.FrameFaults {
+		fleet.SetFrameFault(func(replica int, seq uint64, raw []byte) [][]byte {
+			// One RNG draw per (replica, frame) delivery keeps the fault
+			// sequence deterministic for a given seed.
+			if h.faultRng.Float64() >= 0.15 {
+				return [][]byte{raw}
+			}
+			switch h.faultRng.Intn(4) {
+			case 0: // bit-flip
+				cp := append([]byte(nil), raw...)
+				cp[h.faultRng.Intn(len(cp))] ^= 1 << uint(h.faultRng.Intn(8))
+				return [][]byte{cp}
+			case 1: // truncate
+				return [][]byte{raw[:len(raw)/2]}
+			case 2: // duplicate
+				return [][]byte{raw, raw}
+			default: // drop
+				return nil
+			}
+		})
+	}
 	h.probeHistory = make(map[uint64][]probeDigest)
 	h.overlay.SetStreamSink(fleet.Feed)
 	// Seed the history for the hydration state (frame 0 = genesis).
@@ -958,6 +1005,10 @@ func (h *Harness) fleetStep() error {
 	h.stats.FleetFrames = fs.Frames
 	h.stats.FleetCacheHits = fs.CacheHits
 	h.stats.FleetCoalesced = fs.Coalesced
+	h.stats.FleetFrameCorrupt = fs.FrameCorrupt
+	h.stats.FleetFrameGaps = fs.FrameGaps
+	h.stats.FleetFrameDuplicates = fs.FrameDuplicates
+	h.stats.FleetResyncs = fs.Resyncs
 	return nil
 }
 

@@ -250,6 +250,35 @@ func TestDifferentialServeLayersOff(t *testing.T) {
 	}
 }
 
+// TestDifferentialFrameFaults corrupts the fleet's delta stream (seeded
+// bit-flips, truncations, duplications, drops) and requires every fault to be
+// detected and healed by automatic re-hydration: the per-class detection
+// counters and the resync counter must be nonzero, and the history checks
+// inside Run fail the test if any corrupted frame is ever silently applied.
+// ServeLayers and certification are off — those checks assume replicas only
+// lag by the harness's own choice, not by dropped frames.
+func TestDifferentialFrameFaults(t *testing.T) {
+	for _, seed := range []int64{5, 17, 29} {
+		cfg := DefaultConfig(seed)
+		cfg.FrameFaults = true
+		cfg.ServeLayers = false
+		cfg.CertifyEvery = 0
+		stats, err := New(cfg).Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		detected := stats.FleetFrameCorrupt + stats.FleetFrameGaps + stats.FleetFrameDuplicates
+		if detected == 0 {
+			t.Fatalf("seed %d: corruption injection never tripped a detector: %+v", seed, stats)
+		}
+		if stats.FleetResyncs == 0 {
+			t.Fatalf("seed %d: detected corruption never forced a re-hydration: %+v", seed, stats)
+		}
+		t.Logf("seed %d: corrupt=%d gaps=%d dups=%d resyncs=%d",
+			seed, stats.FleetFrameCorrupt, stats.FleetFrameGaps, stats.FleetFrameDuplicates, stats.FleetResyncs)
+	}
+}
+
 // TestDifferentialLargerDelta repeats the exercise with a deeper stability
 // threshold so reorgs reach depths the regtest default cannot.
 func TestDifferentialLargerDelta(t *testing.T) {

@@ -1,6 +1,7 @@
 package ic
 
 import (
+	"bytes"
 	"crypto/sha256"
 	"encoding/binary"
 	"fmt"
@@ -168,6 +169,15 @@ type Subnet struct {
 	routers   map[CanisterID]QueryRouter
 	committee *tecdsa.Committee
 
+	// upgrades journals per-canister upgrade state so a crash mid-install is
+	// detectable and recoverable (see UpgradeCanister).
+	upgrades map[CanisterID]*upgradeJournal
+	// armedCrash, when set, makes the next UpgradeCanister crash at the
+	// configured point (chaos fault injection); consumed by that call.
+	armedCrash *UpgradeCrash
+	// lastUpgrade reports how the most recent UpgradeCanister call ended.
+	lastUpgrade UpgradeReport
+
 	round   int64
 	ingress []*pendingCall
 
@@ -197,6 +207,7 @@ func NewSubnet(sched *simnet.Scheduler, cfg Config) (*Subnet, error) {
 		rng:       rand.New(rand.NewSource(cfg.Seed)),
 		canisters: make(map[CanisterID]Canister),
 		routers:   make(map[CanisterID]QueryRouter),
+		upgrades:  make(map[CanisterID]*upgradeJournal),
 	}
 	seed := sha256.Sum256([]byte(fmt.Sprintf("beacon-%d", cfg.Seed)))
 	s.beacon = seed[:]
@@ -249,6 +260,130 @@ func (s *Subnet) SetQueryRouter(id CanisterID, r QueryRouter) {
 	s.routers[id] = r
 }
 
+// CrashStage selects where an armed upgrade crash strikes the install.
+type CrashStage int
+
+const (
+	// CrashTornWrite kills the process mid-write: only a prefix of the
+	// pending snapshot reaches disk (a torn state image).
+	CrashTornWrite CrashStage = iota + 1
+	// CrashBitFlip corrupts one bit of the fully written pending image —
+	// the media-fault flavor of a torn state.
+	CrashBitFlip
+	// CrashMidRestore writes the pending image intact but kills the process
+	// during the restore/install step, before the completion marker is set.
+	CrashMidRestore
+)
+
+func (c CrashStage) String() string {
+	switch c {
+	case CrashTornWrite:
+		return "torn-write"
+	case CrashBitFlip:
+		return "bit-flip"
+	case CrashMidRestore:
+		return "mid-restore"
+	default:
+		return fmt.Sprintf("CrashStage(%d)", int(c))
+	}
+}
+
+// UpgradeCrash arms a crash for the next UpgradeCanister call. Offset seeds
+// where the damage lands (byte offset for torn writes, bit position for
+// flips); it is reduced modulo the image size.
+type UpgradeCrash struct {
+	Stage  CrashStage
+	Offset int
+}
+
+// RecoverySource says which image a recovered upgrade restarted from.
+type RecoverySource int
+
+const (
+	// RecoveryNone: the upgrade completed without recovery.
+	RecoveryNone RecoverySource = iota
+	// RecoveryPending: the pending image survived intact (restore-completion
+	// marker was missing but the bytes verified), so recovery replayed it.
+	RecoveryPending
+	// RecoveryCheckpoint: the pending image was torn/corrupt; recovery fell
+	// back to the last good checkpoint (CommitCheckpoint / last completed
+	// upgrade).
+	RecoveryCheckpoint
+)
+
+func (r RecoverySource) String() string {
+	switch r {
+	case RecoveryNone:
+		return "none"
+	case RecoveryPending:
+		return "pending"
+	case RecoveryCheckpoint:
+		return "checkpoint"
+	default:
+		return fmt.Sprintf("RecoverySource(%d)", int(r))
+	}
+}
+
+// UpgradeReport describes how the most recent UpgradeCanister call ended:
+// whether an armed crash fired, whether the pending image was detected as
+// torn, and which image recovery restarted from.
+type UpgradeReport struct {
+	Crashed       bool
+	Stage         CrashStage
+	TornDetected  bool
+	RecoveredFrom RecoverySource
+}
+
+// upgradeJournal is the per-canister durable upgrade record: the last image
+// known good (checkpoint), the image of the in-flight upgrade (pending), and
+// the restore-completion marker that distinguishes a finished install from
+// one the process died inside.
+type upgradeJournal struct {
+	checkpoint []byte
+	pending    []byte
+	complete   bool
+}
+
+// ArmUpgradeCrash makes the next UpgradeCanister call crash at the given
+// point. The arm is consumed by that call; recovery runs in the same call
+// (modeling the post-restart recovery path) and its outcome is readable via
+// LastUpgrade.
+func (s *Subnet) ArmUpgradeCrash(c UpgradeCrash) { s.armedCrash = &c }
+
+// LastUpgrade reports how the most recent UpgradeCanister call ended.
+func (s *Subnet) LastUpgrade() UpgradeReport { return s.lastUpgrade }
+
+// CommitCheckpoint snapshots the live canister into the upgrade journal's
+// last-known-good slot — the image a torn upgrade falls back to. Upgrades
+// that complete update the checkpoint themselves; call this to establish a
+// baseline before the first upgrade (or to tighten the fallback window).
+func (s *Subnet) CommitCheckpoint(id CanisterID) error {
+	can := s.canisters[id]
+	if can == nil {
+		return fmt.Errorf("ic: checkpoint: canister %s not found", id)
+	}
+	sn, ok := can.(Snapshotter)
+	if !ok {
+		return fmt.Errorf("ic: checkpoint: canister %s has no stable state (does not implement Snapshotter)", id)
+	}
+	snapshot, err := sn.Snapshot()
+	if err != nil {
+		return fmt.Errorf("ic: checkpoint: snapshot of %s: %w", id, err)
+	}
+	j := s.journal(id)
+	j.checkpoint = snapshot
+	return nil
+}
+
+func (s *Subnet) journal(id CanisterID) *upgradeJournal {
+	j := s.upgrades[id]
+	if j == nil {
+		j = &upgradeJournal{}
+		s.upgrades[id] = j
+	}
+	return j
+}
+
 // UpgradeCanister performs a canister upgrade round: the running canister
 // is stopped, its stable state is captured with Snapshot, reinstall builds
 // the upgraded instance from those bytes, and the result replaces the old
@@ -257,6 +392,18 @@ func (s *Subnet) SetQueryRouter(id CanisterID, r QueryRouter) {
 // observer or from the driving test), mirroring how the real IC drains a
 // canister's queues before swapping its Wasm while stable memory carries
 // the state across.
+//
+// The upgrade is journaled: the snapshot is written to a pending slot, the
+// install runs, and only then is the restore-completion marker set and the
+// pending image promoted to the checkpoint (last known good). A crash armed
+// via ArmUpgradeCrash interrupts that sequence at a chosen point — torn
+// write, bit flip, or mid-restore — and the same call then runs the
+// post-restart recovery path: the pending image is re-verified (statecodec
+// checksum on decode plus a byte-identical re-snapshot round-trip — the
+// completion marker being absent means it cannot be trusted blindly), and
+// either replayed (intact) or discarded in favor of the checkpoint (torn).
+// LastUpgrade reports which. A torn pending image with no checkpoint is an
+// explicit unrecoverable error, never a silent install.
 //
 // Payload builders and callers that captured the old canister pointer must
 // resolve the canister through Canister(id) per round instead; the old
@@ -274,7 +421,43 @@ func (s *Subnet) UpgradeCanister(id CanisterID, reinstall func(snapshot []byte) 
 	if err != nil {
 		return fmt.Errorf("ic: upgrade: snapshot of %s: %w", id, err)
 	}
-	next, err := reinstall(snapshot)
+	j := s.journal(id)
+	j.complete = false
+
+	if crash := s.armedCrash; crash != nil {
+		s.armedCrash = nil
+		s.lastUpgrade = UpgradeReport{Crashed: true, Stage: crash.Stage}
+		switch crash.Stage {
+		case CrashTornWrite:
+			// Only a strict prefix of the image reached the pending slot.
+			cut := 0
+			if len(snapshot) > 0 {
+				cut = crash.Offset % len(snapshot)
+			}
+			j.pending = append([]byte(nil), snapshot[:cut]...)
+		case CrashBitFlip:
+			cp := append([]byte(nil), snapshot...)
+			if len(cp) > 0 {
+				off := crash.Offset % len(cp)
+				cp[off] ^= 1 << (crash.Offset % 8)
+			}
+			j.pending = cp
+		case CrashMidRestore:
+			// The image landed intact; the process died inside the install,
+			// so whatever reinstall built is lost — only the journal (with
+			// its completion marker still unset) survives the restart.
+			j.pending = append([]byte(nil), snapshot...)
+			if next, err := reinstall(j.pending); err == nil && next != nil {
+				_ = next // died before the swap: discard
+			}
+		default:
+			return fmt.Errorf("ic: upgrade: unknown crash stage %v", crash.Stage)
+		}
+		return s.recoverUpgrade(id, j, reinstall)
+	}
+
+	j.pending = append([]byte(nil), snapshot...)
+	next, err := reinstall(j.pending)
 	if err != nil {
 		return fmt.Errorf("ic: upgrade: reinstall of %s: %w", id, err)
 	}
@@ -282,6 +465,47 @@ func (s *Subnet) UpgradeCanister(id CanisterID, reinstall func(snapshot []byte) 
 		return fmt.Errorf("ic: upgrade: reinstall of %s returned no canister", id)
 	}
 	s.canisters[id] = next
+	j.complete = true
+	j.checkpoint = j.pending
+	s.lastUpgrade = UpgradeReport{}
+	return nil
+}
+
+// recoverUpgrade is the post-restart path after a crashed upgrade: the
+// completion marker is unset, so the pending image must prove itself before
+// it is trusted — reinstall must accept it AND the rebuilt canister must
+// re-snapshot byte-identical to it (no silent acceptance of a near-miss
+// decode). Anything less is a detected torn state, and recovery falls back
+// to the last good checkpoint.
+func (s *Subnet) recoverUpgrade(id CanisterID, j *upgradeJournal, reinstall func(snapshot []byte) (Canister, error)) error {
+	if len(j.pending) > 0 {
+		if next, err := reinstall(j.pending); err == nil && next != nil {
+			if rsn, ok := next.(Snapshotter); ok {
+				if again, err := rsn.Snapshot(); err == nil && bytes.Equal(again, j.pending) {
+					s.canisters[id] = next
+					j.complete = true
+					j.checkpoint = j.pending
+					s.lastUpgrade.RecoveredFrom = RecoveryPending
+					return nil
+				}
+			}
+		}
+	}
+	s.lastUpgrade.TornDetected = true
+	if j.checkpoint == nil {
+		return fmt.Errorf("ic: upgrade: %s crashed with a torn pending image and no checkpoint to recover from", id)
+	}
+	next, err := reinstall(j.checkpoint)
+	if err != nil {
+		return fmt.Errorf("ic: upgrade: %s recovery from checkpoint: %w", id, err)
+	}
+	if next == nil {
+		return fmt.Errorf("ic: upgrade: %s recovery from checkpoint returned no canister", id)
+	}
+	s.canisters[id] = next
+	j.pending = nil
+	j.complete = true
+	s.lastUpgrade.RecoveredFrom = RecoveryCheckpoint
 	return nil
 }
 

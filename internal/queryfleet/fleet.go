@@ -56,6 +56,23 @@ var ErrTooStale = errors.New("queryfleet: replica lags beyond the staleness boun
 // SignFunc threshold-signs a 32-byte digest under the subnet key.
 type SignFunc func(digest []byte) ([]byte, error)
 
+// VerifyFunc checks a certification signature over a CertifiedQuery envelope
+// against the subnet public key (ic.Subnet.VerifyCertified wrapped). When a
+// verifier is installed (SetVerifier), the fleet audits every certified
+// response a replica serves before returning it: a signature that does not
+// verify, or a bound tip height outside the staleness bound, exposes an
+// equivocating (byzantine) replica — it is ejected and the query retried on
+// an honest one.
+type VerifyFunc func(env ic.CertifiedQuery, signature []byte) bool
+
+// FrameFault is a stream-corruption injection hook (SetFrameFault): called
+// under the feed lock for every (replica, frame) pair, it returns the wire
+// frames actually delivered to that replica's inbox — nil drops the frame (a
+// gap), the same bytes twice duplicates it, modified bytes model bit-flips
+// or truncation, and holding bytes to return with a later frame reorders the
+// stream. Test and chaos harness use only.
+type FrameFault func(replica int, seq uint64, raw []byte) [][]byte
+
 // CommitteeSigner adapts a tecdsa committee to SignFunc. The committee's
 // signing protocol is not safe for concurrent use, so the adapter
 // serializes calls.
@@ -143,6 +160,17 @@ type Config struct {
 	// never shed. Refill is driven by the virtual timestamps queries
 	// carry, so it must only be enabled by drivers that advance `now`.
 	Budgets map[canister.CostClass]Budget
+	// AutoResync turns a frame-integrity rejection (corrupt bytes, sequence
+	// gap, mismatched embedded sequence, failed application) into an
+	// automatic re-hydration from a fresh authority snapshot instead of a
+	// sticky quarantine: the replica jumps past the damage and resumes
+	// serving. Manual Quarantine() remains sticky either way. An authority
+	// whose frame stream moves the tip backwards (state-loss recovery)
+	// likewise flags every replica for resync.
+	AutoResync bool
+	// Verify installs the certified-response audit at construction time
+	// (SetVerifier swaps it later). See VerifyFunc.
+	Verify VerifyFunc
 }
 
 // DefaultConfig returns a 4-replica fleet with a 2-block staleness bound
@@ -161,6 +189,12 @@ type Stats struct {
 	Coalesced uint64 // queries served as followers of a coalesced flight
 	CacheHits uint64 // queries served from the certified response cache
 	Shed      uint64 // queries shed by admission control (ErrBusy)
+
+	FrameCorrupt     uint64 // frames rejected by checksum/decode or embedded-seq mismatch
+	FrameGaps        uint64 // frames rejected for a sequence gap (drop or reorder)
+	FrameDuplicates  uint64 // re-delivered frames skipped as already applied
+	Resyncs          uint64 // automatic re-hydrations triggered by integrity failures
+	ByzantineEjected uint64 // replicas ejected by the certified-response audit
 }
 
 // Fleet distributes the canister's delta stream to its replicas and routes
@@ -190,11 +224,22 @@ type Fleet struct {
 	rr       atomic.Uint64
 	closed   chan struct{}
 	once     sync.Once
+	// wg joins the auto-apply workers so Close returns only after every
+	// worker has exited — no goroutine keeps mutating replica state or
+	// metrics behind a closed fleet.
+	wg sync.WaitGroup
+
+	// frameFault, when set, intercepts frame delivery per replica (stream
+	// corruption injection; under feedMu).
+	frameFault FrameFault
 
 	// sign is the active certification signer (swap with SetSigner; key
 	// rotation, or a harness certifying selectively).
 	signMu sync.RWMutex
 	sign   SignFunc
+	// verify is the certified-response audit (swap with SetVerifier).
+	verifyMu sync.RWMutex
+	verify   VerifyFunc
 
 	// met holds the registry-backed counters the old ad-hoc atomics became
 	// (plus the stats lock that makes Stats() tear-free) and the fleet's obs
@@ -233,7 +278,7 @@ func New(auth Authority, cfg Config) (*Fleet, error) {
 	if cfg.Replicas <= 0 {
 		return nil, fmt.Errorf("queryfleet: fleet needs at least one replica, got %d", cfg.Replicas)
 	}
-	f := &Fleet{cfg: cfg, auth: auth, sign: cfg.Sign, closed: make(chan struct{}), met: newFleetMetrics()}
+	f := &Fleet{cfg: cfg, auth: auth, sign: cfg.Sign, verify: cfg.Verify, closed: make(chan struct{}), met: newFleetMetrics()}
 	f.serving = newServing(cfg)
 	f.authMu.Lock()
 	if src, ok := auth.(StreamSource); ok {
@@ -253,14 +298,29 @@ func New(auth Authority, cfg Config) (*Fleet, error) {
 		}
 		f.replicas = append(f.replicas, r)
 		if cfg.AutoApply {
-			go r.runWorker(f.closed)
+			f.startWorker(r)
 		}
 	}
 	return f, nil
 }
 
-// Close stops the auto-apply workers. Queries already in flight complete.
-func (f *Fleet) Close() { f.once.Do(func() { close(f.closed) }) }
+// startWorker launches one replica's auto-apply worker under the fleet's
+// join group.
+func (f *Fleet) startWorker(r *Replica) {
+	f.wg.Add(1)
+	go func() {
+		defer f.wg.Done()
+		r.runWorker(f.closed)
+	}()
+}
+
+// Close stops the auto-apply workers and joins them: on return no worker
+// goroutine is running, so every frame-application metric and state mutation
+// has landed. Queries already in flight complete.
+func (f *Fleet) Close() {
+	f.once.Do(func() { close(f.closed) })
+	f.wg.Wait()
+}
 
 // Replicas returns the fleet size.
 func (f *Fleet) Replicas() int { return len(f.replicas) }
@@ -312,14 +372,40 @@ func (f *Fleet) Feed(frame *canister.Frame) {
 	frame.Seq = f.seq
 	f.gen.Store(f.seq)
 	raw := canister.EncodeFrame(frame)
+	// A tip moving backwards on the authoritative stream is not a reorg
+	// (reorgs never lower the considered tip height) — it means the
+	// authority lost state and recovered from an older checkpoint. Replicas
+	// ahead of it would "apply" the replayed frames as no-ops while serving
+	// a future the authority no longer has; flag them all for resync.
+	if f.cfg.AutoResync && frame.TipHeight < f.authTip.Load() {
+		for _, r := range f.replicas {
+			r.needsResync.Store(true)
+		}
+	}
 	f.authTip.Store(frame.TipHeight)
 	f.degraded.Store(frame.Health.State == adapter.StateDegraded)
 	at := f.met.reg.Now()
 	for _, r := range f.replicas {
-		r.enqueue(raw, frame.Seq, at)
+		if f.frameFault != nil {
+			for _, alt := range f.frameFault(r.index, frame.Seq, raw) {
+				r.enqueue(alt, frame.Seq, at)
+			}
+		} else {
+			r.enqueue(raw, frame.Seq, at)
+		}
 	}
 	f.feedMu.Unlock()
 	f.met.countGroup(f.met.frames.Inc)
+}
+
+// SetFrameFault installs (nil removes) the stream-corruption injection hook.
+// Not for production paths — the chaos and differential harnesses use it to
+// prove the frame-integrity machinery detects and recovers every corruption
+// class.
+func (f *Fleet) SetFrameFault(h FrameFault) {
+	f.feedMu.Lock()
+	f.frameFault = h
+	f.feedMu.Unlock()
 }
 
 // GuardAuthority runs fn while holding the fleet's authority lock — the
@@ -338,6 +424,17 @@ func (f *Fleet) GuardAuthority(fn func() error) error {
 	f.authMu.Lock()
 	defer f.authMu.Unlock()
 	return fn()
+}
+
+// resyncReplica is the automatic-recovery path frame-integrity failures
+// take under Config.AutoResync: a plain re-hydration, counted. Called with
+// no fleet locks held (HydrateReplica takes authMu → feedMu itself).
+func (f *Fleet) resyncReplica(i int) error {
+	if err := f.HydrateReplica(i); err != nil {
+		return err
+	}
+	f.met.countGroup(f.met.resyncs.Inc)
+	return nil
 }
 
 // HydrateReplica refreshes one replica from a fresh authority snapshot —
@@ -385,7 +482,7 @@ func (f *Fleet) AddReplica() (int, error) {
 	}
 	f.replicas = append(f.replicas, r)
 	if f.cfg.AutoApply {
-		go r.runWorker(f.closed)
+		f.startWorker(r)
 	}
 	return r.index, nil
 }
@@ -426,48 +523,106 @@ func (f *Fleet) RouteQuery(method string, arg any, caller string, now time.Time)
 // which is what lets the cache layer prove a response belongs to the
 // current generation.
 func (f *Fleet) executeQuery(method string, arg any, now time.Time) (rq ic.RoutedQuery, servedSeq uint64, forwarded bool) {
-	var r *Replica
-	for probe := 0; probe < len(f.replicas); probe++ {
-		// Modulo in uint64 space: a truncating int() conversion could go
-		// negative on 32-bit platforms once the counter wraps 2^31.
-		cand := f.replicas[int(f.rr.Add(1)%uint64(len(f.replicas)))]
-		if !cand.broken.Load() {
-			r = cand
-			break
-		}
-	}
-	if r == nil {
-		return f.forward(method, arg, now), 0, true
-	}
-
-	if f.cfg.MaxLagBlocks >= 0 {
-		if lag := f.authTip.Load() - r.TipHeight(); lag > f.cfg.MaxLagBlocks {
-			if f.cfg.StalePolicy == StaleReject {
-				f.met.countGroup(f.met.rejected.Inc)
-				return ic.RoutedQuery{Err: fmt.Errorf("%w: replica %d lags %d blocks (bound %d)",
-					ErrTooStale, r.index, lag, f.cfg.MaxLagBlocks)}, 0, false
+	// The outer loop is the byzantine-ejection retry: a replica whose
+	// certified response fails the audit is ejected and the query re-routed
+	// to the next healthy replica; when none remain, the authority serves.
+	for attempt := 0; attempt < len(f.replicas); attempt++ {
+		var r *Replica
+		for probe := 0; probe < len(f.replicas); probe++ {
+			// Modulo in uint64 space: a truncating int() conversion could go
+			// negative on 32-bit platforms once the counter wraps 2^31.
+			cand := f.replicas[int(f.rr.Add(1)%uint64(len(f.replicas)))]
+			if !cand.broken.Load() {
+				r = cand
+				break
 			}
+		}
+		if r == nil {
 			return f.forward(method, arg, now), 0, true
 		}
-	}
 
-	value, err, instructions, tip, anchor, seq := r.serve(method, arg, now)
-	f.met.reg.Trace("fleet.execute", method)
-	rq, certified := f.certify(ic.RoutedQuery{
-		Value:        value,
-		Err:          err,
-		Instructions: instructions,
-		AnchorHeight: anchor,
-		TipHeight:    tip,
-		Degraded:     f.degraded.Load(),
-	}, method)
-	f.met.countGroup(func() {
-		f.met.served.Inc()
-		if certified {
-			f.met.certified.Inc()
+		if f.cfg.MaxLagBlocks >= 0 {
+			if lag := f.authTip.Load() - r.TipHeight(); lag > f.cfg.MaxLagBlocks {
+				if f.cfg.StalePolicy == StaleReject {
+					f.met.countGroup(f.met.rejected.Inc)
+					return ic.RoutedQuery{Err: fmt.Errorf("%w: replica %d lags %d blocks (bound %d)",
+						ErrTooStale, r.index, lag, f.cfg.MaxLagBlocks)}, 0, false
+				}
+				return f.forward(method, arg, now), 0, true
+			}
 		}
-	})
-	return rq, seq, false
+
+		value, err, instructions, tip, anchor, seq := r.serve(method, arg, now)
+		f.met.reg.Trace("fleet.execute", method)
+		var certified bool
+		rq, certified = f.certify(ic.RoutedQuery{
+			Value:        value,
+			Err:          err,
+			Instructions: instructions,
+			AnchorHeight: anchor,
+			TipHeight:    tip,
+			Degraded:     f.degraded.Load(),
+		}, method)
+		// Equivocation fault hook: a byzantine replica corrupts its response
+		// after certification (tampered envelope or a stale signed replay).
+		rq = r.equivocate(method, rq)
+		f.met.countGroup(func() {
+			f.met.served.Inc()
+			if certified {
+				f.met.certified.Inc()
+			}
+		})
+		if !f.auditResponse(method, rq) {
+			// The replica served a response that fails verification under the
+			// subnet key or binds a tip outside the staleness bound while the
+			// replica itself reads as fresh — equivocation either way. Eject
+			// it and retry on an honest replica.
+			r.broken.Store(true)
+			f.met.countGroup(f.met.byzantine.Inc)
+			continue
+		}
+		return rq, seq, false
+	}
+	return f.forward(method, arg, now), 0, true
+}
+
+// auditResponse cross-checks a replica-served certified response: the
+// signature must verify over the envelope the response claims, and the bound
+// tip height must sit inside the staleness bound relative to the
+// authoritative tip. Responses without a signature (signing disabled) and
+// fleets without a verifier pass unaudited.
+func (f *Fleet) auditResponse(method string, rq ic.RoutedQuery) bool {
+	f.verifyMu.RLock()
+	verify := f.verify
+	f.verifyMu.RUnlock()
+	if verify == nil || rq.Signature == nil {
+		return true
+	}
+	env := ic.CertifiedQuery{
+		Method:       method,
+		Value:        rq.Value,
+		ErrText:      ic.ErrText(rq.Err),
+		AnchorHeight: rq.AnchorHeight,
+		TipHeight:    rq.TipHeight,
+	}
+	if !verify(env, rq.Signature) {
+		return false
+	}
+	// Generation bound: a correctly signed envelope from a long-dead tip is
+	// the stale-replay equivocation; the bound that limits replica lag also
+	// limits how old a served certification may be.
+	if f.cfg.MaxLagBlocks >= 0 && f.authTip.Load()-rq.TipHeight > f.cfg.MaxLagBlocks {
+		return false
+	}
+	return true
+}
+
+// SetVerifier replaces the certified-response audit (nil disables it). Safe
+// for concurrent use with serving.
+func (f *Fleet) SetVerifier(v VerifyFunc) {
+	f.verifyMu.Lock()
+	f.verify = v
+	f.verifyMu.Unlock()
 }
 
 // CacheSize returns the number of resident response-cache entries.

@@ -32,6 +32,16 @@ type fleetMetrics struct {
 	cacheHits *obs.Counter
 	shed      *obs.Counter
 
+	// Frame-stream integrity counters: every rejected frame is accounted by
+	// failure class, and every automatic re-hydration the rejection triggered.
+	frameCorrupt    *obs.Counter
+	frameGaps       *obs.Counter
+	frameDuplicates *obs.Counter
+	resyncs         *obs.Counter
+	// byzantine counts replicas ejected by the response audit (signature or
+	// generation-bound failure on a served certified response).
+	byzantine *obs.Counter
+
 	cacheMisses *obs.Counter
 	cacheFills  *obs.Counter
 	shedByClass *obs.Family
@@ -50,6 +60,12 @@ func newFleetMetrics() *fleetMetrics {
 		coalesced: r.Counter("fleet_coalesced_total"),
 		cacheHits: r.Counter("fleet_cache_hits_total"),
 		shed:      r.Counter("fleet_shed_total"),
+
+		frameCorrupt:    r.Counter("fleet_frame_corrupt_total"),
+		frameGaps:       r.Counter("fleet_frame_gap_total"),
+		frameDuplicates: r.Counter("fleet_frame_duplicate_total"),
+		resyncs:         r.Counter("fleet_resync_total"),
+		byzantine:       r.Counter("fleet_byzantine_ejections_total"),
 
 		cacheMisses: r.Counter("fleet_cache_misses_total"),
 		cacheFills:  r.Counter("fleet_cache_fills_total"),
@@ -78,13 +94,18 @@ func (m *fleetMetrics) snapshotStats() Stats {
 	m.statsMu.Lock()
 	defer m.statsMu.Unlock()
 	return Stats{
-		Served:    m.served.Value(),
-		Forwarded: m.forwarded.Value(),
-		Rejected:  m.rejected.Value(),
-		Certified: m.certified.Value(),
-		Frames:    m.frames.Value(),
-		Coalesced: m.coalesced.Value(),
-		CacheHits: m.cacheHits.Value(),
-		Shed:      m.shed.Value(),
+		Served:           m.served.Value(),
+		Forwarded:        m.forwarded.Value(),
+		Rejected:         m.rejected.Value(),
+		Certified:        m.certified.Value(),
+		Frames:           m.frames.Value(),
+		Coalesced:        m.coalesced.Value(),
+		CacheHits:        m.cacheHits.Value(),
+		Shed:             m.shed.Value(),
+		FrameCorrupt:     m.frameCorrupt.Value(),
+		FrameGaps:        m.frameGaps.Value(),
+		FrameDuplicates:  m.frameDuplicates.Value(),
+		Resyncs:          m.resyncs.Value(),
+		ByzantineEjected: m.byzantine.Value(),
 	}
 }

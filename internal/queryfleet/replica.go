@@ -1,6 +1,7 @@
 package queryfleet
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -47,6 +48,18 @@ type Replica struct {
 	// the lag check would read 0, and the fleet would keep certifying
 	// responses from a diverged state.
 	broken atomic.Bool
+	// needsResync flags a replica whose stream observed an authority
+	// regression (Feed saw the tip move backwards): its state may be AHEAD
+	// of the recovered authority. ApplyPending re-hydrates before touching
+	// further frames (AutoResync fleets only).
+	needsResync atomic.Bool
+
+	// equivMode is the byzantine fault hook (SetEquivocation): a nonzero
+	// mode corrupts served responses after certification. staleEnvs holds
+	// the per-method signed envelopes a stale-replay equivocator re-serves.
+	equivMode atomic.Int32
+	staleMu   sync.Mutex
+	staleEnvs map[string]ic.RoutedQuery
 
 	// inbox holds encoded frames not yet applied, in stream order.
 	inboxMu sync.Mutex
@@ -123,7 +136,8 @@ func (r *Replica) Hydrate(snapshot []byte, seq uint64) error {
 	r.can = can
 	r.seq = seq
 	r.tip.Store(tip)
-	r.broken.Store(false) // a fresh snapshot supersedes any lost frame
+	r.broken.Store(false)      // a fresh snapshot supersedes any lost frame
+	r.needsResync.Store(false) // and any observed authority regression
 	r.mu.Unlock()
 
 	r.inboxMu.Lock()
@@ -171,13 +185,28 @@ func (r *Replica) TipHeight() int64 { return r.tip.Load() }
 // blocks parsed on the ingest pipeline (PrepareWorkers) while application
 // itself stays strictly sequential under the write lock, so a lagging
 // replica catches up at pipeline speed without weakening any ordering
-// guarantee. A decode or apply failure quarantines the replica (Broken
-// reports it; routing skips it) until a re-hydration replaces its state —
-// continuing past a lost frame would let later frames advance the tip over
-// a silently diverged state.
+// guarantee.
+//
+// Every frame is integrity-checked before it touches state: the statecodec
+// checksum rejects corrupted bytes, the embedded sequence number must match
+// the stream slot the frame was delivered for, and the slot must be exactly
+// the replica's position + 1 — a gap, reordering, or swap is rejected, and a
+// re-delivered frame (slot ≤ position) is skipped as a duplicate. A rejection
+// quarantines the replica (Broken reports it; routing skips it) until a
+// re-hydration replaces its state — continuing past a lost frame would let
+// later frames advance the tip over a silently diverged state. Under
+// Config.AutoResync the re-hydration happens right here: the replica jumps
+// to a fresh authority snapshot, the damaged backlog is discarded, and
+// serving resumes without operator action.
 func (r *Replica) ApplyPending(max int) (int, error) {
 	applied := 0
 	for max < 0 || applied < max {
+		if r.needsResync.Load() && r.fleet.cfg.AutoResync {
+			if err := r.resync("authority tip regressed"); err != nil {
+				return applied, err
+			}
+			continue
+		}
 		if r.broken.Load() {
 			return applied, fmt.Errorf("queryfleet: replica %d is quarantined after a failed frame; re-hydrate it", r.index)
 		}
@@ -214,15 +243,36 @@ func (r *Replica) ApplyPending(max int) (int, error) {
 			func(i int, dec decoded) error {
 				f := batch[i]
 				if dec.err != nil {
+					// Checksum/framing rejection: bit-flips and truncation
+					// land here (statecodec's CRC trailer covers every byte).
+					r.fleet.met.frameCorrupt.Inc()
 					failErr = fmt.Errorf("queryfleet: replica %d frame %d: %w", r.index, f.seq, dec.err)
+					return failErr
+				}
+				if dec.frame.Seq != f.seq {
+					// Clean bytes carrying the wrong stream position: a frame
+					// body swapped or replayed into another slot.
+					r.fleet.met.frameCorrupt.Inc()
+					failErr = fmt.Errorf("queryfleet: replica %d frame %d: embedded seq %d does not match its stream slot",
+						r.index, f.seq, dec.frame.Seq)
 					return failErr
 				}
 				r.mu.Lock()
 				if f.seq <= r.seq {
-					// Covered by a concurrent re-hydration that raced the
-					// dequeue.
+					// Already covered: a re-delivered (duplicated) frame, or a
+					// concurrent re-hydration that raced the dequeue.
 					r.mu.Unlock()
+					r.fleet.met.frameDuplicates.Inc()
 					return nil
+				}
+				if f.seq != r.seq+1 {
+					// A hole in the stream: the missing frame was dropped or
+					// is still in flight behind this one (reordering).
+					at, want := f.seq, r.seq+1
+					r.mu.Unlock()
+					r.fleet.met.frameGaps.Inc()
+					failErr = fmt.Errorf("queryfleet: replica %d frame %d: sequence gap (want %d)", r.index, at, want)
+					return failErr
 				}
 				err := r.can.ApplyFrame(dec.frame)
 				if err == nil {
@@ -232,6 +282,11 @@ func (r *Replica) ApplyPending(max int) (int, error) {
 				}
 				r.mu.Unlock()
 				if err != nil {
+					if errors.Is(err, canister.ErrFrameOutOfOrder) {
+						r.fleet.met.frameGaps.Inc()
+					} else {
+						r.fleet.met.frameCorrupt.Inc()
+					}
 					failErr = fmt.Errorf("queryfleet: replica %d frame %d: %w", r.index, f.seq, err)
 					return failErr
 				}
@@ -244,12 +299,85 @@ func (r *Replica) ApplyPending(max int) (int, error) {
 		if err != nil {
 			r.broken.Store(true)
 			if failErr != nil {
-				return applied, failErr
+				err = failErr
+			}
+			if r.fleet.cfg.AutoResync {
+				// Jump past the damage: re-hydrate from a fresh authority
+				// snapshot. The rest of the dequeued batch is superseded by
+				// the snapshot (its frames are ≤ the hydration position).
+				if rerr := r.resync(err.Error()); rerr != nil {
+					return applied, rerr
+				}
+				continue
 			}
 			return applied, err
 		}
 	}
 	return applied, nil
+}
+
+// resync re-hydrates this replica through the fleet (authMu → feedMu → a
+// fresh snapshot), clearing the broken and needsResync flags. Called with no
+// replica locks held.
+func (r *Replica) resync(cause string) error {
+	r.needsResync.Store(false)
+	if err := r.fleet.resyncReplica(r.index); err != nil {
+		r.broken.Store(true)
+		return fmt.Errorf("queryfleet: replica %d resync (%s): %w", r.index, cause, err)
+	}
+	return nil
+}
+
+// EquivocationMode selects how a byzantine fault hook corrupts this
+// replica's served responses (SetEquivocation). The corruption happens
+// after certification, modeling a replica that signs honestly but then
+// tampers with — or substitutes — what it hands to the router.
+type EquivocationMode int32
+
+const (
+	// EquivNone serves honestly.
+	EquivNone EquivocationMode = iota
+	// EquivTamper mutates the served value/binding after signing, so the
+	// signature no longer covers the envelope (detected by the response
+	// audit's signature check).
+	EquivTamper
+	// EquivStaleReplay re-serves the first signed envelope it saw for each
+	// method forever — valid signatures over an aging generation (detected
+	// by the audit's generation bound once the chain moves past MaxLagBlocks).
+	EquivStaleReplay
+)
+
+// SetEquivocation installs (or, with EquivNone, clears) the byzantine fault
+// hook on this replica.
+func (r *Replica) SetEquivocation(m EquivocationMode) { r.equivMode.Store(int32(m)) }
+
+// equivocate applies the replica's equivocation mode to a served response
+// just before it is returned to the router. Honest replicas return rq
+// unchanged.
+func (r *Replica) equivocate(method string, rq ic.RoutedQuery) ic.RoutedQuery {
+	switch EquivocationMode(r.equivMode.Load()) {
+	case EquivTamper:
+		if rq.Signature != nil {
+			// Claim a taller tip than the one the signature covers.
+			rq.TipHeight++
+		}
+		return rq
+	case EquivStaleReplay:
+		r.staleMu.Lock()
+		defer r.staleMu.Unlock()
+		if stored, ok := r.staleEnvs[method]; ok {
+			return stored
+		}
+		if rq.Signature != nil {
+			if r.staleEnvs == nil {
+				r.staleEnvs = make(map[string]ic.RoutedQuery)
+			}
+			r.staleEnvs[method] = rq
+		}
+		return rq
+	default:
+		return rq
+	}
 }
 
 // Broken reports whether the replica is quarantined after a failed frame
